@@ -1,0 +1,177 @@
+package blockfanout
+
+// The benchmark harness regenerates every table and figure of the paper:
+// one testing.B benchmark per experiment. Each benchmark prints the
+// reproduced rows once (so `go test -bench . | tee bench_output.txt`
+// records them) and then times repeated runs of the experiment.
+//
+// Set REPRO_SCALE=paper to run the paper's matrix sizes (minutes); the
+// default CI scale uses structurally identical reduced matrices.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/experiments"
+	"blockfanout/internal/fanout"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sched"
+)
+
+func benchConfig() experiments.Config {
+	scale := gen.ScaleCI
+	if os.Getenv("REPRO_SCALE") == "paper" {
+		scale = gen.ScalePaper
+	}
+	return experiments.Default(scale)
+}
+
+var printOnce sync.Map
+
+// runExperiment prints the experiment's rows once per process, then times
+// repeated executions.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	r, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	cfg := benchConfig()
+	if _, done := printOnce.LoadOrStore(name, true); !done {
+		fmt.Printf("\n===== %s — %s =====\n", r.Name, r.Desc)
+		if err := r.Run(os.Stdout, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (see DESIGN.md experiment index).
+
+func BenchmarkTable1(b *testing.B)        { runExperiment(b, "table1") }
+func BenchmarkFigure1(b *testing.B)       { runExperiment(b, "figure1") }
+func BenchmarkTable2(b *testing.B)        { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)        { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)        { runExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)        { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)        { runExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)        { runExperiment(b, "table7") }
+func BenchmarkAltHeuristic(b *testing.B)  { runExperiment(b, "alt-heuristic") }
+func BenchmarkRelPrime(b *testing.B)      { runExperiment(b, "relprime") }
+func BenchmarkCommFraction(b *testing.B)  { runExperiment(b, "commfrac") }
+func BenchmarkCritPath(b *testing.B)      { runExperiment(b, "critpath") }
+func BenchmarkSubcube(b *testing.B)       { runExperiment(b, "subcube") }
+func BenchmarkBlockSize(b *testing.B)     { runExperiment(b, "blocksize") }
+func BenchmarkCommScaling(b *testing.B)   { runExperiment(b, "commscaling") }
+func BenchmarkPrioSched(b *testing.B)     { runExperiment(b, "priosched") }
+func BenchmarkConcurrency(b *testing.B)   { runExperiment(b, "concurrency") }
+func BenchmarkOneDim(b *testing.B)        { runExperiment(b, "onedim") }
+func BenchmarkArbitrary(b *testing.B)     { runExperiment(b, "arbitrary") }
+func BenchmarkOrganizations(b *testing.B) { runExperiment(b, "organizations") }
+func BenchmarkColfan(b *testing.B)        { runExperiment(b, "colfan") }
+func BenchmarkAmalgamation(b *testing.B)  { runExperiment(b, "amalgamation") }
+func BenchmarkDomains(b *testing.B)       { runExperiment(b, "domains") }
+
+// Pipeline micro-benchmarks: the individual phases on a representative
+// problem, for profiling the library itself.
+
+func pipelinePlan(b *testing.B) *core.Plan {
+	b.Helper()
+	p, ok := gen.ByName(gen.Table1Suite(gen.ScaleCI), "BCSSTK31")
+	if !ok {
+		b.Fatal("suite problem missing")
+	}
+	plan, err := experiments.PlanFor(p, gen.ScaleCI, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+func BenchmarkAnalyzePlan(b *testing.B) {
+	m := gen.IrregularMesh(2200, 9, 3, 31)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlan(m, core.Options{Ordering: order.MinDegree, BlockSize: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialFactor(b *testing.B) {
+	plan := pipelinePlan(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.FactorSequential(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelFanout16(b *testing.B) {
+	plan := pipelinePlan(b)
+	g := mapping.Grid{Pr: 4, Pc: 4}
+	a := plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2)
+	pr := sched.Build(plan.BS, a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := numeric.New(plan.BS, plan.PA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fanout.Run(f, pr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulate64(b *testing.B) {
+	plan := pipelinePlan(b)
+	g := mapping.Grid{Pr: 8, Pc: 8}
+	pr := sched.Build(plan.BS, plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2))
+	cfg := machine.Paragon()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine.Simulate(pr, cfg)
+	}
+}
+
+func BenchmarkHeuristicMapping(b *testing.B) {
+	plan := pipelinePlan(b)
+	g := mapping.Grid{Pr: 8, Pc: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Map(g, mapping.ID, mapping.CY)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	plan := pipelinePlan(b)
+	f, err := plan.FactorSequential()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, plan.A.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

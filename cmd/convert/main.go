@@ -1,0 +1,70 @@
+// Command convert translates symmetric sparse matrices between the Matrix
+// Market (.mtx) and Harwell-Boeing RSA (.rsa) exchange formats — the two
+// formats the sparse-matrix test sets of the paper's era were shipped in.
+//
+// Usage:
+//
+//	convert -in matrix.rsa -out matrix.mtx
+//	convert -in mesh.mtx -out mesh.rsa -title "my mesh" -key MESH1
+//
+// The direction is inferred from the file extensions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blockfanout/internal/hb"
+	"blockfanout/internal/mmio"
+	"blockfanout/internal/sparse"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (.mtx, .rsa, .psa)")
+	out := flag.String("out", "", "output file (.mtx, .rsa)")
+	title := flag.String("title", "converted by blockfanout", "Harwell-Boeing title")
+	key := flag.String("key", "BFCONV", "Harwell-Boeing key")
+	flag.Parse()
+
+	if err := run(*in, *out, *title, *key); err != nil {
+		fmt.Fprintln(os.Stderr, "convert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, title, key string) error {
+	if in == "" || out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	var (
+		m   *sparse.Matrix
+		err error
+	)
+	switch strings.ToLower(filepath.Ext(in)) {
+	case ".mtx":
+		m, err = mmio.ReadFile(in)
+	case ".rsa", ".psa", ".hb":
+		m, err = hb.ReadFile(in)
+	default:
+		return fmt.Errorf("unrecognized input extension %q", filepath.Ext(in))
+	}
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(filepath.Ext(out)) {
+	case ".mtx":
+		err = mmio.WriteFile(out, m)
+	case ".rsa":
+		err = hb.WriteFile(out, m, title, key)
+	default:
+		return fmt.Errorf("unrecognized output extension %q", filepath.Ext(out))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s → %s (n=%d, nnz=%d)\n", in, out, m.N, m.NNZ())
+	return nil
+}

@@ -1,0 +1,249 @@
+// Command spchol is the command-line driver for the block fan-out sparse
+// Cholesky library: it generates (or names) a benchmark problem, analyzes
+// it, and then factors it for real, simulates it on the Paragon machine
+// model, or reports load-balance and communication statistics.
+//
+// Usage:
+//
+//	spchol -problem GRID150 -action simulate -procs 64 -row ID -col CY
+//	spchol -grid 128 -action factor -procs 16 -domains
+//	spchol -mesh 5000 -action balance -procs 100
+//	spchol -cube 20 -action stats
+//
+// Problem selection (one of):
+//
+//	-problem NAME   a paper benchmark (Table 1/6 name; -scale ci|paper)
+//	-grid K         5-point Laplacian on a K×K grid
+//	-cube K         7-point Laplacian on a K×K×K cube
+//	-mesh N         random 3-D FE-style mesh with N vertices
+//	-dense N        dense N×N SPD matrix
+//	-file PATH      a symmetric matrix in Matrix Market format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blockfanout/internal/bundle"
+	"blockfanout/internal/commvol"
+	"blockfanout/internal/core"
+	"blockfanout/internal/dot"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/mmio"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/stats"
+	"blockfanout/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spchol:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		problem   = flag.String("problem", "", "paper benchmark name (e.g. GRID150, BCSSTK31)")
+		scale     = flag.String("scale", "ci", "benchmark scale for -problem: ci or paper")
+		gridK     = flag.Int("grid", 0, "generate a K×K grid problem")
+		cubeK     = flag.Int("cube", 0, "generate a K×K×K cube problem")
+		meshN     = flag.Int("mesh", 0, "generate a random 3-D mesh with N vertices")
+		denseN    = flag.Int("dense", 0, "generate a dense N×N problem")
+		file      = flag.String("file", "", "read a Matrix Market file")
+		action    = flag.String("action", "stats", "stats | balance | simulate | trace | factor | dot")
+		blockSize = flag.Int("block", core.DefaultBlockSize, "block size B")
+		ordering  = flag.String("order", "auto", "ordering: auto | natural | mmd | amd | ndgraph | hybrid | rcm")
+		procs     = flag.Int("procs", 16, "number of processors")
+		rowH      = flag.String("row", "ID", "row mapping heuristic: CY DW IN DN ID")
+		colH      = flag.String("col", "CY", "column mapping heuristic: CY DW IN DN ID")
+		domains   = flag.Bool("domains", true, "use the domain/root split")
+		seed      = flag.Uint64("seed", 7, "generator seed for -mesh")
+		save      = flag.String("save", "", "with -action factor: write the factor bundle here")
+	)
+	flag.Parse()
+
+	var (
+		m       *sparse.Matrix
+		method  order.Method
+		gridDim int
+		name    string
+	)
+	switch {
+	case *problem != "":
+		sc := gen.ScaleCI
+		if *scale == "paper" {
+			sc = gen.ScalePaper
+		} else if *scale != "ci" {
+			return fmt.Errorf("unknown scale %q", *scale)
+		}
+		suite := append(gen.Table1Suite(sc), gen.Table6Suite(sc)...)
+		p, ok := gen.ByName(suite, *problem)
+		if !ok {
+			return fmt.Errorf("unknown problem %q", *problem)
+		}
+		name = p.Name
+		m = p.Build()
+		gridDim = p.GridDim
+		switch p.Hint {
+		case gen.HintNone:
+			method = order.Natural
+		case gen.HintNDGrid2D:
+			method = order.NDGrid2D
+		case gen.HintNDCube3D:
+			method = order.NDCube3D
+		default:
+			method = order.MinDegree
+		}
+	case *gridK > 0:
+		name = fmt.Sprintf("grid %d×%d", *gridK, *gridK)
+		m, method, gridDim = gen.Grid2D(*gridK), order.NDGrid2D, *gridK
+	case *cubeK > 0:
+		name = fmt.Sprintf("cube %d³", *cubeK)
+		m, method, gridDim = gen.Cube3D(*cubeK), order.NDCube3D, *cubeK
+	case *meshN > 0:
+		name = fmt.Sprintf("mesh n=%d", *meshN)
+		m, method = gen.IrregularMesh(*meshN, 8, 3, *seed), order.MinDegree
+	case *denseN > 0:
+		name = fmt.Sprintf("dense %d", *denseN)
+		m, method = gen.Dense(*denseN), order.Natural
+	case *file != "":
+		var err error
+		if m, err = mmio.ReadFile(*file); err != nil {
+			return err
+		}
+		name, method = *file, order.MinDegree
+	default:
+		return fmt.Errorf("no problem selected (use -problem, -grid, -cube, -mesh, -dense, or -file)")
+	}
+
+	// -order overrides the problem's default (auto) ordering.
+	switch *ordering {
+	case "auto":
+	case "natural":
+		method = order.Natural
+	case "mmd":
+		method = order.MinDegree
+	case "amd":
+		method = order.MinDegreeApprox
+	case "ndgraph":
+		method = order.NDGraph
+	case "hybrid":
+		method = order.NDHybrid
+	case "rcm":
+		method = order.CuthillMcKee
+	default:
+		return fmt.Errorf("unknown ordering %q", *ordering)
+	}
+
+	rh, err := mapping.ParseHeuristic(*rowH)
+	if err != nil {
+		return err
+	}
+	ch, err := mapping.ParseHeuristic(*colH)
+	if err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	plan, err := core.NewPlan(m, core.Options{
+		Ordering: method, GridDim: gridDim, BlockSize: *blockSize,
+	})
+	if err != nil {
+		return err
+	}
+	// The analysis banner goes to stderr so machine-readable actions
+	// (dot) keep stdout clean.
+	banner := os.Stdout
+	if *action == "dot" {
+		banner = os.Stderr
+	}
+	fmt.Fprintf(banner, "%s: n=%d nnz(A)=%d → nnz(L)=%d ops=%.1fM  [analyze %v]\n",
+		name, m.N, m.NNZ(), plan.Exact.NZinL, float64(plan.Exact.Flops)/1e6,
+		time.Since(t0).Round(time.Millisecond))
+	fmt.Fprintf(banner, "ordering=%v B=%d supernodes=%d panels=%d\n",
+		method, *blockSize, len(plan.Sym.Snodes), plan.BS.N())
+
+	if *action == "dot" {
+		return dot.SupernodeForest(os.Stdout, plan.Sym)
+	}
+	if *action == "stats" {
+		stats.Report(os.Stdout, plan)
+		cfg := machine.Paragon()
+		fmt.Printf("critical path: %.4fs (%.0f Mflops bound on this machine model)\n",
+			plan.CriticalPath(cfg), float64(plan.Exact.Flops)/plan.CriticalPath(cfg)/1e6)
+		return nil
+	}
+
+	g := mapping.BestGrid(*procs)
+	mp := plan.Map(g, rh, ch)
+	beta := 0.0
+	if *domains {
+		beta = 2.0
+	}
+	assign := plan.Assign(mp, beta)
+
+	switch *action {
+	case "balance":
+		bal := plan.Balances(mp)
+		vol := commvol.Of(plan.BS, sched.Assignment{Map: mp})
+		fmt.Printf("grid %d×%d, %v rows / %v cols:\n", g.Pr, g.Pc, rh, ch)
+		fmt.Printf("  row balance     %.3f\n  column balance  %.3f\n  diagonal bal.   %.3f\n  overall balance %.3f\n",
+			bal.Row, bal.Col, bal.Diag, bal.Overall)
+		fmt.Printf("  comm volume     %d messages, %d bytes\n", vol.Messages, vol.Bytes)
+
+	case "simulate":
+		cfg := machine.Paragon()
+		res := plan.Simulate(assign, cfg)
+		fmt.Printf("simulated %d-processor Paragon (domains=%v):\n", g.P(), *domains)
+		fmt.Printf("  parallel time   %.4fs  (t_seq %.4fs)\n", res.Time, res.SeqTime)
+		fmt.Printf("  efficiency      %.1f%%\n", res.Efficiency()*100)
+		fmt.Printf("  performance     %.0f Mflops\n", res.Mflops(plan.Exact.Flops))
+		fmt.Printf("  communication   %d messages, %d bytes, ≤%.1f%% of runtime\n",
+			res.Messages, res.Bytes, res.CommFraction()*100)
+
+	case "trace":
+		cfg := machine.Paragon()
+		cfg.CollectTrace = true
+		res := plan.Simulate(assign, cfg)
+		if err := trace.Gantt(os.Stdout, &res, 100); err != nil {
+			return err
+		}
+		trace.Utilization(os.Stdout, &res)
+
+	case "factor":
+		start := time.Now()
+		f, err := plan.Factor(assign)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		b := make([]float64, m.N)
+		for i := range b {
+			b[i] = 1
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("parallel factorization on %d goroutine-processors: %v (%.1f Mflop/s wall)\n",
+			g.P(), el.Round(time.Microsecond), float64(plan.Exact.Flops)/el.Seconds()/1e6)
+		fmt.Printf("solve residual ‖A·x−b‖∞ = %.3g\n", f.Residual(x, b))
+		if *save != "" {
+			if err := bundle.SaveFile(*save, bundle.FromFactor(f)); err != nil {
+				return err
+			}
+			fmt.Printf("factor bundle saved to %s\n", *save)
+		}
+
+	default:
+		return fmt.Errorf("unknown action %q", *action)
+	}
+	return nil
+}

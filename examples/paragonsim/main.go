@@ -1,0 +1,52 @@
+// paragonsim sweeps machine sizes on the simulated Intel Paragon for a 3-D
+// cube problem (the paper's CUBE workloads), comparing the cyclic mapping
+// against the paper's heuristic (Increasing Depth rows, cyclic columns) and
+// reporting efficiency, achieved Mflops, and communication share — the §4.3
+// and §5 measurements.
+//
+//	go run ./examples/paragonsim [-k 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/order"
+)
+
+func main() {
+	k := flag.Int("k", 16, "cube side length")
+	flag.Parse()
+
+	a := gen.Cube3D(*k)
+	plan, err := core.NewPlan(a, core.Options{Ordering: order.NDCube3D, GridDim: *k, BlockSize: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := machine.Paragon()
+	fmt.Printf("CUBE%d: n=%d, %.1f Mflop to factor\n", *k, a.N, float64(plan.Exact.Flops)/1e6)
+	fmt.Printf("critical-path bound: %.0f Mflops\n\n",
+		float64(plan.Exact.Flops)/plan.CriticalPath(cfg)/1e6)
+
+	fmt.Printf("%6s %6s | %9s %6s | %9s %6s %9s | %6s\n",
+		"P", "grid", "cyc Mf", "eff", "heur Mf", "eff", "comm", "gain")
+	for _, p := range []int{16, 64, 100, 144, 196} {
+		g, err := mapping.SquareGrid(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cyc := plan.Simulate(plan.Assign(mapping.Cyclic(g, plan.BS.N()), 2), cfg)
+		heu := plan.Simulate(plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2), cfg)
+		fmt.Printf("%6d %3dx%-3d | %9.0f %5.0f%% | %9.0f %5.0f%% %8.1f%% | %5.0f%%\n",
+			p, g.Pr, g.Pc,
+			cyc.Mflops(plan.Exact.Flops), cyc.Efficiency()*100,
+			heu.Mflops(plan.Exact.Flops), heu.Efficiency()*100,
+			heu.CommFraction()*100,
+			(heu.Mflops(plan.Exact.Flops)/cyc.Mflops(plan.Exact.Flops)-1)*100)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: factor a sparse SPD matrix and solve a linear system.
+//
+//	go run ./examples/quickstart
+//
+// This walks the library's happy path: generate a problem, build a Plan
+// (ordering → symbolic analysis → block partition), factor it sequentially,
+// and solve A·x = b, checking the residual against the original matrix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/order"
+)
+
+func main() {
+	// A random 3-D finite-element-style mesh with 2,000 vertices.
+	a := gen.IrregularMesh(2000, 8, 3, 1)
+	fmt.Printf("matrix: n=%d, nnz(lower)=%d\n", a.N, a.NNZ())
+
+	// Analyze: minimum-degree ordering, supernode amalgamation, B=48
+	// block partition (the paper's configuration).
+	plan, err := core.NewPlan(a, core.Options{Ordering: order.MinDegree})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factor:  nnz(L)=%d, %.1f Mflop to factor, %d supernodes, %d panels\n",
+		plan.Exact.NZinL, float64(plan.Exact.Flops)/1e6,
+		len(plan.Sym.Snodes), plan.BS.N())
+
+	// Factor and solve.
+	f, err := plan.FactorSequential()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solve:   ‖A·x−b‖∞ = %.3g\n", f.Residual(x, b))
+	fmt.Printf("sample:  x[0]=%.6f x[%d]=%.6f\n", x[0], a.N/2, x[a.N/2])
+}

@@ -1,0 +1,3 @@
+module blockfanout
+
+go 1.22

@@ -1,0 +1,97 @@
+package blocks
+
+import "blockfanout/internal/symbolic"
+
+// The paper's §5 explores two non-uniform block-size policies:
+//
+//   - varying the block size between the early and late stages of the
+//     factorization — which it found has NO effect on load imbalance while
+//     reducing available parallelism (a negative result this package lets
+//     the benchmarks reproduce), and
+//   - choosing the block size based on the processor row/column a block is
+//     mapped to — which improved performance, though less than the
+//     remapping heuristics.
+//
+// Both are expressed here as alternative partition constructors; everything
+// downstream (block structure, mappings, executors) is unchanged.
+
+// NewPartitionStaged splits supernodes into panels of width ≤ bEarly for
+// columns before boundary and ≤ bLate for columns at or after it.
+func NewPartitionStaged(st *symbolic.Structure, bEarly, bLate, boundary int) *Partition {
+	if bEarly < 1 {
+		bEarly = 1
+	}
+	if bLate < 1 {
+		bLate = 1
+	}
+	pick := func(col int) int {
+		if col < boundary {
+			return bEarly
+		}
+		return bLate
+	}
+	part := &Partition{B: max(bEarly, bLate), PanelOf: make([]int, st.N)}
+	part.Start = append(part.Start, 0)
+	for s, sn := range st.Snodes {
+		col := sn.First
+		end := sn.First + sn.Width
+		for col < end {
+			w := pick(col)
+			if col+w > end {
+				w = end - col
+			}
+			col += w
+			part.Start = append(part.Start, col)
+			part.SnodeOf = append(part.SnodeOf, s)
+		}
+	}
+	for p := 0; p < part.N(); p++ {
+		for j := part.Start[p]; j < part.Start[p+1]; j++ {
+			part.PanelOf[j] = p
+		}
+	}
+	return part
+}
+
+// NewPartitionCycled splits supernodes into panels whose widths cycle
+// through the given sequence as the global panel index advances — the §5
+// "block size chosen by the processor row/column it is mapped to" policy
+// for a cyclic mapping, where panel index mod Pc determines the processor
+// column (pass len(widths) == Pc).
+func NewPartitionCycled(st *symbolic.Structure, widths []int) *Partition {
+	if len(widths) == 0 {
+		widths = []int{48}
+	}
+	maxW := 1
+	for i, w := range widths {
+		if w < 1 {
+			widths[i] = 1
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	part := &Partition{B: maxW, PanelOf: make([]int, st.N)}
+	part.Start = append(part.Start, 0)
+	panel := 0
+	for s, sn := range st.Snodes {
+		col := sn.First
+		end := sn.First + sn.Width
+		for col < end {
+			w := widths[panel%len(widths)]
+			if col+w > end {
+				w = end - col
+			}
+			col += w
+			part.Start = append(part.Start, col)
+			part.SnodeOf = append(part.SnodeOf, s)
+			panel++
+		}
+	}
+	for p := 0; p < part.N(); p++ {
+		for j := part.Start[p]; j < part.Start[p+1]; j++ {
+			part.PanelOf[j] = p
+		}
+	}
+	return part
+}

@@ -1,0 +1,94 @@
+package blocks
+
+import (
+	"testing"
+
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/symbolic"
+)
+
+func symFor(t *testing.T) *symbolic.Structure {
+	t.Helper()
+	st, _ := analyzed(t, gen.IrregularMesh(250, 5, 3, 7), ord.MinDegree, 0, symbolic.DefaultAmalgamation())
+	return st
+}
+
+// checkPartition verifies the invariants any partition must satisfy.
+func checkPartition(t *testing.T, st *symbolic.Structure, part *Partition, maxW int) {
+	t.Helper()
+	if part.Start[0] != 0 || part.Start[part.N()] != st.N {
+		t.Fatal("partition does not cover the matrix")
+	}
+	for p := 0; p < part.N(); p++ {
+		w := part.Width(p)
+		if w < 1 || w > maxW {
+			t.Fatalf("panel %d width %d outside [1,%d]", p, w, maxW)
+		}
+		s := part.SnodeOf[p]
+		sn := st.Snodes[s]
+		if part.Start[p] < sn.First || part.Start[p+1]-1 > sn.Last() {
+			t.Fatalf("panel %d crosses supernode boundary", p)
+		}
+	}
+	for j := 0; j < st.N; j++ {
+		p := part.PanelOf[j]
+		if j < part.Start[p] || j >= part.Start[p+1] {
+			t.Fatalf("PanelOf[%d]=%d inconsistent", j, p)
+		}
+	}
+}
+
+func TestNewPartitionStaged(t *testing.T) {
+	st := symFor(t)
+	part := NewPartitionStaged(st, 16, 4, st.N/2)
+	checkPartition(t, st, part, 16)
+	// Early panels must be allowed to reach width 16; late panels must
+	// not exceed 4 (when their supernodes allow it).
+	lateMax := 0
+	for p := 0; p < part.N(); p++ {
+		if part.Start[p] >= st.N/2 && part.Width(p) > lateMax {
+			lateMax = part.Width(p)
+		}
+	}
+	if lateMax > 4 {
+		t.Fatalf("late panel width %d exceeds 4", lateMax)
+	}
+	// Builds into a valid block structure.
+	if _, err := Build(st, part); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPartitionStagedClamps(t *testing.T) {
+	st := symFor(t)
+	part := NewPartitionStaged(st, 0, -3, 10)
+	checkPartition(t, st, part, 1)
+}
+
+func TestNewPartitionCycled(t *testing.T) {
+	st := symFor(t)
+	widths := []int{3, 5, 9}
+	part := NewPartitionCycled(st, widths)
+	checkPartition(t, st, part, 9)
+	if _, err := Build(st, part); err != nil {
+		t.Fatal(err)
+	}
+	// Panels whose supernode has room must follow the cycle.
+	for p := 0; p < part.N(); p++ {
+		want := widths[p%len(widths)]
+		s := part.SnodeOf[p]
+		room := st.Snodes[s].First + st.Snodes[s].Width - part.Start[p]
+		if room >= want && part.Width(p) != want {
+			t.Fatalf("panel %d width %d, cycle wants %d", p, part.Width(p), want)
+		}
+	}
+}
+
+func TestNewPartitionCycledDefaults(t *testing.T) {
+	st := symFor(t)
+	part := NewPartitionCycled(st, nil)
+	checkPartition(t, st, part, 48)
+	part2 := NewPartitionCycled(st, []int{0, -1, 2})
+	checkPartition(t, st, part2, 2)
+}

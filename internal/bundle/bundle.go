@@ -1,0 +1,274 @@
+// Package bundle serializes computed Cholesky factors so a system can be
+// solved repeatedly — possibly by another process, later — without
+// re-running the factorization. A bundle stores the permutation and the
+// factor in column-compressed form in a versioned, checksummed binary
+// format.
+package bundle
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/kernels"
+)
+
+// magic identifies the file format; version gates layout changes.
+const (
+	magic   = 0x62666f42756e646c // "bfoBundl"
+	version = 1
+)
+
+// Bundle is a solver-ready factorization: the fill-reducing permutation
+// (perm[new] = old) plus L in column-compressed form over the permuted
+// index space.
+type Bundle struct {
+	N      int
+	Perm   []int64
+	Diag   []float64
+	ColPtr []int64 // len N+1, prefix sums into Rows/Vals
+	Rows   []int64
+	Vals   []float64
+}
+
+// FromFactor extracts a bundle from a computed factor.
+func FromFactor(f *core.Factor) *Bundle {
+	plan := f.Plan()
+	nf := f.Numeric()
+	bs := nf.BS
+	part := bs.Part
+	n := plan.A.N
+
+	b := &Bundle{
+		N:      n,
+		Perm:   make([]int64, n),
+		Diag:   make([]float64, n),
+		ColPtr: make([]int64, n+1),
+	}
+	for i, old := range plan.Perm {
+		b.Perm[i] = int64(old)
+	}
+	// First pass: column lengths (entries strictly below the diagonal).
+	for j := range bs.Cols {
+		w := part.Width(j)
+		for bi, blk := range bs.Cols[j].Blocks {
+			for c := 0; c < w; c++ {
+				gcol := part.Start[j] + c
+				if bi == 0 {
+					b.ColPtr[gcol+1] += int64(w - 1 - c)
+				} else {
+					b.ColPtr[gcol+1] += int64(len(blk.Rows))
+				}
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		b.ColPtr[j+1] += b.ColPtr[j]
+	}
+	total := b.ColPtr[n]
+	b.Rows = make([]int64, total)
+	b.Vals = make([]float64, total)
+	next := append([]int64(nil), b.ColPtr[:n]...)
+	for j := range bs.Cols {
+		w := part.Width(j)
+		for bi, blk := range bs.Cols[j].Blocks {
+			data := nf.Data[j][bi]
+			for s, grow := range blk.Rows {
+				for c := 0; c < w; c++ {
+					gcol := part.Start[j] + c
+					if bi == 0 {
+						if grow <= gcol {
+							continue // diagonal handled separately; upper skipped
+						}
+					}
+					p := next[gcol]
+					next[gcol]++
+					b.Rows[p] = int64(grow)
+					b.Vals[p] = data[s*w+c]
+				}
+				if bi == 0 && grow == part.Start[j]+s {
+					// diagonal entry of local column s
+					b.Diag[grow] = data[s*w+s]
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Solve solves A·x = rhs in the original index space.
+func (b *Bundle) Solve(rhs []float64) ([]float64, error) {
+	if len(rhs) != b.N {
+		return nil, fmt.Errorf("bundle: rhs length %d, want %d", len(rhs), b.N)
+	}
+	// Permute forward: x[new] = rhs[perm[new]].
+	x := make([]float64, b.N)
+	for i := range x {
+		x[i] = rhs[b.Perm[i]]
+	}
+	for j := 0; j < b.N; j++ {
+		x[j] /= b.Diag[j]
+		xj := x[j]
+		for p := b.ColPtr[j]; p < b.ColPtr[j+1]; p++ {
+			x[b.Rows[p]] -= b.Vals[p] * xj
+		}
+	}
+	for j := b.N - 1; j >= 0; j-- {
+		s := x[j]
+		for p := b.ColPtr[j]; p < b.ColPtr[j+1]; p++ {
+			s -= b.Vals[p] * x[b.Rows[p]]
+		}
+		x[j] = s / b.Diag[j]
+	}
+	out := make([]float64, b.N)
+	for i := range x {
+		out[b.Perm[i]] = x[i]
+	}
+	return out, nil
+}
+
+// NNZ returns the number of stored below-diagonal entries.
+func (b *Bundle) NNZ() int64 { return b.ColPtr[b.N] }
+
+// WriteTo serializes the bundle (buffered; includes a trailing CRC64 of
+// the payload). It returns the number of payload bytes written.
+func (b *Bundle) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	mw := io.MultiWriter(bw, h)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	for _, v := range []any{
+		uint64(magic), uint32(version), uint32(0),
+		int64(b.N), int64(len(b.Rows)),
+	} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	for _, v := range []any{b.Perm, b.Diag, b.ColPtr, b.Rows, b.Vals} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum64()); err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a bundle, verifying magic, version, and checksum.
+func Read(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	h := crc64.New(crc64.MakeTable(crc64.ECMA))
+	tr := io.TeeReader(br, h)
+	get := func(v any) error { return binary.Read(tr, binary.LittleEndian, v) }
+
+	var mg uint64
+	var ver, pad uint32
+	if err := get(&mg); err != nil {
+		return nil, fmt.Errorf("bundle: reading header: %w", err)
+	}
+	if mg != magic {
+		return nil, fmt.Errorf("bundle: bad magic %#x", mg)
+	}
+	if err := get(&ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("bundle: unsupported version %d", ver)
+	}
+	if err := get(&pad); err != nil {
+		return nil, err
+	}
+	var n, nnz int64
+	if err := get(&n); err != nil {
+		return nil, err
+	}
+	if err := get(&nnz); err != nil {
+		return nil, err
+	}
+	const maxEntries = 1 << 40
+	if n < 0 || nnz < 0 || n > maxEntries || nnz > maxEntries {
+		return nil, fmt.Errorf("bundle: implausible sizes n=%d nnz=%d", n, nnz)
+	}
+	b := &Bundle{
+		N:      int(n),
+		Perm:   make([]int64, n),
+		Diag:   make([]float64, n),
+		ColPtr: make([]int64, n+1),
+		Rows:   make([]int64, nnz),
+		Vals:   make([]float64, nnz),
+	}
+	for _, v := range []any{b.Perm, b.Diag, b.ColPtr, b.Rows, b.Vals} {
+		if err := get(v); err != nil {
+			return nil, fmt.Errorf("bundle: reading payload: %w", err)
+		}
+	}
+	want := h.Sum64()
+	var got uint64
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("bundle: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("bundle: checksum mismatch")
+	}
+	// Structural validation before use.
+	if b.ColPtr[0] != 0 || b.ColPtr[n] != nnz {
+		return nil, fmt.Errorf("bundle: corrupt column pointers")
+	}
+	for j := int64(0); j < n; j++ {
+		if b.ColPtr[j] > b.ColPtr[j+1] {
+			return nil, fmt.Errorf("bundle: negative column length at %d", j)
+		}
+		if b.Diag[j] <= 0 {
+			return nil, fmt.Errorf("%w: stored diagonal %d not positive", kernels.ErrNotPositiveDefinite, j)
+		}
+	}
+	seen := make([]bool, n)
+	for i, old := range b.Perm {
+		if old < 0 || old >= n || seen[old] {
+			return nil, fmt.Errorf("bundle: corrupt permutation at %d", i)
+		}
+		seen[old] = true
+	}
+	for _, r := range b.Rows {
+		if r < 0 || r >= n {
+			return nil, fmt.Errorf("bundle: row index %d out of range", r)
+		}
+	}
+	return b, nil
+}
+
+// SaveFile and LoadFile are the file-path conveniences.
+func SaveFile(path string, b *Bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := b.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a bundle from disk.
+func LoadFile(path string) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

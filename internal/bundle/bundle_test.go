@@ -1,0 +1,153 @@
+package bundle
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sparse"
+)
+
+func factorFixture(t *testing.T, m *sparse.Matrix) *core.Factor {
+	t.Helper()
+	plan, err := core.NewPlan(m, core.Options{Ordering: ord.MinDegree, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFromFactorSolves(t *testing.T) {
+	m := gen.IrregularMesh(240, 5, 3, 61)
+	f := factorFixture(t, m)
+	b := FromFactor(f)
+	if b.NNZ() < f.Plan().Exact.NZinL {
+		t.Fatalf("bundle nnz %d below exact %d", b.NNZ(), f.Plan().Exact.NZinL)
+	}
+	rhs := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.77)
+	}
+	want, err := f.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-11*(1+math.Abs(want[i])) {
+			t.Fatalf("solution differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if _, err := b.Solve(rhs[:4]); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m := gen.Grid2D(14)
+	plan, err := core.NewPlan(m, core.Options{Ordering: ord.NDGrid2D, GridDim: 14, BlockSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := FromFactor(f)
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, m.N)
+	rhs[m.N/2] = 1
+	x1, _ := b.Solve(rhs)
+	x2, err := got.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("round trip changed solution at %d", i)
+		}
+	}
+	if r := m.ResidualNorm(x2, rhs); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	m := gen.Grid2D(8)
+	plan, _ := core.NewPlan(m, core.Options{Ordering: ord.NDGrid2D, GridDim: 8, BlockSize: 4})
+	f, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := FromFactor(f).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	// Truncate: must error, not panic.
+	if _, err := Read(bytes.NewReader(data[:len(data)/3])); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+	// Wrong magic.
+	bad2 := append([]byte(nil), data...)
+	bad2[0] ^= 0xff
+	if _, err := Read(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Empty.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m := gen.IrregularMesh(120, 4, 3, 9)
+	f := factorFixture(t, m)
+	path := filepath.Join(t.TempDir(), "factor.bfb")
+	if err := SaveFile(path, FromFactor(f)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	x, err := b.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.ResidualNorm(x, rhs); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package commvol
+
+import (
+	"testing"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/etree"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+func structureFor(t *testing.T, m *sparse.Matrix, method ord.Method, gridDim, b int) (*symbolic.Structure, *blocks.Structure) {
+	t.Helper()
+	p, err := ord.Compute(method, m, gridDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := m.Permute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := etree.Build(m1).Postorder()
+	m2, err := m1.Permute(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := symbolic.Analyze(m2, symbolic.DefaultAmalgamation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := blocks.Build(st, blocks.NewPartition(st, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, bs
+}
+
+func TestSingleProcessorZero(t *testing.T) {
+	st, bs := structureFor(t, gen.Grid2D(14), ord.NDGrid2D, 14, 4)
+	if v := Cyclic2D(bs, 1); v.Bytes != 0 || v.Messages != 0 {
+		t.Fatalf("P=1 2-D volume %+v", v)
+	}
+	if v := Column1D(st, 1); v.Bytes != 0 || v.Messages != 0 {
+		t.Fatalf("P=1 1-D volume %+v", v)
+	}
+	if v := Block1D(bs, 1); v.Bytes != 0 {
+		t.Fatalf("P=1 block-1-D volume %+v", v)
+	}
+}
+
+func TestColumn1DGrowsWithP(t *testing.T) {
+	st, _ := structureFor(t, gen.Grid2D(24), ord.NDGrid2D, 24, 4)
+	prev := int64(0)
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		v := Column1D(st, p)
+		if v.Bytes < prev {
+			t.Fatalf("1-D volume not monotone at P=%d: %d < %d", p, v.Bytes, prev)
+		}
+		prev = v.Bytes
+	}
+}
+
+func TestTwoDGrowsSlowerThanOneD(t *testing.T) {
+	// The paper's scalability claim: going from P to 4P should roughly
+	// quadruple... rather, the 1-D/2-D ratio must grow with P.
+	st, bs := structureFor(t, gen.Grid2D(28), ord.NDGrid2D, 28, 4)
+	r16 := float64(Column1D(st, 16).Bytes) / float64(Cyclic2D(bs, 16).Bytes)
+	r64 := float64(Column1D(st, 64).Bytes) / float64(Cyclic2D(bs, 64).Bytes)
+	if r64 <= r16 {
+		t.Fatalf("1-D/2-D ratio not growing: %g at 16, %g at 64", r16, r64)
+	}
+	if r64 <= 1 {
+		t.Fatalf("1-D not worse than 2-D at P=64 (ratio %g)", r64)
+	}
+}
+
+func TestOfMatchesSchedProgram(t *testing.T) {
+	_, bs := structureFor(t, gen.IrregularMesh(200, 5, 3, 10), ord.MinDegree, 0, 8)
+	g := mapping.Grid{Pr: 3, Pc: 3}
+	a := sched.Assignment{Map: mapping.Cyclic(g, bs.N())}
+	v := Of(bs, a)
+	pr := sched.Build(bs, a)
+	if v.Bytes != pr.TotalBytes || v.Messages != pr.TotalMessages {
+		t.Fatalf("Of %+v != program %d/%d", v, pr.TotalMessages, pr.TotalBytes)
+	}
+}
+
+func TestSubcubeReducesVolume(t *testing.T) {
+	st, bs := structureFor(t, gen.Grid2D(24), ord.NDGrid2D, 24, 4)
+	g := mapping.Grid{Pr: 4, Pc: 4}
+	depth := make([]int, bs.N())
+	for p := range depth {
+		depth[p] = st.Depth[bs.Part.SnodeOf[p]]
+	}
+	heur := mapping.New(g, mapping.ID, mapping.CY, bs, depth)
+	sub := mapping.Compose(g, mapping.ID, mapping.SubcubeColumns(st, bs, g.Pc), bs, depth)
+	vh := Of(bs, sched.Assignment{Map: heur})
+	vs := Of(bs, sched.Assignment{Map: sub})
+	if vs.Bytes >= vh.Bytes {
+		t.Fatalf("subcube volume %d not below heuristic %d", vs.Bytes, vh.Bytes)
+	}
+}

@@ -1,0 +1,222 @@
+// Package core is the public entry point of the library. It wires the
+// substrates together into the paper's pipeline:
+//
+//	reorder (ND / minimum degree) → postorder → symbolic factorization
+//	→ supernode amalgamation → block partition (B=48) → block mapping
+//	→ {real parallel factorization | simulated multicomputer run}
+//
+// A Plan captures everything up to the block structure; mappings,
+// factorizations, simulations, and analyses are derived from it.
+package core
+
+import (
+	"fmt"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/critpath"
+	"blockfanout/internal/domains"
+	"blockfanout/internal/etree"
+	"blockfanout/internal/fanout"
+	"blockfanout/internal/loadbal"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+// DefaultBlockSize is the paper's block size B = 48.
+const DefaultBlockSize = 48
+
+// Options configure plan construction.
+type Options struct {
+	// BlockSize is the target panel width B (default 48).
+	BlockSize int
+	// Ordering selects the fill-reducing ordering (default MinDegree for
+	// general matrices; use NDGrid2D/NDCube3D with GridDim for model
+	// problems, or Natural for dense matrices).
+	Ordering order.Method
+	// GridDim is the grid side length for the geometric orderings.
+	GridDim int
+	// Amalgamation controls relaxed supernode merging; zero value means
+	// symbolic.DefaultAmalgamation().
+	Amalgamation *symbolic.AmalgamationConfig
+}
+
+// Plan is the analyzed, partitioned problem, ready to be mapped and
+// factored.
+type Plan struct {
+	A    *sparse.Matrix    // the original matrix
+	Perm order.Permutation // total permutation (fill-reducing ∘ postorder)
+	PA   *sparse.Matrix    // permuted matrix actually factored
+	Sym  *symbolic.Structure
+	BS   *blocks.Structure
+	// PanelDepth is each panel's supernode depth in the elimination
+	// forest (input to the Increasing Depth heuristic).
+	PanelDepth []int
+	// Exact holds nnz(L) and the operation count of the best sequential
+	// factorization (pre-amalgamation); the paper's Tables 1/6 numbers
+	// and the numerator of all Mflops figures.
+	Exact etree.Stats
+}
+
+// NewPlan analyzes the matrix: ordering, postorder, symbolic factorization,
+// amalgamation, and block partition.
+func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input matrix: %w", err)
+	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	fillPerm, err := order.Compute(opts.Ordering, a, opts.GridDim)
+	if err != nil {
+		return nil, err
+	}
+	a1, err := a.Permute(fillPerm)
+	if err != nil {
+		return nil, err
+	}
+	po := etree.Build(a1).Postorder()
+	perm := fillPerm.Compose(po)
+	pa, err := a.Permute(perm)
+	if err != nil {
+		return nil, err
+	}
+	amalg := symbolic.DefaultAmalgamation()
+	if opts.Amalgamation != nil {
+		amalg = *opts.Amalgamation
+	}
+	sym, err := symbolic.Analyze(pa, amalg)
+	if err != nil {
+		return nil, err
+	}
+	part := blocks.NewPartition(sym, opts.BlockSize)
+	bs, err := blocks.Build(sym, part)
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, part.N())
+	for p := range depth {
+		depth[p] = sym.Depth[part.SnodeOf[p]]
+	}
+	return &Plan{
+		A:          a,
+		Perm:       perm,
+		PA:         pa,
+		Sym:        sym,
+		BS:         bs,
+		PanelDepth: depth,
+		Exact:      etree.FactorStats(sym.ColCounts),
+	}, nil
+}
+
+// Map builds a Cartesian-product block mapping with the given row/column
+// heuristics on the given processor grid.
+func (p *Plan) Map(g mapping.Grid, rowH, colH mapping.Heuristic) *mapping.Mapping {
+	return mapping.New(g, rowH, colH, p.BS, p.PanelDepth)
+}
+
+// Balances evaluates the paper's four load-balance measures for a mapping.
+func (p *Plan) Balances(m *mapping.Mapping) loadbal.Balances {
+	return loadbal.Compute(p.BS, m)
+}
+
+// Assign combines a 2-D mapping with (optionally) a domain/root split.
+// domainBeta ≤ 0 disables domains; the paper's configuration corresponds to
+// enabling them (≈2).
+func (p *Plan) Assign(m *mapping.Mapping, domainBeta float64) sched.Assignment {
+	a := sched.Assignment{Map: m}
+	if domainBeta > 0 {
+		a.Dom = domains.Select(p.Sym, p.BS, m.Grid.P(), domainBeta)
+	}
+	return a
+}
+
+// Factor runs the real parallel block fan-out factorization under the
+// assignment and returns the numeric factor. The factor keeps the
+// assignment's schedule, so SolveParallel can reuse the data distribution.
+func (p *Plan) Factor(a sched.Assignment) (*Factor, error) {
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, err
+	}
+	pr := sched.Build(p.BS, a)
+	if _, err := fanout.Run(nf, pr); err != nil {
+		return nil, err
+	}
+	return &Factor{plan: p, nf: nf, pr: pr}, nil
+}
+
+// FactorSequential factors on one processor (the paper's t_seq baseline).
+func (p *Plan) FactorSequential() (*Factor, error) {
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, err
+	}
+	if err := nf.FactorSequential(); err != nil {
+		return nil, err
+	}
+	return &Factor{plan: p, nf: nf}, nil
+}
+
+// Simulate runs the discrete-event multicomputer simulation of the fan-out
+// schedule under the assignment and machine model.
+func (p *Plan) Simulate(a sched.Assignment, cfg machine.Config) machine.Result {
+	return machine.Simulate(sched.Build(p.BS, a), cfg)
+}
+
+// CriticalPath returns the critical-path time bound (seconds) under the
+// machine model's per-op costs.
+func (p *Plan) CriticalPath(cfg machine.Config) float64 {
+	return critpath.Length(p.BS, cfg.FlopRate, cfg.OpOverhead)
+}
+
+// Factor is a computed Cholesky factor bound to its plan, able to solve
+// linear systems in the original (unpermuted) index space.
+type Factor struct {
+	plan *Plan
+	nf   *numeric.Factor
+	pr   *sched.Program // non-nil when the factor was computed in parallel
+}
+
+// Numeric exposes the underlying block factor.
+func (f *Factor) Numeric() *numeric.Factor { return f.nf }
+
+// Plan exposes the plan the factor was computed from.
+func (f *Factor) Plan() *Plan { return f.plan }
+
+// Solve solves A·x = b for the original matrix A.
+func (f *Factor) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.plan.A.N {
+		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), f.plan.A.N)
+	}
+	pb := f.plan.Perm.Apply(b)
+	px := f.nf.Solve(pb)
+	return f.plan.Perm.ApplyInverse(px), nil
+}
+
+// SolveParallel solves A·x = b using the distributed triangular solves
+// over the factorization's block ownership. The factor must have been
+// computed with Plan.Factor (a parallel assignment).
+func (f *Factor) SolveParallel(b []float64) ([]float64, error) {
+	if f.pr == nil {
+		return nil, fmt.Errorf("core: factor was computed sequentially; use Solve")
+	}
+	if len(b) != f.plan.A.N {
+		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), f.plan.A.N)
+	}
+	pb := f.plan.Perm.Apply(b)
+	px, err := fanout.Solve(f.nf, f.pr, pb)
+	if err != nil {
+		return nil, err
+	}
+	return f.plan.Perm.ApplyInverse(px), nil
+}
+
+// Residual returns ‖A·x − b‖∞ for a solution produced by Solve.
+func (f *Factor) Residual(x, b []float64) float64 {
+	return f.plan.A.ResidualNorm(x, b)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+)
+
+func refinedFixture(t *testing.T) *Factor {
+	t.Helper()
+	m := gen.IrregularMesh(150, 5, 3, 4)
+	plan, err := NewPlan(m, Options{Ordering: ord.MinDegree, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSolveMany(t *testing.T) {
+	f := refinedFixture(t)
+	n := f.plan.A.N
+	bs := make([][]float64, 3)
+	for k := range bs {
+		bs[k] = make([]float64, n)
+		for i := range bs[k] {
+			bs[k][i] = float64((i + k) % 7)
+		}
+	}
+	xs, err := f.SolveMany(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range xs {
+		if r := f.Residual(xs[k], bs[k]); r > 1e-8 {
+			t.Fatalf("rhs %d residual %g", k, r)
+		}
+	}
+	if _, err := f.SolveMany([][]float64{make([]float64, 3)}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestSolveRefinedConverges(t *testing.T) {
+	f := refinedFixture(t)
+	n := f.plan.A.N
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.7)
+	}
+	x, iters, resid, err := f.SolveRefined(b, 5, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid > 1e-12 {
+		t.Fatalf("refined residual %g after %d iters", resid, iters)
+	}
+	if r := f.Residual(x, b); r > 1e-12 {
+		t.Fatalf("verification residual %g", r)
+	}
+}
+
+func TestSolveRefinedZeroIters(t *testing.T) {
+	f := refinedFixture(t)
+	b := make([]float64, f.plan.A.N)
+	b[0] = 1
+	// A loose tolerance should be met immediately (0 refinement steps).
+	_, iters, _, err := f.SolveRefined(b, 8, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 0 {
+		t.Fatalf("took %d refinement steps for loose tolerance", iters)
+	}
+}

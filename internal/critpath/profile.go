@@ -1,0 +1,163 @@
+package critpath
+
+import (
+	"sort"
+
+	"blockfanout/internal/blocks"
+)
+
+// Profile characterizes the concurrency available in the block-operation
+// DAG under an ASAP (unlimited processors, free communication) schedule:
+// how many block operations run simultaneously over time. The paper's §5
+// uses this kind of analysis to argue that, while its problems "do not
+// admit a large surplus of concurrency, there should be enough to keep the
+// processors occupied".
+type Profile struct {
+	CriticalPath float64
+	MaxWidth     int     // peak number of concurrent operations
+	AvgWidth     float64 // time-averaged concurrency
+	// Curve samples the concurrency over [0, CriticalPath] at uniform
+	// steps (len(Curve) buckets, mean width per bucket).
+	Curve []float64
+}
+
+// ComputeProfile runs the ASAP schedule and returns the concurrency
+// profile with the given number of curve buckets.
+func ComputeProfile(bs *blocks.Structure, flopRate, opOverhead float64, buckets int) Profile {
+	if buckets < 1 {
+		buckets = 1
+	}
+	cost := func(flops int64) float64 {
+		return float64(flops)/flopRate + opOverhead
+	}
+
+	nb := 0
+	colBase := make([]int, bs.N()+1)
+	for j := 0; j < bs.N(); j++ {
+		colBase[j] = nb
+		nb += len(bs.Cols[j].Blocks)
+	}
+	colBase[bs.N()] = nb
+	idOf := func(i, j int) int {
+		col := &bs.Cols[j]
+		lo, hi := 0, len(col.Blocks)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if col.Blocks[mid].I < i {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return colBase[j] + lo
+	}
+
+	ready := make([]float64, nb)
+	lastMod := make([]float64, nb)
+
+	type interval struct{ start, end float64 }
+	var ops []interval
+	addOp := func(start, dur float64) float64 {
+		ops = append(ops, interval{start, start + dur})
+		return start + dur
+	}
+
+	var cp float64
+	for k := 0; k < bs.N(); k++ {
+		col := &bs.Cols[k]
+		wk := int64(bs.Part.Width(k))
+		diagID := colBase[k]
+		facFlops := wk * (wk + 1) * (2*wk + 1) / 6
+		ready[diagID] = addOp(lastMod[diagID], cost(facFlops))
+		if ready[diagID] > cp {
+			cp = ready[diagID]
+		}
+		for idx := 1; idx < len(col.Blocks); idx++ {
+			id := colBase[k] + idx
+			r := int64(len(col.Blocks[idx].Rows))
+			start := lastMod[id]
+			if ready[diagID] > start {
+				start = ready[diagID]
+			}
+			ready[id] = addOp(start, cost(r*wk*wk))
+			if ready[id] > cp {
+				cp = ready[id]
+			}
+		}
+		for jb := 1; jb < len(col.Blocks); jb++ {
+			cj := int64(len(col.Blocks[jb].Rows))
+			srcB := ready[colBase[k]+jb]
+			for ia := jb; ia < len(col.Blocks); ia++ {
+				ri := int64(len(col.Blocks[ia].Rows))
+				flops := 2 * ri * cj * wk
+				if ia == jb {
+					flops = ri * (ri + 1) * wk
+				}
+				start := ready[colBase[k]+ia]
+				if srcB > start {
+					start = srcB
+				}
+				fin := addOp(start, cost(flops))
+				dest := idOf(col.Blocks[ia].I, col.Blocks[jb].I)
+				if fin > lastMod[dest] {
+					lastMod[dest] = fin
+				}
+			}
+		}
+	}
+
+	p := Profile{CriticalPath: cp, Curve: make([]float64, buckets)}
+	if cp <= 0 {
+		return p
+	}
+	// Sweep: +1 at starts, −1 at ends, integrating width over time.
+	type event struct {
+		t     float64
+		delta int
+	}
+	evs := make([]event, 0, 2*len(ops))
+	for _, iv := range ops {
+		evs = append(evs, event{iv.start, 1}, event{iv.end, -1})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // ends before starts at ties
+	})
+	width := 0
+	prev := 0.0
+	var area float64
+	bucket := cp / float64(buckets)
+	for _, e := range evs {
+		if e.t > prev && width > 0 {
+			area += float64(width) * (e.t - prev)
+			// Spread into curve buckets.
+			b0 := int(prev / bucket)
+			b1 := int(e.t / bucket)
+			if b1 >= buckets {
+				b1 = buckets - 1
+			}
+			for b := b0; b <= b1; b++ {
+				lo := float64(b) * bucket
+				hi := lo + bucket
+				if prev > lo {
+					lo = prev
+				}
+				if e.t < hi {
+					hi = e.t
+				}
+				if hi > lo {
+					p.Curve[b] += float64(width) * (hi - lo) / bucket
+				}
+			}
+		}
+		prev = e.t
+		width += e.delta
+		if width > p.MaxWidth {
+			p.MaxWidth = width
+		}
+	}
+	p.AvgWidth = area / cp
+	return p
+}

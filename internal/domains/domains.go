@@ -1,0 +1,169 @@
+// Package domains implements the domain/root split of the block fan-out
+// method (§2.3): the matrix columns corresponding to disjoint subtrees of
+// the elimination tree form the domain portion, each subtree being assigned
+// wholly to one processor (a 1-D block-column mapping), while the remaining
+// root portion is mapped 2-D. Domains drastically reduce interprocessor
+// communication because all block operations whose destination lies in a
+// domain column are local to its owner.
+package domains
+
+import (
+	"sort"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/symbolic"
+)
+
+// Domains records a domain selection and its processor assignment.
+type Domains struct {
+	// PanelOwner maps each panel to its domain owner processor, or -1 if
+	// the panel belongs to the 2-D mapped root portion.
+	PanelOwner []int
+	// BaseLoad is the total block work of the domain panels owned by each
+	// processor (the per-processor base load on top of the 2-D portion).
+	BaseLoad []int64
+	// NDomains is the number of disjoint subtree domains selected.
+	NDomains int
+	// RootWork is the block work remaining in the 2-D mapped portion.
+	RootWork int64
+}
+
+// Select chooses domains by descending the supernode elimination forest:
+// starting from the forest roots, the heaviest candidate subtree is
+// repeatedly replaced by its children (its root moving to the 2-D mapped
+// root portion) until no domain exceeds totalWork/(beta·P) and there are at
+// least ceil(beta·P) domains (or nothing is left to split). The resulting
+// subtree domains are greedy bin-packed (LPT) onto the P processors.
+// beta ≈ 2 reproduces the paper's configuration; larger beta makes more,
+// smaller domains — better balance, less communication locality.
+func Select(st *symbolic.Structure, bs *blocks.Structure, p int, beta float64) *Domains {
+	ns := len(st.Snodes)
+	part := bs.Part
+	workJ := bs.WorkJ()
+
+	snWork := make([]int64, ns)
+	snPanels := make([][]int, ns)
+	for pn := 0; pn < part.N(); pn++ {
+		s := part.SnodeOf[pn]
+		snWork[s] += workJ[pn]
+		snPanels[s] = append(snPanels[s], pn)
+	}
+	subWork := append([]int64(nil), snWork...)
+	children := make([][]int, ns)
+	var roots []int
+	for s := 0; s < ns; s++ {
+		if par := st.Parent[s]; par >= 0 {
+			subWork[par] += subWork[s] // children precede parents
+			children[par] = append(children[par], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var total int64
+	for _, r := range roots {
+		total += subWork[r]
+	}
+	if beta <= 0 {
+		beta = 2
+	}
+	threshold := int64(float64(total) / (beta * float64(p)))
+	minDomains := int(beta*float64(p) + 0.999)
+
+	d := &Domains{
+		PanelOwner: make([]int, part.N()),
+		BaseLoad:   make([]int64, p),
+	}
+	for i := range d.PanelOwner {
+		d.PanelOwner[i] = -1
+	}
+
+	type domain struct {
+		root int
+		work int64
+	}
+	// Max-heap of candidate domains ordered by subtree work, seeded with
+	// the forest roots; pop-and-split until the stopping rule holds.
+	doms := make([]domain, 0, minDomains*2)
+	push := func(s int) {
+		doms = append(doms, domain{root: s, work: subWork[s]})
+		for i := len(doms) - 1; i > 0; {
+			up := (i - 1) / 2
+			if doms[up].work >= doms[i].work {
+				break
+			}
+			doms[up], doms[i] = doms[i], doms[up]
+			i = up
+		}
+	}
+	pop := func() domain {
+		top := doms[0]
+		last := len(doms) - 1
+		doms[0] = doms[last]
+		doms = doms[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(doms) && doms[l].work > doms[big].work {
+				big = l
+			}
+			if r < len(doms) && doms[r].work > doms[big].work {
+				big = r
+			}
+			if big == i {
+				break
+			}
+			doms[i], doms[big] = doms[big], doms[i]
+			i = big
+		}
+		return top
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	var final []domain
+	for len(doms) > 0 {
+		top := pop()
+		needSplit := top.work > threshold || len(doms)+len(final)+1 < minDomains
+		if needSplit && len(children[top.root]) > 0 {
+			for _, c := range children[top.root] {
+				push(c)
+			}
+			continue // top.root's own panels join the 2-D root portion
+		}
+		if top.work > threshold {
+			// Unsplittable but too large to live on one processor (e.g.
+			// a dense matrix's single supernode): leave it 2-D mapped.
+			continue
+		}
+		final = append(final, top)
+	}
+	doms = final
+	d.NDomains = len(doms)
+
+	// Greedy longest-processing-time packing.
+	sort.Slice(doms, func(a, b int) bool { return doms[a].work > doms[b].work })
+	var markPanels func(s, owner int)
+	markPanels = func(s, owner int) {
+		for _, pn := range snPanels[s] {
+			d.PanelOwner[pn] = owner
+		}
+		for _, c := range children[s] {
+			markPanels(c, owner)
+		}
+	}
+	for _, dom := range doms {
+		best := 0
+		for q := 1; q < p; q++ {
+			if d.BaseLoad[q] < d.BaseLoad[best] {
+				best = q
+			}
+		}
+		d.BaseLoad[best] += dom.work
+		markPanels(dom.root, best)
+	}
+	d.RootWork = bs.TotalWork
+	for _, l := range d.BaseLoad {
+		d.RootWork -= l
+	}
+	return d
+}

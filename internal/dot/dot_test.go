@@ -1,0 +1,67 @@
+package dot
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+)
+
+func TestSupernodeForest(t *testing.T) {
+	plan, err := core.NewPlan(gen.Grid2D(8), core.Options{Ordering: ord.NDGrid2D, GridDim: 8, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := SupernodeForest(&sb, plan.Sym); err != nil {
+		t.Fatal(err)
+	}
+	forest := sb.String()
+	if !strings.HasPrefix(forest, "digraph etree {") || !strings.HasSuffix(strings.TrimSpace(forest), "}") {
+		t.Fatalf("malformed DOT:\n%s", forest)
+	}
+	if nodes := strings.Count(forest, "[label=\"S"); nodes != len(plan.Sym.Snodes) {
+		t.Fatalf("nodes %d, want %d", nodes, len(plan.Sym.Snodes))
+	}
+	roots := 0
+	for _, p := range plan.Sym.Parent {
+		if p == -1 {
+			roots++
+		}
+	}
+	if edges := strings.Count(forest, " -> "); edges != len(plan.Sym.Snodes)-roots {
+		t.Fatalf("edges %d, want %d", edges, len(plan.Sym.Snodes)-roots)
+	}
+}
+
+func TestBlockColumnsEdgesForwardOnly(t *testing.T) {
+	plan, err := core.NewPlan(gen.IrregularMesh(150, 5, 3, 9), core.Options{Ordering: ord.MinDegree, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := BlockColumns(&sb, plan.BS); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "[label=") != plan.BS.N() {
+		t.Fatal("panel node count wrong")
+	}
+	edges := 0
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		var a, b int
+		if _, err := fmt.Sscanf(line, "c%d -> c%d;", &a, &b); err == nil {
+			edges++
+			if b <= a {
+				t.Fatalf("backward edge %d -> %d", a, b)
+			}
+		}
+	}
+	if edges == 0 {
+		t.Fatal("no dependency edges emitted")
+	}
+}

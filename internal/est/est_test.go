@@ -1,0 +1,92 @@
+package est
+
+import (
+	"math"
+	"testing"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sparse"
+)
+
+// diagMatrix builds diag(d).
+func diagMatrix(t *testing.T, d []float64) *sparse.Matrix {
+	t.Helper()
+	var ts []sparse.Triplet
+	for i, v := range d {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: v})
+	}
+	m, err := sparse.FromTriplets(len(d), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func solverFor(t *testing.T, m *sparse.Matrix) Solver {
+	t.Helper()
+	plan, err := core.NewPlan(m, core.Options{Ordering: ord.MinDegree, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Solve
+}
+
+func TestDiagonalEigenvalues(t *testing.T) {
+	d := []float64{2, 9, 5, 1.5, 7, 3, 4, 8, 6, 2.5}
+	m := diagMatrix(t, d)
+	hi, err := LargestEigenvalue(m, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hi-9) > 1e-6 {
+		t.Fatalf("λmax=%g, want 9", hi)
+	}
+	lo, err := SmallestEigenvalue(m, solverFor(t, m), 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1.5) > 1e-6 {
+		t.Fatalf("λmin=%g, want 1.5", lo)
+	}
+	cond, err := Cond2(m, solverFor(t, m), 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cond-6) > 1e-4 {
+		t.Fatalf("cond=%g, want 6", cond)
+	}
+}
+
+func TestGridLaplacianBounds(t *testing.T) {
+	// gen.Grid2D builds the GRAPH Laplacian plus identity, so its
+	// smallest eigenvalue is exactly 1 (constant eigenvector) and its
+	// largest is below 2·maxdegree + 1 = 9.
+	m := gen.Grid2D(12)
+	hi, err := LargestEigenvalue(m, 2000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= 5 || hi >= 9 {
+		t.Fatalf("λmax=%g outside (5,9)", hi)
+	}
+	lo, err := SmallestEigenvalue(m, solverFor(t, m), 2000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-1) > 1e-6 {
+		t.Fatalf("λmin=%g, want 1 (graph Laplacian + I)", lo)
+	}
+}
+
+func TestNoConvergence(t *testing.T) {
+	m := gen.Grid2D(10)
+	if _, err := LargestEigenvalue(m, 2, 1e-14); err == nil {
+		t.Fatal("expected ErrNoConvergence with 2 iterations")
+	}
+}

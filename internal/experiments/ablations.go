@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/symbolic"
+)
+
+// Amalgamation ablates the supernode amalgamation step the paper applies
+// (§2.2, citing Ashcraft & Grimes): without it, minimum-degree orderings
+// produce many tiny supernodes, which inflates the per-operation fixed
+// costs; with it, a bounded amount of explicit zero padding buys larger
+// blocks and faster simulated factorization.
+func Amalgamation(w io.Writer, cfg Config) error {
+	g := grid(cfg.P1)
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s %10s %10s\n",
+		"Matrix", "snodes(off)", "snodes(on)", "flops+%", "ops(off)", "ops(on)", "Mf gain")
+	for _, name := range []string{"BCSSTK15", "BCSSTK31", "CUBE30"} {
+		p, ok := gen.ByName(gen.Table1Suite(cfg.Scale), name)
+		if !ok {
+			return fmt.Errorf("experiments: %s missing", name)
+		}
+		build := func(amalg symbolic.AmalgamationConfig) (*core.Plan, error) {
+			opts := core.Options{BlockSize: cfg.B, GridDim: p.GridDim, Amalgamation: &amalg}
+			switch p.Hint {
+			case gen.HintNDGrid2D:
+				opts.Ordering = order.NDGrid2D
+			case gen.HintNDCube3D:
+				opts.Ordering = order.NDCube3D
+			default:
+				opts.Ordering = order.MinDegree
+			}
+			return core.NewPlan(p.Build(), opts)
+		}
+		off, err := build(symbolic.NoAmalgamation())
+		if err != nil {
+			return err
+		}
+		on, err := build(symbolic.DefaultAmalgamation())
+		if err != nil {
+			return err
+		}
+		sim := func(plan *core.Plan) float64 {
+			m := plan.Map(g, mapping.ID, mapping.CY)
+			res := plan.Simulate(plan.Assign(m, cfg.DomainBeta), cfg.Machine)
+			return res.Mflops(plan.Exact.Flops)
+		}
+		mfOff, mfOn := sim(off), sim(on)
+		fmt.Fprintf(w, "%-12s %10d %10d %9.1f%% %10d %10d %9.0f%%\n",
+			p.Name, len(off.Sym.Snodes), len(on.Sym.Snodes),
+			pct(float64(on.BS.TotalFlops), float64(off.BS.TotalFlops)),
+			off.BS.TotalOps, on.BS.TotalOps, pct(mfOn, mfOff))
+	}
+	return nil
+}
+
+// Domains ablates the domain/root split of §2.3 across the selection
+// parameter β: domains trade 2-D balance for locality, cutting remote
+// traffic (the paper's stated motivation) at little or no runtime cost.
+func Domains(w io.Writer, cfg Config) error {
+	g := grid(cfg.P1)
+	name := "GRID300"
+	p, ok := gen.ByName(gen.Table1Suite(cfg.Scale), name)
+	if !ok {
+		return fmt.Errorf("experiments: %s missing", name)
+	}
+	plan, err := PlanFor(p, cfg.Scale, cfg.B)
+	if err != nil {
+		return err
+	}
+	m := plan.Map(g, mapping.ID, mapping.CY)
+	fmt.Fprintf(w, "%s, P=%d, ID/CY mapping\n", name, g.P())
+	fmt.Fprintf(w, "%8s %10s %12s %14s %10s\n", "beta", "domains", "messages", "bytes", "Mflops")
+	for _, beta := range []float64{0, 1, 2, 4, 8} {
+		a := plan.Assign(m, beta)
+		pr := sched.Build(plan.BS, a)
+		res := machine.Simulate(pr, cfg.Machine)
+		nd := 0
+		if a.Dom != nil {
+			nd = a.Dom.NDomains
+		}
+		fmt.Fprintf(w, "%8.0f %10d %12d %14d %10.0f\n",
+			beta, nd, pr.TotalMessages, pr.TotalBytes, res.Mflops(plan.Exact.Flops))
+	}
+	return nil
+}

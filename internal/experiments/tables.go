@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/loadbal"
+	"blockfanout/internal/mapping"
+)
+
+// Table1 prints the benchmark matrix statistics (paper Table 1): equations,
+// off-diagonal nonzeros in L, and millions of operations to factor.
+func Table1(w io.Writer, cfg Config) error {
+	return statsTable(w, cfg, gen.Table1Suite(cfg.Scale))
+}
+
+// Table6 prints the large benchmark matrix statistics (paper Table 6).
+func Table6(w io.Writer, cfg Config) error {
+	return statsTable(w, cfg, gen.Table6Suite(cfg.Scale))
+}
+
+func statsTable(w io.Writer, cfg Config, suite []gen.Problem) error {
+	fmt.Fprintf(w, "%-12s %10s %14s %14s\n", "Name", "Equations", "NZ in L", "Ops (Million)")
+	for _, p := range suite {
+		plan, err := PlanFor(p, cfg.Scale, cfg.B)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if p.Analogue {
+			note = " (synthetic analogue)"
+		}
+		fmt.Fprintf(w, "%-12s %10d %14d %14.1f%s\n",
+			p.Name, plan.Exact.N, plan.Exact.NZinL, float64(plan.Exact.Flops)/1e6, note)
+	}
+	return nil
+}
+
+// Figure1 prints, per matrix and processor count, the overall balance and
+// the achieved (simulated) efficiency under the cyclic mapping — the two
+// series of the paper's Figure 1 (B=48, P=64 and 100).
+func Figure1(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "%-12s %6s %10s %12s\n", "Matrix", "P", "balance", "efficiency")
+	for _, p := range gen.Table1Suite(cfg.Scale) {
+		plan, err := PlanFor(p, cfg.Scale, cfg.B)
+		if err != nil {
+			return err
+		}
+		for _, procs := range []int{cfg.P1, cfg.P2} {
+			g := grid(procs)
+			m := mapping.Cyclic(g, plan.BS.N())
+			bal := loadbal.Compute(plan.BS, m).Overall
+			res := plan.Simulate(plan.Assign(m, cfg.DomainBeta), cfg.Machine)
+			fmt.Fprintf(w, "%-12s %6d %10.2f %12.2f\n", p.Name, procs, bal, res.Efficiency())
+		}
+	}
+	return nil
+}
+
+// Table2 prints the efficiency bounds due to row, column, and diagonal
+// imbalance for the 2-D cyclic mapping at P=64 (paper Table 2).
+func Table2(w io.Writer, cfg Config) error {
+	g := grid(cfg.P1)
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s\n", "Matrix", "Row bal.", "Col bal.", "Diag bal.", "Overall")
+	for _, p := range gen.Table1Suite(cfg.Scale) {
+		plan, err := PlanFor(p, cfg.Scale, cfg.B)
+		if err != nil {
+			return err
+		}
+		b := loadbal.Compute(plan.BS, mapping.Cyclic(g, plan.BS.N()))
+		fmt.Fprintf(w, "%-12s %9.2f %9.2f %9.2f %9.2f\n", p.Name, b.Row, b.Col, b.Diag, b.Overall)
+	}
+	return nil
+}
+
+// heuristicMap builds the CP mapping for a heuristic pair, treating CY
+// specially so it matches the paper's plain cyclic baseline.
+func heuristicMap(plan *core.Plan, g mapping.Grid, rowH, colH mapping.Heuristic) *mapping.Mapping {
+	return plan.Map(g, rowH, colH)
+}
+
+// Table3 prints the four balance measures for the BCSSTK31 analogue when
+// each heuristic is applied to both the rows and the columns (paper
+// Table 3, P=64, B=48).
+func Table3(w io.Writer, cfg Config) error {
+	p, ok := gen.ByName(gen.Table1Suite(cfg.Scale), "BCSSTK31")
+	if !ok {
+		return fmt.Errorf("experiments: BCSSTK31 missing from suite")
+	}
+	plan, err := PlanFor(p, cfg.Scale, cfg.B)
+	if err != nil {
+		return err
+	}
+	g := grid(cfg.P1)
+	fmt.Fprintf(w, "%-12s %9s %9s %9s %9s\n", "Heuristic", "Row bal.", "Col bal.", "Diag bal.", "Overall")
+	for _, h := range mapping.AllHeuristics() {
+		b := loadbal.Compute(plan.BS, heuristicMap(plan, g, h, h))
+		name := h.String()
+		if h == mapping.CY {
+			name = "Cyclic"
+		}
+		fmt.Fprintf(w, "%-12s %9.2f %9.2f %9.2f %9.2f\n", name, b.Row, b.Col, b.Diag, b.Overall)
+	}
+	return nil
+}
+
+// heuristic5x5 runs fn for every (row, col) heuristic pair and prints the
+// two P-value grids of mean percentage improvements over the pure cyclic
+// mapping, the layout of the paper's Tables 4 and 5.
+func heuristic5x5(w io.Writer, cfg Config, what string,
+	fn func(plan *core.Plan, g mapping.Grid, rowH, colH mapping.Heuristic) (float64, error)) error {
+
+	suite := gen.Table1Suite(cfg.Scale)
+	hs := mapping.AllHeuristics()
+	for _, procs := range []int{cfg.P1, cfg.P2} {
+		g := grid(procs)
+		fmt.Fprintf(w, "\nMean improvement in %s, P=%d (over %d matrices)\n", what, procs, len(suite))
+		fmt.Fprintf(w, "%-12s", "Row\\Col")
+		for _, ch := range hs {
+			fmt.Fprintf(w, "%8s", ch)
+		}
+		fmt.Fprintln(w)
+		// Baseline values per matrix.
+		base := make([]float64, len(suite))
+		plans := make([]*core.Plan, len(suite))
+		for i, p := range suite {
+			plan, err := PlanFor(p, cfg.Scale, cfg.B)
+			if err != nil {
+				return err
+			}
+			plans[i] = plan
+			v, err := fn(plan, g, mapping.CY, mapping.CY)
+			if err != nil {
+				return err
+			}
+			base[i] = v
+		}
+		for _, rh := range hs {
+			fmt.Fprintf(w, "%-12s", rh)
+			for _, ch := range hs {
+				if rh == mapping.CY && ch == mapping.CY {
+					fmt.Fprintf(w, "%7.0f%%", 0.0)
+					continue
+				}
+				mean := 0.0
+				for i := range suite {
+					v, err := fn(plans[i], g, rh, ch)
+					if err != nil {
+						return err
+					}
+					mean += pct(v, base[i])
+				}
+				fmt.Fprintf(w, "%7.0f%%", mean/float64(len(suite)))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// Table4 prints the mean improvement in overall balance for all 25
+// row/column heuristic combinations (paper Table 4).
+func Table4(w io.Writer, cfg Config) error {
+	return heuristic5x5(w, cfg, "overall balance",
+		func(plan *core.Plan, g mapping.Grid, rh, ch mapping.Heuristic) (float64, error) {
+			return loadbal.Compute(plan.BS, heuristicMap(plan, g, rh, ch)).Overall, nil
+		})
+}
+
+// Table5 prints the mean improvement in simulated parallel performance for
+// all 25 heuristic combinations (paper Table 5).
+func Table5(w io.Writer, cfg Config) error {
+	return heuristic5x5(w, cfg, "parallel performance",
+		func(plan *core.Plan, g mapping.Grid, rh, ch mapping.Heuristic) (float64, error) {
+			res := simulate(plan, g, rh, ch, cfg)
+			return mflops(plan, res), nil
+		})
+}
+
+// Table7 prints performance in Mflops for the large benchmark problems on
+// 144 and 196 processors using a cyclic mapping and using the paper's
+// chosen heuristic (Increasing Depth rows, cyclic columns), with the
+// percentage improvement (paper Table 7).
+func Table7(w io.Writer, cfg Config) error {
+	suite := gen.Table7Suite(cfg.Scale)
+	for _, procs := range []int{cfg.PL1, cfg.PL2} {
+		g := grid(procs)
+		fmt.Fprintf(w, "\nP = %d\n%-12s %12s %12s %12s\n", procs, "Matrix", "cyclic", "heuristic", "improvement")
+		for _, p := range suite {
+			plan, err := PlanFor(p, cfg.Scale, cfg.B)
+			if err != nil {
+				return err
+			}
+			cy := mflops(plan, simulate(plan, g, mapping.CY, mapping.CY, cfg))
+			he := mflops(plan, simulate(plan, g, mapping.ID, mapping.CY, cfg))
+			fmt.Fprintf(w, "%-12s %9.0f Mf %9.0f Mf %11.0f%%\n", p.Name, cy, he, pct(he, cy))
+		}
+	}
+	return nil
+}

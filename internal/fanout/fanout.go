@@ -1,0 +1,227 @@
+// Package fanout executes the parallel block fan-out method (§2.3) for
+// real: one goroutine per (virtual) processor, SPMD style, with buffered
+// channels as the message fabric. The method is entirely data-driven, as in
+// the paper: a processor acts on received blocks in arrival order, performs
+// every block operation whose destination it owns as soon as the operands
+// are available, and fans a completed block out to the processors that need
+// it.
+//
+// Within this shared-memory emulation a "message" carries only the block
+// id; the numeric payload lives in the shared numeric.Factor, which is safe
+// because a block's data is written exclusively by its owner before the
+// completion message is sent (the channel send/receive provides the
+// happens-before edge), and is read-only afterwards.
+package fanout
+
+import (
+	"fmt"
+	"sync"
+
+	"blockfanout/internal/numeric"
+	"blockfanout/internal/sched"
+)
+
+// Stats reports what the parallel run did.
+type Stats struct {
+	Messages int64 // remote block transfers
+	Bytes    int64 // remote bytes moved
+	Procs    int
+}
+
+// Run factors f in parallel according to the program's assignment. It
+// returns factorization statistics, or the first error encountered (e.g. a
+// non-positive-definite pivot).
+func Run(f *numeric.Factor, pr *sched.Program) (Stats, error) {
+	np := pr.NProc
+	// Owner-indexed shared state: each entry is touched only by the
+	// owning processor's goroutine, so no locking is needed.
+	modsLeft := append([]int32(nil), pr.NMods...)
+	diagReady := make([]bool, pr.NBlocks)
+	done := make([]bool, pr.NBlocks)
+
+	inboxes := make([]chan int32, np)
+	for p := 0; p < np; p++ {
+		inboxes[p] = make(chan int32, pr.IncomingRemote[p]+1)
+	}
+
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var firstErr error
+	var errMu sync.Mutex
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abortOnce.Do(func() { close(abort) })
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(np)
+	for p := 0; p < np; p++ {
+		go func(me int32) {
+			defer wg.Done()
+			runProc(me, f, pr, modsLeft, diagReady, done, inboxes, abort, fail)
+		}(int32(p))
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
+	return Stats{Messages: pr.TotalMessages, Bytes: pr.TotalBytes, Procs: np}, nil
+}
+
+// runProc is the SPMD body executed by every processor.
+func runProc(me int32, f *numeric.Factor, pr *sched.Program,
+	modsLeft []int32, diagReady, done []bool,
+	inboxes []chan int32, abort chan struct{}, fail func(error)) {
+
+	remaining := pr.OwnedCount[me]
+	if remaining == 0 {
+		return
+	}
+	arrived := make(map[int32]bool, remaining*2)
+	var local []int32
+	var relRow, relCol []int
+
+	failed := false
+
+	// complete marks an owned block finished and fans it out.
+	complete := func(id int32) {
+		done[id] = true
+		remaining--
+		for _, c := range pr.Consumers[id] {
+			if c == me {
+				local = append(local, id)
+			} else {
+				inboxes[c] <- id
+			}
+		}
+	}
+
+	// finish runs a block's own completing operation (BFAC or BDIV) once
+	// its modifications are done (and, for off-diagonal blocks, its
+	// diagonal block has arrived).
+	finish := func(id int32) {
+		k := int(pr.ColOf[id])
+		idx := int(pr.IdxOf[id])
+		if idx == 0 {
+			if err := f.BFAC(k); err != nil {
+				fail(err)
+				failed = true
+				return
+			}
+		} else {
+			f.BDIV(k, idx)
+		}
+		complete(id)
+	}
+
+	// execMod performs BMOD with column-k sources at block indices a and b
+	// (unordered) and decrements the destination's counter.
+	execMod := func(k, a, b int) {
+		colK := &pr.BS.Cols[k]
+		ia, jb := a, b
+		if colK.Blocks[ia].I < colK.Blocks[jb].I {
+			ia, jb = jb, ia
+		}
+		destI, destJ := colK.Blocks[ia].I, colK.Blocks[jb].I
+		var err error
+		relRow, relCol, err = f.BMOD(k, ia, jb, relRow, relCol)
+		if err != nil {
+			fail(err)
+			failed = true
+			return
+		}
+		dest := pr.FindID(destI, destJ)
+		modsLeft[dest]--
+		if modsLeft[dest] == 0 && !done[dest] {
+			if pr.IdxOf[dest] == 0 || diagReady[dest] {
+				finish(dest)
+			}
+		}
+	}
+
+	handle := func(id int32) {
+		if arrived[id] {
+			return
+		}
+		arrived[id] = true
+		k := int(pr.ColOf[id])
+		idx := int(pr.IdxOf[id])
+		colK := &pr.BS.Cols[k]
+		if idx == 0 {
+			// Factored diagonal block: enables BDIV of owned
+			// off-diagonal blocks in column k whose mods are done.
+			for j := 1; j < len(colK.Blocks); j++ {
+				bid := pr.BlockID(k, j)
+				if pr.Owner[bid] != me {
+					continue
+				}
+				diagReady[bid] = true
+				if modsLeft[bid] == 0 && !done[bid] {
+					finish(bid)
+					if failed {
+						return
+					}
+				}
+			}
+			return
+		}
+		// Completed off-diagonal block: pair with every available block
+		// of its column whose pairing destination this processor owns.
+		for j := 1; j < len(colK.Blocks); j++ {
+			other := pr.BlockID(k, j)
+			var destI, destJ int
+			if colK.Blocks[idx].I >= colK.Blocks[j].I {
+				destI, destJ = colK.Blocks[idx].I, colK.Blocks[j].I
+			} else {
+				destI, destJ = colK.Blocks[j].I, colK.Blocks[idx].I
+			}
+			if int32(me) != pr.Owner[pr.FindID(destI, destJ)] {
+				continue
+			}
+			if other == id || arrived[other] {
+				execMod(k, idx, j)
+				if failed {
+					return
+				}
+			}
+		}
+	}
+
+	// Seed: owned diagonal blocks with no pending modifications can be
+	// factored immediately.
+	for j := range pr.BS.Cols {
+		id := pr.BlockID(j, 0)
+		if pr.Owner[id] == me && pr.NMods[id] == 0 {
+			finish(id)
+			if failed {
+				return
+			}
+		}
+	}
+
+	for remaining > 0 && !failed {
+		var id int32
+		if len(local) > 0 {
+			id = local[len(local)-1]
+			local = local[:len(local)-1]
+		} else {
+			select {
+			case id = <-inboxes[me]:
+			case <-abort:
+				return
+			}
+		}
+		handle(id)
+	}
+	if failed {
+		return
+	}
+	if remaining != 0 {
+		fail(fmt.Errorf("fanout: processor %d stalled with %d blocks unfinished", me, remaining))
+	}
+}

@@ -1,0 +1,120 @@
+package fanout
+
+import (
+	"math"
+	"testing"
+
+	"blockfanout/internal/domains"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+)
+
+func TestParallelSolveMatchesSequential(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(260, 5, 3, 91), ord.MinDegree, 0, 8)
+	for _, g := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 3}, {Pr: 4, Pc: 4}} {
+		pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(g, bs.N())})
+		f, err := numeric.New(bs, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(f, pr); err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, pm.N)
+		for i := range b {
+			b[i] = math.Sin(float64(i) * 1.3)
+		}
+		want := f.Solve(b)
+		got, err := Solve(f, pr, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("grid %v: x[%d] = %g, want %g", g, i, got[i], want[i])
+			}
+		}
+		// And the residual against the permuted matrix must be tiny.
+		if r := pm.ResidualNorm(got, b); r > 1e-8 {
+			t.Fatalf("grid %v: residual %g", g, r)
+		}
+	}
+}
+
+func TestParallelSolveWithDomains(t *testing.T) {
+	st, bs, pm := setup(t, gen.Grid2D(16), ord.NDGrid2D, 16, 4)
+	g := mapping.Grid{Pr: 3, Pc: 3}
+	a := sched.Assignment{
+		Map: mapping.Cyclic(g, bs.N()),
+		Dom: domains.Select(st, bs, g.P(), 2),
+	}
+	pr := sched.Build(bs, a)
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(f, pr); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, pm.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := Solve(f, pr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pm.ResidualNorm(x, b); r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestParallelSolveRejectsBadRHS(t *testing.T) {
+	_, bs, pm := setup(t, gen.Grid2D(8), ord.NDGrid2D, 8, 4)
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(f, pr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(f, pr, make([]float64, 3)); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestParallelSolveRepeatable(t *testing.T) {
+	_, bs, pm := setup(t, gen.Cube3D(5), ord.NDCube3D, 5, 6)
+	g := mapping.Grid{Pr: 2, Pc: 2}
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(g, bs.N())})
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(f, pr); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, pm.N)
+	for i := range b {
+		b[i] = float64(i % 3)
+	}
+	x1, err := Solve(f, pr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		x2, err := Solve(f, pr, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-11*(1+math.Abs(x1[i])) {
+				t.Fatalf("trial %d: drift at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDense(t *testing.T) {
+	m := Dense(10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 55 {
+		t.Fatalf("nnz=%d, want 55", m.NNZ())
+	}
+	// Strict diagonal dominance → SPD.
+	for j := 0; j < m.N; j++ {
+		if m.Val[m.ColPtr[j]] <= float64(m.N) {
+			t.Fatalf("diagonal %d not dominant", j)
+		}
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	k := 5
+	m := Grid2D(k)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != k*k {
+		t.Fatalf("n=%d", m.N)
+	}
+	// 5-point stencil: edges = 2k(k-1); nnz lower = n + edges.
+	wantNNZ := k*k + 2*k*(k-1)
+	if m.NNZ() != wantNNZ {
+		t.Fatalf("nnz=%d, want %d", m.NNZ(), wantNNZ)
+	}
+	// Interior vertex degree 4, corner degree 2: check diagonal values
+	// (degree+1).
+	if got := m.At(0, 0); got != 3 {
+		t.Fatalf("corner diag=%g, want 3", got)
+	}
+	center := (k/2)*k + k/2
+	if got := m.At(center, center); got != 5 {
+		t.Fatalf("center diag=%g, want 5", got)
+	}
+	// Neighbours are adjacent.
+	if got := m.At(0, 1); got != -1 {
+		t.Fatalf("edge (0,1)=%g", got)
+	}
+	if got := m.At(0, k); got != -1 {
+		t.Fatalf("edge (0,k)=%g", got)
+	}
+	if got := m.At(0, 2); got != 0 {
+		t.Fatalf("non-edge (0,2)=%g", got)
+	}
+}
+
+func TestCube3DStructure(t *testing.T) {
+	k := 4
+	m := Cube3D(k)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != k*k*k {
+		t.Fatalf("n=%d", m.N)
+	}
+	wantNNZ := k*k*k + 3*k*k*(k-1)
+	if m.NNZ() != wantNNZ {
+		t.Fatalf("nnz=%d, want %d", m.NNZ(), wantNNZ)
+	}
+	if got := m.At(0, 0); got != 4 {
+		t.Fatalf("corner diag=%g, want 4 (degree 3 + 1)", got)
+	}
+}
+
+func TestIrregularMesh(t *testing.T) {
+	m := IrregularMesh(300, 6, 3, 42)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 300 {
+		t.Fatalf("n=%d", m.N)
+	}
+	// kNN graph: each vertex has at least k neighbours (sym closure can
+	// add more), so nnz lower ≥ n + n·k/2.
+	if m.NNZ() < 300+300*6/2 {
+		t.Fatalf("nnz=%d suspiciously low", m.NNZ())
+	}
+	// Deterministic for a fixed seed.
+	m2 := IrregularMesh(300, 6, 3, 42)
+	if m2.NNZ() != m.NNZ() {
+		t.Fatal("generator is not deterministic")
+	}
+	// Different seeds give different graphs.
+	m3 := IrregularMesh(300, 6, 3, 43)
+	same := m3.NNZ() == m.NNZ()
+	if same {
+		for p := range m.RowInd {
+			if m.RowInd[p] != m3.RowInd[p] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestIrregularMesh2D(t *testing.T) {
+	m := IrregularMesh(200, 5, 2, 7)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrregularMeshBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dim=4")
+		}
+	}()
+	IrregularMesh(10, 3, 4, 1)
+}
+
+func TestNormalEq(t *testing.T) {
+	m := NormalEq(150, 4, 3, 12, 9)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 150 {
+		t.Fatalf("n=%d", m.N)
+	}
+	if m.NNZ() <= 150 {
+		t.Fatal("no off-diagonal structure generated")
+	}
+}
+
+func TestLaplaciansAreDiagonallyDominant(t *testing.T) {
+	for name, m := range map[string]any{
+		"grid": Grid2D(6), "cube": Cube3D(3),
+		"mesh": IrregularMesh(120, 4, 3, 5), "lp": NormalEq(80, 3, 2, 8, 3),
+	} {
+		mm := m.(interface {
+			Dense() [][]float64
+		})
+		d := mm.Dense()
+		for i := range d {
+			sum := 0.0
+			for j := range d[i] {
+				if i != j {
+					if d[i][j] > 0 {
+						t.Fatalf("%s: positive off-diagonal at (%d,%d)", name, i, j)
+					}
+					sum += -d[i][j]
+				}
+			}
+			if d[i][i] <= sum {
+				t.Fatalf("%s: row %d not strictly dominant (%g vs %g)", name, i, d[i][i], sum)
+			}
+		}
+	}
+}
+
+func TestSuitesComplete(t *testing.T) {
+	for _, scale := range []Scale{ScaleCI, ScalePaper} {
+		t1 := Table1Suite(scale)
+		if len(t1) != 10 {
+			t.Fatalf("Table1Suite: %d problems, want 10", len(t1))
+		}
+		t6 := Table6Suite(scale)
+		if len(t6) != 4 {
+			t.Fatalf("Table6Suite: %d problems, want 4", len(t6))
+		}
+		t7 := Table7Suite(scale)
+		if len(t7) != 6 {
+			t.Fatalf("Table7Suite: %d problems, want 6", len(t7))
+		}
+		wantOrder := []string{"CUBE35", "CUBE40", "DENSE4096", "BCSSTK31", "COPTER2", "10FLEET"}
+		for i, p := range t7 {
+			if p.Name != wantOrder[i] {
+				t.Fatalf("Table7Suite[%d]=%s, want %s", i, p.Name, wantOrder[i])
+			}
+		}
+	}
+	// CI suite builds quickly and validates.
+	for _, p := range Table1Suite(ScaleCI) {
+		m := p.Build()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if p.Hint == HintNDGrid2D && p.GridDim*p.GridDim != m.N {
+			t.Fatalf("%s: grid dim mismatch", p.Name)
+		}
+		if p.Hint == HintNDCube3D && p.GridDim*p.GridDim*p.GridDim != m.N {
+			t.Fatalf("%s: cube dim mismatch", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	suite := Table1Suite(ScaleCI)
+	if _, ok := ByName(suite, "GRID150"); !ok {
+		t.Fatal("GRID150 not found")
+	}
+	if _, ok := ByName(suite, "NOPE"); ok {
+		t.Fatal("found nonexistent problem")
+	}
+}
+
+func TestOrderingHintString(t *testing.T) {
+	for h, want := range map[OrderingHint]string{
+		HintNone: "natural", HintNDGrid2D: "nested-dissection-2d",
+		HintNDCube3D: "nested-dissection-3d", HintMinDeg: "minimum-degree",
+	} {
+		if h.String() != want {
+			t.Fatalf("%d → %q, want %q", h, h.String(), want)
+		}
+	}
+}
+
+// Property: rng stream is deterministic and (crudely) uniform in [0,1).
+func TestQuickRNG(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := newRNG(seed), newRNG(seed)
+		for i := 0; i < 16; i++ {
+			x, y := a.float64(), b.float64()
+			if x != y || x < 0 || x >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid2D9(t *testing.T) {
+	k := 6
+	m := Grid2D9(k)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Interior vertex has degree 8 → diagonal 9.
+	center := (k/2)*k + k/2
+	if got := m.At(center, center); got != 9 {
+		t.Fatalf("center diag %g, want 9", got)
+	}
+	// Diagonal neighbour connected.
+	if got := m.At(0, k+1); got != -1 {
+		t.Fatalf("diagonal edge (0,%d)=%g", k+1, got)
+	}
+	// 9-point has more edges than 5-point on the same grid.
+	if m.NNZ() <= Grid2D(k).NNZ() {
+		t.Fatal("9-point not denser than 5-point")
+	}
+}
+
+func TestGridAniso(t *testing.T) {
+	m := GridAniso(7, 0.01)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// x-edge weight -1, y-edge weight -eps.
+	if got := m.At(0, 7); got != -1 {
+		t.Fatalf("x edge %g", got)
+	}
+	if got := m.At(0, 1); got != -0.01 {
+		t.Fatalf("y edge %g", got)
+	}
+	// Still SPD (diagonally dominant) — factor it.
+	d := m.Dense()
+	for i := range d {
+		sum := 0.0
+		for j := range d[i] {
+			if i != j {
+				sum += -d[i][j]
+			}
+		}
+		if d[i][i] <= sum {
+			t.Fatalf("row %d not dominant", i)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"fmt"
+
+	"blockfanout/internal/sparse"
+)
+
+// OrderingHint tells the planner which fill-reducing ordering the paper
+// applied to a benchmark problem.
+type OrderingHint int
+
+const (
+	// HintNone: the matrix is dense; no reordering is useful.
+	HintNone OrderingHint = iota
+	// HintNDGrid2D: geometric nested dissection on a k×k grid.
+	HintNDGrid2D
+	// HintNDCube3D: geometric nested dissection on a k×k×k grid.
+	HintNDCube3D
+	// HintMinDeg: multiple minimum degree (irregular problems).
+	HintMinDeg
+)
+
+func (h OrderingHint) String() string {
+	switch h {
+	case HintNone:
+		return "natural"
+	case HintNDGrid2D:
+		return "nested-dissection-2d"
+	case HintNDCube3D:
+		return "nested-dissection-3d"
+	case HintMinDeg:
+		return "minimum-degree"
+	}
+	return fmt.Sprintf("OrderingHint(%d)", int(h))
+}
+
+// Problem is one benchmark matrix: a name (the paper's name, with synthetic
+// analogues keeping the original name for cross-referencing), a lazily
+// built matrix, and the ordering the paper used for it.
+type Problem struct {
+	Name     string
+	Hint     OrderingHint
+	GridDim  int // k for grid/cube problems (0 otherwise)
+	Build    func() *sparse.Matrix
+	Analogue bool // true when the matrix is a synthetic stand-in
+}
+
+// Scale selects between the paper's matrix sizes and a reduced CI-friendly
+// suite with identical structure.
+type Scale int
+
+const (
+	// ScalePaper builds the paper's matrix sizes (minutes of CPU).
+	ScalePaper Scale = iota
+	// ScaleCI builds structurally identical but much smaller matrices
+	// (seconds of CPU); the default for tests and benchmarks.
+	ScaleCI
+)
+
+// Table1Suite returns the ten benchmark matrices of the paper's Table 1, in
+// the paper's order:
+//
+//	DENSE1024, DENSE2048, GRID150, GRID300, CUBE30, CUBE35,
+//	BCSSTK15, BCSSTK29, BCSSTK31, BCSSTK33
+//
+// The BCSSTK matrices are synthetic random-mesh analogues of the same
+// order (see package comment).
+func Table1Suite(s Scale) []Problem {
+	if s == ScaleCI {
+		return []Problem{
+			{Name: "DENSE1024", Hint: HintNone, Build: func() *sparse.Matrix { return Dense(192) }},
+			{Name: "DENSE2048", Hint: HintNone, Build: func() *sparse.Matrix { return Dense(256) }},
+			{Name: "GRID150", Hint: HintNDGrid2D, GridDim: 40, Build: func() *sparse.Matrix { return Grid2D(40) }},
+			{Name: "GRID300", Hint: HintNDGrid2D, GridDim: 56, Build: func() *sparse.Matrix { return Grid2D(56) }},
+			{Name: "CUBE30", Hint: HintNDCube3D, GridDim: 11, Build: func() *sparse.Matrix { return Cube3D(11) }},
+			{Name: "CUBE35", Hint: HintNDCube3D, GridDim: 13, Build: func() *sparse.Matrix { return Cube3D(13) }},
+			{Name: "BCSSTK15", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(900, 9, 3, 15) }},
+			{Name: "BCSSTK29", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(1400, 8, 3, 29) }},
+			{Name: "BCSSTK31", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(2200, 9, 3, 31) }},
+			{Name: "BCSSTK33", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(1100, 12, 3, 33) }},
+		}
+	}
+	return []Problem{
+		{Name: "DENSE1024", Hint: HintNone, Build: func() *sparse.Matrix { return Dense(1024) }},
+		{Name: "DENSE2048", Hint: HintNone, Build: func() *sparse.Matrix { return Dense(2048) }},
+		{Name: "GRID150", Hint: HintNDGrid2D, GridDim: 150, Build: func() *sparse.Matrix { return Grid2D(150) }},
+		{Name: "GRID300", Hint: HintNDGrid2D, GridDim: 300, Build: func() *sparse.Matrix { return Grid2D(300) }},
+		{Name: "CUBE30", Hint: HintNDCube3D, GridDim: 30, Build: func() *sparse.Matrix { return Cube3D(30) }},
+		{Name: "CUBE35", Hint: HintNDCube3D, GridDim: 35, Build: func() *sparse.Matrix { return Cube3D(35) }},
+		{Name: "BCSSTK15", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(3948, 16, 3, 15) }},
+		{Name: "BCSSTK29", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(13992, 8, 3, 29) }},
+		{Name: "BCSSTK31", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(35588, 7, 3, 31) }},
+		{Name: "BCSSTK33", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(8738, 16, 3, 33) }},
+	}
+}
+
+// Table6Suite returns the paper's larger benchmark set (Table 6):
+// DENSE4096, CUBE40, COPTER2, 10FLEET. COPTER2 and 10FLEET are synthetic
+// analogues (random mesh and LP normal equations respectively).
+func Table6Suite(s Scale) []Problem {
+	if s == ScaleCI {
+		return []Problem{
+			{Name: "DENSE4096", Hint: HintNone, Build: func() *sparse.Matrix { return Dense(320) }},
+			{Name: "CUBE40", Hint: HintNDCube3D, GridDim: 14, Build: func() *sparse.Matrix { return Cube3D(14) }},
+			{Name: "COPTER2", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(2600, 8, 3, 57) }},
+			{Name: "10FLEET", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return NormalEq(700, 5, 6, 24, 10) }},
+		}
+	}
+	return []Problem{
+		{Name: "DENSE4096", Hint: HintNone, Build: func() *sparse.Matrix { return Dense(4096) }},
+		{Name: "CUBE40", Hint: HintNDCube3D, GridDim: 40, Build: func() *sparse.Matrix { return Cube3D(40) }},
+		{Name: "COPTER2", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return IrregularMesh(55476, 8, 3, 57) }},
+		{Name: "10FLEET", Hint: HintMinDeg, Analogue: true, Build: func() *sparse.Matrix { return NormalEq(11222, 5, 24, 48, 10) }},
+	}
+}
+
+// Table7Suite returns the six matrices of the paper's Table 7: the Table 6
+// set plus CUBE35 and BCSSTK31 from Table 1, in the paper's row order.
+func Table7Suite(s Scale) []Problem {
+	t1 := Table1Suite(s)
+	t6 := Table6Suite(s)
+	return []Problem{
+		t1[5], // CUBE35
+		t6[1], // CUBE40
+		t6[0], // DENSE4096
+		t1[8], // BCSSTK31
+		t6[2], // COPTER2
+		t6[3], // 10FLEET
+	}
+}
+
+// ByName looks a problem up in the given suite; ok reports whether found.
+func ByName(suite []Problem, name string) (Problem, bool) {
+	for _, p := range suite {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Problem{}, false
+}

@@ -1,0 +1,24 @@
+package hb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the Harwell-Boeing
+// parser and that anything it accepts is a structurally valid matrix.
+func FuzzRead(f *testing.F) {
+	f.Add(tinyRSA)
+	f.Add(tinyPSA)
+	f.Add("")
+	f.Add("X\n0 0 0 0 0\nRSA 1 1 0 0\n(1I1) (1I1) (1E8.1)\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v\ninput: %q", err, in)
+		}
+	})
+}

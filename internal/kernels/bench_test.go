@@ -1,0 +1,72 @@
+package kernels
+
+import "testing"
+
+// Kernel micro-benchmarks at the paper's block size (B=48): these are the
+// operations the paper implements with hand-optimized Level-3 BLAS, so
+// their throughput sets the library's single-node "machine rate".
+
+func benchBlocks(w, r int) (l, x, a, b, c []float64, relRow, relCol []int) {
+	l = spd(w, 1)
+	if err := Cholesky(l, w); err != nil {
+		panic(err)
+	}
+	x = make([]float64, r*w)
+	a = make([]float64, r*w)
+	b = make([]float64, r*w)
+	c = make([]float64, r*r)
+	for i := range x {
+		x[i] = float64(i%13) - 6
+		a[i] = float64(i%7) - 3
+		b[i] = float64(i%11) - 5
+	}
+	relRow = make([]int, r)
+	relCol = make([]int, r)
+	for i := 0; i < r; i++ {
+		relRow[i] = i
+		relCol[i] = i
+	}
+	return
+}
+
+func BenchmarkCholesky48(bb *testing.B) {
+	w := 48
+	src := spd(w, 2)
+	dst := make([]float64, w*w)
+	bb.SetBytes(int64(w * w * 8))
+	for i := 0; i < bb.N; i++ {
+		copy(dst, src)
+		if err := Cholesky(dst, w); err != nil {
+			bb.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveRight48x48(bb *testing.B) {
+	w, r := 48, 48
+	l, x, _, _, _, _, _ := benchBlocks(w, r)
+	work := make([]float64, len(x))
+	bb.SetBytes(int64(r * w * 8))
+	for i := 0; i < bb.N; i++ {
+		copy(work, x)
+		SolveRight(work, r, l, w)
+	}
+}
+
+func BenchmarkMulSub48(bb *testing.B) {
+	w, r := 48, 48
+	_, _, a, b, c, relRow, relCol := benchBlocks(w, r)
+	flops := int64(2 * r * r * w)
+	bb.SetBytes(flops) // report "bytes" as flops for ns/flop reading
+	for i := 0; i < bb.N; i++ {
+		MulSub(c, r, a, r, b, r, w, relRow, relCol, false, nil, nil)
+	}
+}
+
+func BenchmarkMulSubSmall8(bb *testing.B) {
+	w, r := 8, 8
+	_, _, a, b, c, relRow, relCol := benchBlocks(w, r)
+	for i := 0; i < bb.N; i++ {
+		MulSub(c, r, a, r, b, r, w, relRow, relCol, false, nil, nil)
+	}
+}

@@ -1,0 +1,126 @@
+// Package kernels implements the three dense block primitives of the block
+// fan-out method (§2.1) on the packed block formats used by the factor:
+//
+//	BFAC: Cholesky factorization of a dense diagonal block
+//	BDIV: right triangular solve  L_IK ← L_IK · L_KK⁻ᵀ
+//	BMOD: indexed outer-product update  L_IJ ← L_IJ − L_IK · L_JKᵀ
+//
+// The paper uses hand-optimized Level-3 BLAS for BDIV (triangular solve
+// with multiple right-hand sides) and BMOD (matrix multiplication); these
+// pure-Go kernels perform the identical arithmetic.
+//
+// Storage conventions: a diagonal block of panel width w is a full w×w
+// row-major matrix of which only the lower triangle is meaningful; an
+// off-diagonal block with r dense rows is an r×w row-major matrix whose
+// row s corresponds to global row Rows[s].
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when a pivot is not
+// strictly positive.
+var ErrNotPositiveDefinite = errors.New("kernels: matrix is not positive definite")
+
+// Cholesky factors the lower triangle of the w×w row-major matrix a in
+// place: on return the lower triangle holds L with a = L·Lᵀ. The strict
+// upper triangle is ignored and left untouched.
+func Cholesky(a []float64, w int) error {
+	if len(a) < w*w {
+		return fmt.Errorf("kernels: Cholesky buffer %d < %d", len(a), w*w)
+	}
+	for k := 0; k < w; k++ {
+		d := a[k*w+k]
+		for t := 0; t < k; t++ {
+			v := a[k*w+t]
+			d -= v * v
+		}
+		if d <= 0 {
+			return ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		a[k*w+k] = d
+		inv := 1 / d
+		for i := k + 1; i < w; i++ {
+			s := a[i*w+k]
+			ai := a[i*w:]
+			ak := a[k*w:]
+			for t := 0; t < k; t++ {
+				s -= ai[t] * ak[t]
+			}
+			a[i*w+k] = s * inv
+		}
+	}
+	return nil
+}
+
+// SolveRight performs the BDIV operation: X ← X · L⁻ᵀ where X is r×w
+// row-major and L is the w×w lower-triangular factor of the diagonal block.
+// Each row x of X is replaced by the solution y of y·Lᵀ = x.
+func SolveRight(x []float64, r int, l []float64, w int) {
+	for s := 0; s < r; s++ {
+		row := x[s*w : s*w+w]
+		for j := 0; j < w; j++ {
+			v := row[j]
+			lj := l[j*w:]
+			for t := 0; t < j; t++ {
+				v -= row[t] * lj[t]
+			}
+			row[j] = v / lj[j]
+		}
+	}
+}
+
+// MulSub performs the BMOD update C ← C − A·Bᵀ with index indirection:
+// A is ra×w, B is rb×w, C is the destination block with leading dimension
+// ldc, and entry (s,t) of the product lands at C[relRow[s]*ldc + relCol[t]].
+//
+// When the destination is a diagonal block the caller must pass lower=true
+// together with the global row/column indices so only the lower triangle is
+// updated.
+func MulSub(c []float64, ldc int, a []float64, ra int, b []float64, rb int, w int,
+	relRow, relCol []int, lower bool, rowsA, rowsB []int) {
+	for s := 0; s < ra; s++ {
+		as := a[s*w : s*w+w]
+		crow := c[relRow[s]*ldc:]
+		for t := 0; t < rb; t++ {
+			if lower && rowsA[s] < rowsB[t] {
+				continue
+			}
+			bt := b[t*w : t*w+w]
+			var sum float64
+			for k := 0; k < w; k++ {
+				sum += as[k] * bt[k]
+			}
+			crow[relCol[t]] -= sum
+		}
+	}
+}
+
+// ForwardSolveDiag solves L·y = b in place for the lower-triangular w×w
+// diagonal block (b overwritten by y).
+func ForwardSolveDiag(l []float64, w int, b []float64) {
+	for j := 0; j < w; j++ {
+		lj := l[j*w:]
+		v := b[j]
+		for t := 0; t < j; t++ {
+			v -= lj[t] * b[t]
+		}
+		b[j] = v / lj[j]
+	}
+}
+
+// BackSolveDiag solves Lᵀ·y = b in place for the lower-triangular w×w
+// diagonal block.
+func BackSolveDiag(l []float64, w int, b []float64) {
+	for j := w - 1; j >= 0; j-- {
+		v := b[j]
+		for t := j + 1; t < w; t++ {
+			v -= l[t*w+j] * b[t]
+		}
+		b[j] = v / l[j*w+j]
+	}
+}

@@ -1,0 +1,181 @@
+// Package leftlooking implements a sequential left-looking supernodal
+// Cholesky factorization: each supernode panel gathers (pulls) the updates
+// of all earlier supernodes whose structure reaches into its columns, then
+// factors its pivot block densely. Together with the right-looking block
+// fan-out (packages numeric/fanout), the up-looking row algorithm
+// (refchol), and the multifrontal method, this completes the set of
+// classical organizations the authors compare in their earlier work
+// [Rothberg & Gupta 1991] — and provides a fourth independent
+// cross-validation of the factor values.
+package leftlooking
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"blockfanout/internal/refchol"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+// ErrNotPositiveDefinite reports a non-positive pivot.
+var ErrNotPositiveDefinite = errors.New("leftlooking: matrix is not positive definite")
+
+// Compute factors the permuted, postordered matrix a (analysis st) and
+// returns the factor in the shared column-compressed container.
+func Compute(a *sparse.Matrix, st *symbolic.Structure) (*refchol.Factor, error) {
+	if a.N != st.N {
+		return nil, fmt.Errorf("leftlooking: matrix n=%d vs analysis n=%d", a.N, st.N)
+	}
+	ns := len(st.Snodes)
+
+	// Panel storage per supernode: rows = cols(S) ++ Rows(S) (ascending),
+	// width = |cols(S)|; row-major (rows × width).
+	panels := make([][]float64, ns)
+	rowsOf := make([][]int, ns) // full local row index list (global labels)
+	for s, sn := range st.Snodes {
+		r := sn.Width + len(st.Rows[s])
+		panels[s] = make([]float64, r*sn.Width)
+		idx := make([]int, r)
+		for t := 0; t < sn.Width; t++ {
+			idx[t] = sn.First + t
+		}
+		copy(idx[sn.Width:], st.Rows[s])
+		rowsOf[s] = idx
+	}
+
+	// Scatter A.
+	for s, sn := range st.Snodes {
+		idx := rowsOf[s]
+		w := sn.Width
+		for t := 0; t < w; t++ {
+			j := sn.First + t
+			for q := a.ColPtr[j]; q < a.ColPtr[j+1]; q++ {
+				g := a.RowInd[q]
+				li := localIndex(idx, g)
+				if li < 0 {
+					return nil, fmt.Errorf("leftlooking: A(%d,%d) outside structure", g, j)
+				}
+				panels[s][li*w+t] += a.Val[q]
+			}
+		}
+	}
+
+	// updaters[S] lists the earlier supernodes whose row structure enters
+	// S's column range, with the position where it enters.
+	type upd struct {
+		src int
+		lo  int // first index in Rows(src) with row ≥ first(S)
+	}
+	updaters := make([][]upd, ns)
+	for d := 0; d < ns; d++ {
+		rows := st.Rows[d]
+		for lo := 0; lo < len(rows); {
+			s := st.SnodeOf[rows[lo]]
+			updaters[s] = append(updaters[s], upd{src: d, lo: lo})
+			last := st.Snodes[s].Last()
+			hi := lo + 1
+			for hi < len(rows) && rows[hi] <= last {
+				hi++
+			}
+			lo = hi
+		}
+	}
+
+	for s, sn := range st.Snodes {
+		w := sn.Width
+		idx := rowsOf[s]
+		panel := panels[s]
+		// Pull updates.
+		for _, u := range updaters[s] {
+			dn := st.Snodes[u.src]
+			wD := dn.Width
+			drows := st.Rows[u.src]
+			dpanel := panels[u.src]
+			// Split the source rows: [u.lo, mid) fall inside S's columns
+			// (they index S's columns); [u.lo, end) are the target rows.
+			mid := u.lo
+			for mid < len(drows) && drows[mid] <= sn.Last() {
+				mid++
+			}
+			// Local positions of the target rows within S's panel.
+			for i := u.lo; i < len(drows); i++ {
+				gi := drows[i]
+				li := localIndex(idx, gi)
+				if li < 0 {
+					return nil, fmt.Errorf("leftlooking: update row %d of supernode %d missing from %d", gi, u.src, s)
+				}
+				// Row gi of the source panel (offset by the diagonal
+				// block): position wD + i in the source panel rows.
+				srcI := dpanel[(wD+i)*wD : (wD+i+1)*wD]
+				for j := u.lo; j < mid && drows[j] <= gi; j++ {
+					lc := drows[j] - sn.First
+					srcJ := dpanel[(wD+j)*wD : (wD+j+1)*wD]
+					var sum float64
+					for k := 0; k < wD; k++ {
+						sum += srcI[k] * srcJ[k]
+					}
+					panel[li*w+lc] -= sum
+				}
+			}
+		}
+		// Dense partial factorization of the panel: Cholesky of the w×w
+		// leading block, then the triangular solve for the below rows.
+		r := len(idx)
+		for k := 0; k < w; k++ {
+			d := panel[k*w+k]
+			for t := 0; t < k; t++ {
+				v := panel[k*w+t]
+				d -= v * v
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("%w (column %d)", ErrNotPositiveDefinite, sn.First+k)
+			}
+			d = math.Sqrt(d)
+			panel[k*w+k] = d
+			inv := 1 / d
+			for i := k + 1; i < r; i++ {
+				v := panel[i*w+k]
+				for t := 0; t < k; t++ {
+					v -= panel[i*w+t] * panel[k*w+t]
+				}
+				panel[i*w+k] = v * inv
+			}
+		}
+	}
+
+	// Harvest into the column-compressed container.
+	f := &refchol.Factor{
+		N:    st.N,
+		Diag: make([]float64, st.N),
+		Rows: make([][]int32, st.N),
+		Vals: make([][]float64, st.N),
+	}
+	for s, sn := range st.Snodes {
+		w := sn.Width
+		idx := rowsOf[s]
+		panel := panels[s]
+		for t := 0; t < w; t++ {
+			j := sn.First + t
+			f.Diag[j] = panel[t*w+t]
+			cnt := len(idx) - t - 1
+			f.Rows[j] = make([]int32, cnt)
+			f.Vals[j] = make([]float64, cnt)
+			for u := t + 1; u < len(idx); u++ {
+				f.Rows[j][u-t-1] = int32(idx[u])
+				f.Vals[j][u-t-1] = panel[u*w+t]
+			}
+		}
+	}
+	return f, nil
+}
+
+func localIndex(idx []int, g int) int {
+	k := sort.SearchInts(idx, g)
+	if k < len(idx) && idx[k] == g {
+		return k
+	}
+	return -1
+}

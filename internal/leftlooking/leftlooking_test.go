@@ -1,0 +1,128 @@
+package leftlooking
+
+import (
+	"math"
+	"testing"
+
+	"blockfanout/internal/etree"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/refchol"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+func prep(t *testing.T, m *sparse.Matrix, method ord.Method, gridDim int,
+	amalg symbolic.AmalgamationConfig) (*sparse.Matrix, *symbolic.Structure) {
+	t.Helper()
+	p, err := ord.Compute(method, m, gridDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := m.Permute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := etree.Build(m1).Postorder()
+	m2, err := m1.Permute(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := symbolic.Analyze(m2, amalg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m2, st
+}
+
+func TestMatchesReference(t *testing.T) {
+	for name, mtx := range map[string]*sparse.Matrix{
+		"mesh":  gen.IrregularMesh(220, 5, 3, 3),
+		"grid":  gen.Grid2D(11),
+		"dense": gen.Dense(25),
+	} {
+		method, gd := ord.MinDegree, 0
+		if name == "grid" {
+			method, gd = ord.NDGrid2D, 11
+		}
+		if name == "dense" {
+			method = ord.Natural
+		}
+		m, st := prep(t, mtx, method, gd, symbolic.NoAmalgamation())
+		ll, err := Compute(m, st)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ref, err := refchol.Compute(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < m.N; j++ {
+			if math.Abs(ll.Diag[j]-ref.Diag[j]) > 1e-9*(1+ref.Diag[j]) {
+				t.Fatalf("%s: diag %d: %g vs %g", name, j, ll.Diag[j], ref.Diag[j])
+			}
+			for q, r := range ll.Rows[j] {
+				want := ref.At(int(r), j)
+				if math.Abs(ll.Vals[j][q]-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%s: L(%d,%d): %g vs %g", name, r, j, ll.Vals[j][q], want)
+				}
+			}
+		}
+	}
+}
+
+func TestWithAmalgamationSolves(t *testing.T) {
+	m, st := prep(t, gen.IrregularMesh(260, 5, 3, 29), ord.MinDegree, 0, symbolic.DefaultAmalgamation())
+	f, err := Compute(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := f.Solve(b)
+	if r := m.ResidualNorm(x, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestNotPositiveDefinite(t *testing.T) {
+	m, st := prep(t, gen.Grid2D(6), ord.NDGrid2D, 6, symbolic.NoAmalgamation())
+	m.Val[m.ColPtr[20]] = -4
+	if _, err := Compute(m, st); err == nil {
+		t.Fatal("indefinite accepted")
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	_, st := prep(t, gen.Grid2D(6), ord.NDGrid2D, 6, symbolic.NoAmalgamation())
+	if _, err := Compute(gen.Grid2D(7), st); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+// TestFourWayAgreement factors the same matrix with all four independent
+// organizations implemented in this repository and checks they agree.
+func TestFourWayAgreement(t *testing.T) {
+	m, st := prep(t, gen.IrregularMesh(180, 6, 3, 55), ord.MinDegree, 0, symbolic.NoAmalgamation())
+	ll, err := Compute(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := refchol.Compute(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.9)
+	}
+	x1 := ll.Solve(b)
+	x2 := up.Solve(b)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-9*(1+math.Abs(x2[i])) {
+			t.Fatalf("left-looking vs up-looking solutions differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package loadbal evaluates the paper's load-balance measures (§3.2) for a
+// block structure under a given mapping:
+//
+//	overall balance  = work_total / (P · work_max)
+//	row balance      = work_total / (P · workrowmax),
+//	                   workrowmax = max_r Σ_{I: mapI[I]=r} workI[I] / Pc
+//	column balance   = analogous over processor columns
+//	diagonal balance = work_total / (P · workdiagmax),
+//	                   workdiagmax = max_d Σ_{(I,J)∈D_d} work[I,J] / Pc,
+//	                   D_d = {(I,J): (mapI[I]−mapJ[J]) mod Pr = d}
+//
+// Overall balance is an upper bound on achievable parallel efficiency; the
+// row/column/diagonal balances isolate the contribution of work skew across
+// processor rows, columns, and generalized diagonals.
+package loadbal
+
+import (
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/mapping"
+)
+
+// Balances holds the four efficiency bounds of the paper's Tables 2 and 3.
+type Balances struct {
+	Overall, Row, Col, Diag float64
+}
+
+// ProcLoads returns the work assigned to each processor under the mapping.
+// baseLoad, if non-nil, seeds each processor with additional work (used for
+// the 1-D mapped domain portion); it is not modified.
+func ProcLoads(bs *blocks.Structure, m *mapping.Mapping, baseLoad []int64) []int64 {
+	loads := make([]int64, m.Grid.P())
+	copy(loads, baseLoad)
+	for j := range bs.Cols {
+		for bi := range bs.Cols[j].Blocks {
+			b := &bs.Cols[j].Blocks[bi]
+			loads[m.Owner(b.I, j)] += b.Work
+		}
+	}
+	return loads
+}
+
+// Compute evaluates all four balance measures.
+func Compute(bs *blocks.Structure, m *mapping.Mapping) Balances {
+	g := m.Grid
+	p := g.P()
+	total := bs.TotalWork
+
+	procLoad := make([]int64, p)
+	rowLoad := make([]int64, g.Pr)
+	colLoad := make([]int64, g.Pc)
+	diagLoad := make([]int64, g.Pr)
+	for j := range bs.Cols {
+		c := m.MapJ[j]
+		for bi := range bs.Cols[j].Blocks {
+			b := &bs.Cols[j].Blocks[bi]
+			r := m.MapI[b.I]
+			procLoad[g.ProcID(r, c)] += b.Work
+			rowLoad[r] += b.Work
+			colLoad[c] += b.Work
+			d := (r - c) % g.Pr
+			if d < 0 {
+				d += g.Pr
+			}
+			diagLoad[d] += b.Work
+		}
+	}
+	maxOf := func(xs []int64) int64 {
+		var mx int64
+		for _, x := range xs {
+			if x > mx {
+				mx = x
+			}
+		}
+		return mx
+	}
+	ratio := func(denom float64) float64 {
+		if denom <= 0 {
+			return 1
+		}
+		v := float64(total) / denom
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+	fp := float64(p)
+	return Balances{
+		Overall: ratio(fp * float64(maxOf(procLoad))),
+		Row:     ratio(fp * float64(maxOf(rowLoad)) / float64(g.Pc)),
+		Col:     ratio(fp * float64(maxOf(colLoad)) / float64(g.Pr)),
+		Diag:    ratio(fp * float64(maxOf(diagLoad)) / float64(g.Pc)),
+	}
+}
+
+// OverallOf computes the overall balance for an arbitrary block-ownership
+// function (used for the §2.4 general mappings, which have no row/column
+// structure for the directional measures to apply to).
+func OverallOf(bs *blocks.Structure, p int, owner func(i, j int) int) float64 {
+	loads := make([]int64, p)
+	for j := range bs.Cols {
+		for bi := range bs.Cols[j].Blocks {
+			b := &bs.Cols[j].Blocks[bi]
+			loads[owner(b.I, j)] += b.Work
+		}
+	}
+	var mx int64
+	for _, l := range loads {
+		if l > mx {
+			mx = l
+		}
+	}
+	if mx == 0 {
+		return 1
+	}
+	v := float64(bs.TotalWork) / (float64(p) * float64(mx))
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// OverallWithBase computes the overall balance when each processor carries
+// an extra base load (the 1-D mapped domain work): total work is the block
+// work plus the summed base loads.
+func OverallWithBase(bs *blocks.Structure, m *mapping.Mapping, baseLoad []int64) float64 {
+	loads := ProcLoads(bs, m, baseLoad)
+	total := bs.TotalWork
+	for _, b := range baseLoad {
+		total += b
+	}
+	var mx int64
+	for _, l := range loads {
+		if l > mx {
+			mx = l
+		}
+	}
+	if mx == 0 {
+		return 1
+	}
+	v := float64(total) / (float64(len(loads)) * float64(mx))
+	if v > 1 {
+		v = 1
+	}
+	return v
+}

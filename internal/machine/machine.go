@@ -1,0 +1,370 @@
+// Package machine is a discrete-event simulator of a distributed-memory
+// multicomputer running the block fan-out method. It executes exactly the
+// same data-driven protocol as the real parallel executor (package fanout)
+// — same ownership, same dependencies, same fan-out messages — but in
+// virtual time under a configurable machine model, standing in for the
+// 196-node Intel Paragon of the paper (see DESIGN.md, substitutions).
+//
+// The machine model charges each block operation its flop time plus a fixed
+// per-operation overhead (the paper's one-thousand-op fixed cost), each
+// message a sender/receiver CPU overhead, and delivers messages after a
+// latency plus size/bandwidth delay. Processors act on received blocks in
+// arrival order, as the paper's code does.
+package machine
+
+import (
+	"container/heap"
+
+	"blockfanout/internal/sched"
+)
+
+// Config is the machine model. The Paragon defaults follow §3.1: 50 µs
+// message latency, ~40 MB/s effective bandwidth for the message sizes the
+// code uses, and 20–40 Mflop/s per-node BLAS performance.
+type Config struct {
+	FlopRate     float64 // flop/s per processor
+	OpOverhead   float64 // seconds of fixed cost per block operation
+	Latency      float64 // seconds of network latency per message
+	Bandwidth    float64 // bytes/s per link
+	SendOverhead float64 // sender CPU seconds per message
+	RecvOverhead float64 // receiver CPU seconds per message
+	// Policy orders each processor's receive queue: FIFO is the paper's
+	// data-driven code; CritPath is the §5 priority-scheduling conjecture.
+	Policy Policy
+	// CollectTrace records a Span per busy interval into Result.Spans for
+	// timeline rendering (O(#operations) memory; meant for small runs).
+	CollectTrace bool
+	// MeshDims, when non-zero, models the Paragon's physical 2-D mesh
+	// interconnect: processor id p sits at (p/MeshDims[1], p%MeshDims[1])
+	// and each message pays HopLatency per Manhattan-distance hop on top
+	// of the base latency. Zero dims model a distance-oblivious network.
+	MeshDims   [2]int
+	HopLatency float64
+}
+
+// hopDelay returns the topology-dependent extra latency between two
+// processors.
+func (c *Config) hopDelay(from, to int32) float64 {
+	if c.MeshDims[0] == 0 || c.MeshDims[1] == 0 || c.HopLatency == 0 {
+		return 0
+	}
+	cols := c.MeshDims[1]
+	fr, fc := int(from)/cols, int(from)%cols
+	tr, tc := int(to)/cols, int(to)%cols
+	dr, dc := fr-tr, fc-tc
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return float64(dr+dc) * c.HopLatency
+}
+
+// Span is one busy interval of a processor in the simulated timeline.
+type Span struct {
+	Proc       int32
+	Start, End float64
+	Comm       bool // communication overhead rather than computation
+}
+
+// Paragon returns the Intel Paragon model of §3.1. The per-operation fixed
+// overhead equals the paper's one-thousand-flop fixed cost at this flop
+// rate, keeping the simulator consistent with the balance work measure.
+func Paragon() Config {
+	const rate = 30e6
+	return Config{
+		FlopRate:     rate,
+		OpOverhead:   1000 / rate,
+		Latency:      50e-6,
+		Bandwidth:    40e6,
+		SendOverhead: 25e-6,
+		RecvOverhead: 25e-6,
+	}
+}
+
+// Result reports the outcome of a simulated factorization.
+type Result struct {
+	Time     float64 // parallel makespan (seconds)
+	SeqTime  float64 // analytic single-processor time under the same model
+	Messages int64
+	Bytes    int64
+
+	CompTime []float64 // per-processor computation CPU time
+	CommTime []float64 // per-processor communication CPU time
+	Flops    []int64   // per-processor executed flops
+	Spans    []Span    // busy intervals, when Config.CollectTrace is set
+}
+
+// Efficiency returns t_seq/(P·t_parallel), the paper's efficiency measure.
+func (r *Result) Efficiency() float64 {
+	p := float64(len(r.CompTime))
+	if r.Time <= 0 || p == 0 {
+		return 1
+	}
+	return r.SeqTime / (p * r.Time)
+}
+
+// Mflops returns achieved performance in Mflop/s given the operation count
+// of the best sequential algorithm (the paper's convention).
+func (r *Result) Mflops(seqOps int64) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(seqOps) / r.Time / 1e6
+}
+
+// CommFraction returns the largest per-processor share of runtime spent on
+// communication CPU costs (the §5 "<20% of total runtime" measurement).
+func (r *Result) CommFraction() float64 {
+	worst := 0.0
+	for _, c := range r.CommTime {
+		if f := c / r.Time; f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// Breakdown returns the machine-wide mean shares of the parallel runtime
+// spent computing, communicating, and idle. The paper's §5 instrumentation
+// found that "most of the processor time not spent performing useful
+// factorization work is spent idle, waiting for the arrival of data".
+func (r *Result) Breakdown() (comp, comm, idle float64) {
+	if r.Time <= 0 || len(r.CompTime) == 0 {
+		return 0, 0, 0
+	}
+	for p := range r.CompTime {
+		comp += r.CompTime[p]
+		comm += r.CommTime[p]
+	}
+	total := r.Time * float64(len(r.CompTime))
+	comp /= total
+	comm /= total
+	idle = 1 - comp - comm
+	return comp, comm, idle
+}
+
+type event struct {
+	t      float64
+	seq    int64
+	proc   int32
+	id     int32
+	remote bool
+	seed   bool // initial BFAC of a leaf diagonal block
+	ready  bool // processor-became-free event (id unused)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulate runs the block fan-out schedule under the machine model.
+func Simulate(pr *sched.Program, cfg Config) Result {
+	np := pr.NProc
+	res := Result{
+		CompTime: make([]float64, np),
+		CommTime: make([]float64, np),
+		Flops:    make([]int64, np),
+	}
+	res.SeqTime = float64(pr.BS.TotalFlops)/cfg.FlopRate + float64(pr.BS.TotalOps)*cfg.OpOverhead
+
+	modsLeft := append([]int32(nil), pr.NMods...)
+	diagReady := make([]bool, pr.NBlocks)
+	done := make([]bool, pr.NBlocks)
+	arrivedAt := make([]map[int32]bool, np)
+	for p := range arrivedAt {
+		arrivedAt[p] = make(map[int32]bool)
+	}
+
+	var h eventHeap
+	var seq int64
+	push := func(t float64, p, id int32, remote, seed bool) {
+		seq++
+		heap.Push(&h, event{t: t, seq: seq, proc: p, id: id, remote: remote, seed: seed})
+	}
+	pushReady := func(t float64, p int32) {
+		seq++
+		heap.Push(&h, event{t: t, seq: seq, proc: p, ready: true})
+	}
+
+	// Per-processor receive queues and the scheduling policy over them.
+	type pend struct {
+		id     int32
+		seq    int64
+		remote bool
+		seed   bool
+	}
+	pending := make([][]pend, np)
+	idle := make([]bool, np)
+	for p := range idle {
+		idle[p] = true
+	}
+	var prio []float64
+	if cfg.Policy == CritPath {
+		prio = Priorities(pr, cfg)
+	}
+	pickNext := func(p int32) pend {
+		q := pending[p]
+		best := 0
+		if prio != nil {
+			for i := 1; i < len(q); i++ {
+				if prio[q[i].id] > prio[q[best].id] {
+					best = i
+				}
+			}
+		}
+		it := q[best]
+		pending[p] = append(q[:best], q[best+1:]...)
+		return it
+	}
+
+	// now/me are the simulation cursor while a processor handles a batch.
+	var now float64
+	var me int32
+
+	span := func(start float64, comm bool) {
+		if cfg.CollectTrace && now > start {
+			res.Spans = append(res.Spans, Span{Proc: me, Start: start, End: now, Comm: comm})
+		}
+	}
+
+	charge := func(flops int64) {
+		dt := float64(flops)/cfg.FlopRate + cfg.OpOverhead
+		start := now
+		now += dt
+		res.CompTime[me] += dt
+		res.Flops[me] += flops
+		span(start, false)
+	}
+
+	complete := func(id int32) {
+		done[id] = true
+		for _, c := range pr.Consumers[id] {
+			if c == me {
+				push(now, me, id, false, false)
+				continue
+			}
+			start := now
+			res.CommTime[me] += cfg.SendOverhead
+			now += cfg.SendOverhead
+			res.Messages++
+			res.Bytes += pr.Bytes[id]
+			span(start, true)
+			push(now+cfg.Latency+cfg.hopDelay(me, c)+float64(pr.Bytes[id])/cfg.Bandwidth, c, id, true, false)
+		}
+	}
+
+	finish := func(id int32) {
+		charge(pr.OwnOpFlops[id])
+		complete(id)
+	}
+
+	var handle func(id int32)
+	handle = func(id int32) {
+		if arrivedAt[me][id] {
+			return
+		}
+		arrivedAt[me][id] = true
+		k := int(pr.ColOf[id])
+		idx := int(pr.IdxOf[id])
+		colK := &pr.BS.Cols[k]
+		if idx == 0 {
+			for j := 1; j < len(colK.Blocks); j++ {
+				bid := pr.BlockID(k, j)
+				if pr.Owner[bid] != me {
+					continue
+				}
+				diagReady[bid] = true
+				if modsLeft[bid] == 0 && !done[bid] {
+					finish(bid)
+				}
+			}
+			return
+		}
+		for j := 1; j < len(colK.Blocks); j++ {
+			other := pr.BlockID(k, j)
+			var destI, destJ int
+			if colK.Blocks[idx].I >= colK.Blocks[j].I {
+				destI, destJ = colK.Blocks[idx].I, colK.Blocks[j].I
+			} else {
+				destI, destJ = colK.Blocks[j].I, colK.Blocks[idx].I
+			}
+			dest := pr.FindID(destI, destJ)
+			if pr.Owner[dest] != me {
+				continue
+			}
+			if other == id || arrivedAt[me][other] {
+				charge(pr.ModFlops(k, idx, j))
+				modsLeft[dest]--
+				if modsLeft[dest] == 0 && !done[dest] {
+					if pr.IdxOf[dest] == 0 || diagReady[dest] {
+						finish(dest)
+					}
+				}
+			}
+		}
+	}
+
+	// Seed events: leaf diagonal blocks are factorable at t=0.
+	for j := range pr.BS.Cols {
+		id := pr.BlockID(j, 0)
+		if pr.NMods[id] == 0 {
+			push(0, pr.Owner[id], id, false, true)
+		}
+	}
+
+	var makespan float64
+	// runOne lets processor p (free at time t) pick and process one
+	// pending block, then schedules its next wake-up.
+	runOne := func(p int32, t float64) {
+		it := pickNext(p)
+		me = p
+		now = t
+		if it.remote {
+			start := now
+			res.CommTime[me] += cfg.RecvOverhead
+			now += cfg.RecvOverhead
+			span(start, true)
+		}
+		if it.seed {
+			finish(it.id)
+		} else {
+			handle(it.id)
+		}
+		idle[p] = false
+		if now > makespan {
+			makespan = now
+		}
+		pushReady(now, p)
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		if ev.ready {
+			if len(pending[ev.proc]) > 0 {
+				runOne(ev.proc, ev.t)
+			} else {
+				idle[ev.proc] = true
+			}
+			continue
+		}
+		pending[ev.proc] = append(pending[ev.proc], pend{
+			id: ev.id, seq: ev.seq, remote: ev.remote, seed: ev.seed,
+		})
+		if idle[ev.proc] {
+			idle[ev.proc] = false
+			runOne(ev.proc, ev.t)
+		}
+	}
+	res.Time = makespan
+	return res
+}

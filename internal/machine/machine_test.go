@@ -1,0 +1,215 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/domains"
+	"blockfanout/internal/etree"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+func setup(t *testing.T, m *sparse.Matrix, method ord.Method, gridDim, b int) (*symbolic.Structure, *blocks.Structure) {
+	t.Helper()
+	p, err := ord.Compute(method, m, gridDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := m.Permute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := etree.Build(m1).Postorder()
+	m2, err := m1.Permute(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := symbolic.Analyze(m2, symbolic.DefaultAmalgamation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := blocks.Build(st, blocks.NewPartition(st, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, bs
+}
+
+func program(t *testing.T, g mapping.Grid, useDomains bool) (*sched.Program, *blocks.Structure) {
+	t.Helper()
+	st, bs := setup(t, gen.IrregularMesh(300, 5, 3, 21), ord.MinDegree, 0, 8)
+	a := sched.Assignment{Map: mapping.Cyclic(g, bs.N())}
+	if useDomains {
+		a.Dom = domains.Select(st, bs, g.P(), 2)
+	}
+	return sched.Build(bs, a), bs
+}
+
+func TestSingleProcessorMatchesSeqTime(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 1, Pc: 1}, false)
+	res := Simulate(pr, Paragon())
+	// With one processor there is no communication; the makespan must be
+	// exactly the analytic sequential time.
+	if res.Messages != 0 {
+		t.Fatalf("P=1 sent %d messages", res.Messages)
+	}
+	if math.Abs(res.Time-res.SeqTime) > 1e-9*res.SeqTime {
+		t.Fatalf("P=1 time %g != seq %g", res.Time, res.SeqTime)
+	}
+	if e := res.Efficiency(); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("P=1 efficiency %g", e)
+	}
+}
+
+func TestFlopConservation(t *testing.T) {
+	for _, p := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 3}, {Pr: 4, Pc: 4}} {
+		pr, bs := program(t, p, false)
+		res := Simulate(pr, Paragon())
+		var total int64
+		for _, f := range res.Flops {
+			total += f
+		}
+		if total != bs.TotalFlops {
+			t.Fatalf("grid %v: executed %d flops, want %d", p, total, bs.TotalFlops)
+		}
+	}
+}
+
+func TestParallelFasterButBounded(t *testing.T) {
+	pr1, _ := program(t, mapping.Grid{Pr: 1, Pc: 1}, false)
+	seq := Simulate(pr1, Paragon()).Time
+	pr, _ := program(t, mapping.Grid{Pr: 4, Pc: 4}, false)
+	res := Simulate(pr, Paragon())
+	if res.Time >= seq {
+		t.Fatalf("16 processors not faster than 1: %g vs %g", res.Time, seq)
+	}
+	// Speedup cannot exceed P.
+	if seq/res.Time > 16.0001 {
+		t.Fatalf("speedup %g exceeds processor count", seq/res.Time)
+	}
+	if e := res.Efficiency(); e <= 0 || e > 1.0001 {
+		t.Fatalf("efficiency %g out of range", e)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 3, Pc: 3}, true)
+	a := Simulate(pr, Paragon())
+	b := Simulate(pr, Paragon())
+	if a.Time != b.Time || a.Messages != b.Messages || a.Bytes != b.Bytes {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMessagesMatchProgram(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
+	res := Simulate(pr, Paragon())
+	if res.Messages != pr.TotalMessages || res.Bytes != pr.TotalBytes {
+		t.Fatalf("sim traffic %d/%d, program %d/%d",
+			res.Messages, res.Bytes, pr.TotalMessages, pr.TotalBytes)
+	}
+}
+
+func TestDomainsImproveRuntimeOnGrid(t *testing.T) {
+	st, bs := setup(t, gen.Grid2D(24), ord.NDGrid2D, 24, 4)
+	g := mapping.Grid{Pr: 4, Pc: 4}
+	m := mapping.Cyclic(g, bs.N())
+	plain := Simulate(sched.Build(bs, sched.Assignment{Map: m}), Paragon())
+	dom := Simulate(sched.Build(bs, sched.Assignment{
+		Map: m, Dom: domains.Select(st, bs, g.P(), 2),
+	}), Paragon())
+	if dom.Time >= plain.Time*1.05 {
+		t.Fatalf("domains slowed the run: %g vs %g", dom.Time, plain.Time)
+	}
+}
+
+func TestFasterMachineRunsFaster(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
+	slow := Paragon()
+	fast := Paragon()
+	fast.FlopRate *= 4
+	fast.OpOverhead /= 4
+	rs := Simulate(pr, slow)
+	rf := Simulate(pr, fast)
+	if rf.Time >= rs.Time {
+		t.Fatalf("4x machine not faster: %g vs %g", rf.Time, rs.Time)
+	}
+}
+
+func TestZeroCommConfigBeatsExpensiveComm(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 4, Pc: 4}, false)
+	free := Paragon()
+	free.Latency, free.Bandwidth = 0, math.Inf(1)
+	free.SendOverhead, free.RecvOverhead = 0, 0
+	costly := Paragon()
+	costly.Latency *= 100
+	costly.SendOverhead *= 100
+	costly.RecvOverhead *= 100
+	rf := Simulate(pr, free)
+	rc := Simulate(pr, costly)
+	if rf.Time >= rc.Time {
+		t.Fatalf("free communication not faster: %g vs %g", rf.Time, rc.Time)
+	}
+	for p, c := range rf.CommTime {
+		if c != 0 {
+			t.Fatalf("proc %d charged %g comm time under free model", p, c)
+		}
+	}
+}
+
+func TestMflopsAndCommFraction(t *testing.T) {
+	pr, bs := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
+	res := Simulate(pr, Paragon())
+	mf := res.Mflops(bs.TotalFlops)
+	if mf <= 0 {
+		t.Fatal("Mflops not positive")
+	}
+	// Mflops against the blocked count is bounded by P·rate.
+	if mf > 9*Paragon().FlopRate/1e6+1e-9 {
+		t.Fatalf("Mflops %g exceeds machine capability", mf)
+	}
+	cf := res.CommFraction()
+	if cf < 0 || cf > 1 {
+		t.Fatalf("comm fraction %g", cf)
+	}
+}
+
+func TestParagonDefaults(t *testing.T) {
+	cfg := Paragon()
+	if cfg.Latency != 50e-6 {
+		t.Fatalf("latency %g, want the paper's 50µs", cfg.Latency)
+	}
+	if cfg.Bandwidth != 40e6 {
+		t.Fatalf("bandwidth %g, want the paper's effective 40MB/s", cfg.Bandwidth)
+	}
+	// Fixed op cost equals 1000 flops at the machine's rate, matching the
+	// balance work measure.
+	if math.Abs(cfg.OpOverhead*cfg.FlopRate-1000) > 1e-9 {
+		t.Fatalf("op overhead %g inconsistent with work measure", cfg.OpOverhead)
+	}
+}
+
+func TestMeshTopologySlowsDistantTraffic(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 4, Pc: 4}, false)
+	flat := Paragon()
+	mesh := Paragon()
+	mesh.MeshDims = [2]int{4, 4}
+	mesh.HopLatency = 20e-6 // exaggerated per-hop cost to make it visible
+	rf := Simulate(pr, flat)
+	rm := Simulate(pr, mesh)
+	if rm.Time <= rf.Time {
+		t.Fatalf("mesh with hop latency not slower: %g vs %g", rm.Time, rf.Time)
+	}
+	// Zero hop latency must be byte-identical to the flat network.
+	mesh.HopLatency = 0
+	rz := Simulate(pr, mesh)
+	if rz.Time != rf.Time {
+		t.Fatalf("zero hop latency changed result: %g vs %g", rz.Time, rf.Time)
+	}
+}

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+)
+
+func TestPolicyString(t *testing.T) {
+	if FIFO.String() != "fifo" || CritPath.String() != "critpath" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestPrioritiesShape(t *testing.T) {
+	_, bs := setup(t, gen.Grid2D(12), ord.NDGrid2D, 12, 4)
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
+	prio := Priorities(pr, Paragon())
+	if len(prio) != pr.NBlocks {
+		t.Fatal("length")
+	}
+	// The final column's blocks have nothing downstream.
+	lastDiag := pr.BlockID(bs.N()-1, 0)
+	if prio[lastDiag] != 0 {
+		t.Fatalf("last diagonal priority %g, want 0", prio[lastDiag])
+	}
+	// A column's diagonal dominates its own off-diagonal blocks' BDIV
+	// chains; all priorities are non-negative and bounded by the
+	// sequential time.
+	seq := float64(bs.TotalFlops)/Paragon().FlopRate + float64(bs.TotalOps)*Paragon().OpOverhead
+	for id, v := range prio {
+		if v < 0 || v > seq {
+			t.Fatalf("priority[%d]=%g outside [0,%g]", id, v, seq)
+		}
+	}
+	// First column's diagonal must have a strictly positive downstream
+	// chain on any connected problem.
+	if prio[pr.BlockID(0, 0)] <= 0 {
+		t.Fatal("first diagonal has empty downstream chain")
+	}
+}
+
+func TestCritPathPolicyRunsAndConserves(t *testing.T) {
+	pr, bs := program(t, mapping.Grid{Pr: 3, Pc: 3}, true)
+	cfg := Paragon()
+	cfg.Policy = CritPath
+	res := Simulate(pr, cfg)
+	var total int64
+	for _, f := range res.Flops {
+		total += f
+	}
+	if total != bs.TotalFlops {
+		t.Fatalf("critpath policy executed %d flops, want %d", total, bs.TotalFlops)
+	}
+	if res.Time <= 0 {
+		t.Fatal("no makespan")
+	}
+	// Deterministic.
+	if res2 := Simulate(pr, cfg); res2.Time != res.Time {
+		t.Fatal("critpath policy not deterministic")
+	}
+}
+
+func TestCritPathPolicyNotCatastrophic(t *testing.T) {
+	// Priority scheduling reorders receive queues; it must stay within a
+	// sane factor of FIFO (it usually helps — see the priosched
+	// experiment — but is not guaranteed to on every instance).
+	pr, _ := program(t, mapping.Grid{Pr: 4, Pc: 4}, false)
+	fifo := Paragon()
+	prio := Paragon()
+	prio.Policy = CritPath
+	rf := Simulate(pr, fifo)
+	rp := Simulate(pr, prio)
+	if rp.Time > 1.5*rf.Time {
+		t.Fatalf("critpath policy %g much worse than FIFO %g", rp.Time, rf.Time)
+	}
+}

@@ -1,0 +1,62 @@
+package mapping
+
+import (
+	"sort"
+
+	"blockfanout/internal/blocks"
+)
+
+// Arbitrary is a fully general block-to-processor map (§2.4: "In its most
+// general form, the mapping is arbitrary: a block can be mapped to any
+// processor in the grid"). It achieves nearly perfect load balance by
+// greedy number partitioning over individual blocks — but it forfeits the
+// Cartesian-product property, so a block may need to be sent to far more
+// than Pr+Pc processors. The library includes it to quantify that
+// trade-off (see the experiments' "arbitrary" runner).
+type Arbitrary struct {
+	NProc  int
+	owners map[[2]int32]int32
+}
+
+// Owner returns the processor owning block (i,j); blocks outside the
+// structure the map was built from belong to processor 0.
+func (a *Arbitrary) Owner(i, j int) int {
+	if o, ok := a.owners[[2]int32{int32(i), int32(j)}]; ok {
+		return int(o)
+	}
+	return 0
+}
+
+// P returns the processor count.
+func (a *Arbitrary) P() int { return a.NProc }
+
+// NewArbitraryGreedy assigns every block independently to the least-loaded
+// processor, considering blocks in decreasing work order (longest
+// processing time rule). The resulting overall balance approaches 1.
+func NewArbitraryGreedy(p int, bs *blocks.Structure) *Arbitrary {
+	type blk struct {
+		i, j int32
+		work int64
+	}
+	var all []blk
+	for j := range bs.Cols {
+		for bi := range bs.Cols[j].Blocks {
+			b := &bs.Cols[j].Blocks[bi]
+			all = append(all, blk{int32(b.I), int32(j), b.Work})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].work > all[b].work })
+	load := make([]int64, p)
+	a := &Arbitrary{NProc: p, owners: make(map[[2]int32]int32, len(all))}
+	for _, b := range all {
+		best := 0
+		for q := 1; q < p; q++ {
+			if load[q] < load[best] {
+				best = q
+			}
+		}
+		a.owners[[2]int32{b.i, b.j}] = int32(best)
+		load[best] += b.work
+	}
+	return a
+}

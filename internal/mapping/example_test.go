@@ -1,0 +1,36 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"blockfanout/internal/mapping"
+)
+
+// ExampleBestGrid shows the §4.2 relatively-prime trick: dropping one
+// processor from a square machine yields coprime grid dimensions, which
+// scatter the block diagonal over the whole machine.
+func ExampleBestGrid() {
+	for _, p := range []int{64, 63, 100, 99} {
+		g := mapping.BestGrid(p)
+		fmt.Printf("P=%-3d → %d×%d coprime=%v\n", p, g.Pr, g.Pc, g.RelativelyPrime())
+	}
+	// Output:
+	// P=64  → 8×8 coprime=false
+	// P=63  → 9×7 coprime=true
+	// P=100 → 10×10 coprime=false
+	// P=99  → 11×9 coprime=true
+}
+
+// ExampleGreedy shows the paper's number-partitioning loop directly.
+func ExampleGreedy() {
+	weights := []int64{9, 7, 5, 3, 1, 1}
+	order := []int{0, 1, 2, 3, 4, 5} // decreasing-work order
+	bins := mapping.Greedy(order, weights, 2)
+	loads := make([]int64, 2)
+	for i, b := range bins {
+		loads[b] += weights[i]
+	}
+	fmt.Println("bin loads:", loads)
+	// Output:
+	// bin loads: [13 13]
+}

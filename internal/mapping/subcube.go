@@ -1,0 +1,123 @@
+package mapping
+
+import (
+	"sort"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/symbolic"
+)
+
+// SubcubeColumns implements the communication-reducing column mapping the
+// paper explored in §5: the processor-columns of the grid are divided
+// recursively among the subtrees of the (supernode) elimination forest,
+// à la subtree-to-subcube, so the blocks of independent subtrees never
+// share processor columns. Panels of a subtree's root supernode are mapped
+// cyclically over the subtree's processor-column range.
+//
+// The returned slice maps each panel to a processor column; combine it with
+// any row heuristic via Compose. The paper found this cuts communication
+// volume by up to ~30% but makes load balancing harder, so realized
+// performance was below the pure heuristic remapping.
+func SubcubeColumns(st *symbolic.Structure, bs *blocks.Structure, pc int) []int {
+	ns := len(st.Snodes)
+	part := bs.Part
+	workJ := bs.WorkJ()
+
+	// Per-supernode and per-subtree work, and children lists.
+	snWork := make([]int64, ns)
+	for p := 0; p < part.N(); p++ {
+		snWork[part.SnodeOf[p]] += workJ[p]
+	}
+	subWork := append([]int64(nil), snWork...)
+	children := make([][]int, ns)
+	var roots []int
+	for s := 0; s < ns; s++ {
+		if p := st.Parent[s]; p >= 0 {
+			subWork[p] += subWork[s] // children precede parents
+			children[p] = append(children[p], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	// Deferred accumulate: subWork above adds child-into-parent during the
+	// same pass, which is correct because s < Parent[s] always holds.
+
+	snPanels := make([][]int, ns)
+	for p := 0; p < part.N(); p++ {
+		s := part.SnodeOf[p]
+		snPanels[s] = append(snPanels[s], p)
+	}
+
+	mapJ := make([]int, part.N())
+
+	var assignAll func(forest []int, col int)
+	assignAll = func(forest []int, col int) {
+		for _, s := range forest {
+			for _, p := range snPanels[s] {
+				mapJ[p] = col
+			}
+			assignAll(children[s], col)
+		}
+	}
+
+	var assign func(forest []int, lo, hi int)
+	assign = func(forest []int, lo, hi int) {
+		if len(forest) == 0 {
+			return
+		}
+		if hi-lo == 1 {
+			assignAll(forest, lo)
+			return
+		}
+		if len(forest) == 1 {
+			s := forest[0]
+			for t, p := range snPanels[s] {
+				mapJ[p] = lo + t%(hi-lo)
+			}
+			assign(children[s], lo, hi)
+			return
+		}
+		// Split the forest into two groups of balanced subtree work and
+		// split the column range proportionally.
+		ord := append([]int(nil), forest...)
+		sort.Slice(ord, func(a, b int) bool { return subWork[ord[a]] > subWork[ord[b]] })
+		var g1, g2 []int
+		var w1, w2 int64
+		for _, s := range ord {
+			if w1 <= w2 {
+				g1 = append(g1, s)
+				w1 += subWork[s]
+			} else {
+				g2 = append(g2, s)
+				w2 += subWork[s]
+			}
+		}
+		total := w1 + w2
+		cols := hi - lo
+		mid := lo + 1
+		if total > 0 {
+			mid = lo + int(float64(cols)*float64(w1)/float64(total)+0.5)
+		}
+		if mid <= lo {
+			mid = lo + 1
+		}
+		if mid >= hi {
+			mid = hi - 1
+		}
+		assign(g1, lo, mid)
+		assign(g2, mid, hi)
+	}
+
+	assign(roots, 0, pc)
+	return mapJ
+}
+
+// Compose builds a full Cartesian-product mapping from an explicit column
+// map (e.g. from SubcubeColumns) and a row heuristic.
+func Compose(g Grid, rowH Heuristic, mapJ []int, bs *blocks.Structure, panelDepth []int) *Mapping {
+	return &Mapping{
+		Grid: g,
+		MapI: buildMap(rowH, bs.WorkI(), panelDepth, g.Pr),
+		MapJ: mapJ,
+	}
+}

@@ -1,0 +1,26 @@
+package mmio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the Matrix Market
+// parser and that anything it accepts is a structurally valid matrix.
+func FuzzRead(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 4\n2 1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n-1 -1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 1e309\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v\ninput: %q", err, in)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package mmio reads and writes symmetric sparse matrices in the NIST
+// Matrix Market exchange format (the successor of the Harwell-Boeing format
+// the paper's benchmark matrices were distributed in). Only what a Cholesky
+// code needs is supported: real (or integer, widened to real) square
+// matrices, symmetric or general coordinate form, plus pattern-only files
+// which are assembled as diagonally dominant Laplacians so they remain
+// positive definite.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"blockfanout/internal/sparse"
+)
+
+// header is the parsed MatrixMarket banner.
+type header struct {
+	object   string // "matrix"
+	format   string // "coordinate"
+	field    string // "real" | "integer" | "pattern"
+	symmetry string // "symmetric" | "general"
+}
+
+// Read parses a Matrix Market stream into a symmetric sparse matrix.
+//
+//   - "symmetric" files may list either triangle; entries are mirrored.
+//   - "general" files must be structurally symmetric; each unordered pair
+//     must carry equal values, or an error is returned.
+//   - "pattern" files get Laplacian values (diag = degree+1, off-diag −1),
+//     preserving the structure while guaranteeing positive definiteness.
+func Read(r io.Reader) (*sparse.Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	h, err := parseBanner(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+
+	// Skip comments, read the size line.
+	var n, m, nnz int
+	for {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("mmio: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &n, &m, &nnz); err != nil {
+			return nil, fmt.Errorf("mmio: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if n != m {
+		return nil, fmt.Errorf("mmio: matrix is %d×%d, not square", n, m)
+	}
+
+	type key struct{ r, c int }
+	seen := make(map[key]float64, nnz)
+	var ts []sparse.Triplet
+	general := make(map[key]float64, nnz)
+	count := 0
+	for sc.Scan() && count < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if h.field == "pattern" {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("mmio: short entry line %q", line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mmio: bad indices in %q", line)
+		}
+		i--
+		j-- // Matrix Market is 1-based
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) out of range", i+1, j+1)
+		}
+		v := 1.0
+		if h.field != "pattern" {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value in %q", line)
+			}
+		}
+		count++
+		switch h.symmetry {
+		case "symmetric":
+			if i < j {
+				i, j = j, i
+			}
+			k := key{i, j}
+			if _, dup := seen[k]; dup {
+				return nil, fmt.Errorf("mmio: duplicate entry (%d,%d)", i+1, j+1)
+			}
+			seen[k] = v
+		default: // general: collect, verify symmetry afterwards
+			general[key{i, j}] = v
+		}
+	}
+	if count != nnz {
+		return nil, fmt.Errorf("mmio: got %d of %d entries", count, nnz)
+	}
+
+	if h.symmetry == "general" {
+		for k, v := range general {
+			if k.r < k.c {
+				continue
+			}
+			if k.r != k.c {
+				mv, ok := general[key{k.c, k.r}]
+				if !ok || mv != v {
+					return nil, fmt.Errorf("mmio: general matrix not symmetric at (%d,%d)", k.r+1, k.c+1)
+				}
+			}
+			seen[k] = v
+		}
+		// Ensure no upper-only entries were dropped silently.
+		for k := range general {
+			if k.r < k.c {
+				if _, ok := general[key{k.c, k.r}]; !ok {
+					return nil, fmt.Errorf("mmio: general matrix not symmetric at (%d,%d)", k.r+1, k.c+1)
+				}
+			}
+		}
+	}
+
+	if h.field == "pattern" {
+		deg := make([]int, n)
+		for k := range seen {
+			if k.r != k.c {
+				deg[k.r]++
+				deg[k.c]++
+			}
+		}
+		for k := range seen {
+			if k.r == k.c {
+				seen[k] = float64(deg[k.r]) + 1
+			} else {
+				seen[k] = -1
+			}
+		}
+		// Pattern files may omit diagonal entries; add them.
+		for i := 0; i < n; i++ {
+			if _, ok := seen[key{i, i}]; !ok {
+				seen[key{i, i}] = float64(deg[i]) + 1
+			}
+		}
+	}
+
+	for k, v := range seen {
+		ts = append(ts, sparse.Triplet{Row: k.r, Col: k.c, Val: v})
+	}
+	return sparse.FromTriplets(n, ts)
+}
+
+func parseBanner(line string) (header, error) {
+	var h header
+	if !strings.HasPrefix(line, "%%MatrixMarket") {
+		return h, fmt.Errorf("mmio: missing MatrixMarket banner")
+	}
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) < 5 {
+		return h, fmt.Errorf("mmio: short banner %q", line)
+	}
+	h.object, h.format, h.field, h.symmetry = fields[1], fields[2], fields[3], fields[4]
+	if h.object != "matrix" {
+		return h, fmt.Errorf("mmio: unsupported object %q", h.object)
+	}
+	if h.format != "coordinate" {
+		return h, fmt.Errorf("mmio: unsupported format %q (only coordinate)", h.format)
+	}
+	switch h.field {
+	case "real", "integer", "pattern":
+	default:
+		return h, fmt.Errorf("mmio: unsupported field %q", h.field)
+	}
+	switch h.symmetry {
+	case "symmetric", "general":
+	default:
+		return h, fmt.Errorf("mmio: unsupported symmetry %q", h.symmetry)
+	}
+	return h, nil
+}
+
+// Write emits the lower triangle of m in coordinate real symmetric form.
+func Write(w io.Writer, m *sparse.Matrix) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real symmetric")
+	fmt.Fprintf(bw, "%d %d %d\n", m.N, m.N, m.NNZ())
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			fmt.Fprintf(bw, "%d %d %.17g\n", m.RowInd[p]+1, j+1, m.Val[p])
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*sparse.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes m to disk in Matrix Market format.
+func WriteFile(path string, m *sparse.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

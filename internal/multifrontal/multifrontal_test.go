@@ -1,0 +1,146 @@
+package multifrontal
+
+import (
+	"math"
+	"testing"
+
+	"blockfanout/internal/etree"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/refchol"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+func prep(t *testing.T, m *sparse.Matrix, method ord.Method, gridDim int,
+	amalg symbolic.AmalgamationConfig) (*sparse.Matrix, *symbolic.Structure) {
+	t.Helper()
+	p, err := ord.Compute(method, m, gridDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := m.Permute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := etree.Build(m1).Postorder()
+	m2, err := m1.Permute(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := symbolic.Analyze(m2, amalg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m2, st
+}
+
+func TestMatchesReferenceExactStructure(t *testing.T) {
+	for name, mtx := range map[string]*sparse.Matrix{
+		"mesh": gen.IrregularMesh(200, 5, 3, 41),
+		"grid": gen.Grid2D(12),
+		"lp":   gen.NormalEq(90, 3, 2, 8, 3),
+	} {
+		method := ord.MinDegree
+		gd := 0
+		if name == "grid" {
+			method, gd = ord.NDGrid2D, 12
+		}
+		m, st := prep(t, mtx, method, gd, symbolic.NoAmalgamation())
+		mf, stats, err := Compute(m, st)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.Fronts != len(st.Snodes) {
+			t.Fatalf("%s: fronts %d, want %d", name, stats.Fronts, len(st.Snodes))
+		}
+		ref, err := refchol.Compute(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < m.N; j++ {
+			if math.Abs(mf.Diag[j]-ref.Diag[j]) > 1e-9*(1+ref.Diag[j]) {
+				t.Fatalf("%s: diag %d: %g vs %g", name, j, mf.Diag[j], ref.Diag[j])
+			}
+			// With exact structure, the stored row sets must coincide.
+			if len(mf.Rows[j]) != len(ref.Rows[j]) {
+				t.Fatalf("%s: column %d length %d vs %d", name, j, len(mf.Rows[j]), len(ref.Rows[j]))
+			}
+			for q := range mf.Rows[j] {
+				if mf.Rows[j][q] != ref.Rows[j][q] {
+					t.Fatalf("%s: column %d row mismatch", name, j)
+				}
+				if math.Abs(mf.Vals[j][q]-ref.Vals[j][q]) > 1e-9*(1+math.Abs(ref.Vals[j][q])) {
+					t.Fatalf("%s: L(%d,%d): %g vs %g", name,
+						mf.Rows[j][q], j, mf.Vals[j][q], ref.Vals[j][q])
+				}
+			}
+		}
+	}
+}
+
+func TestWithAmalgamationSolves(t *testing.T) {
+	// Relaxed supernodes store explicit zeros; values of true entries must
+	// still solve the system.
+	m, st := prep(t, gen.IrregularMesh(250, 5, 3, 8), ord.MinDegree, 0, symbolic.DefaultAmalgamation())
+	f, _, err := Compute(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.7)
+	}
+	x := f.Solve(b)
+	if r := m.ResidualNorm(x, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestStatsSensible(t *testing.T) {
+	m, st := prep(t, gen.Grid2D(16), ord.NDGrid2D, 16, symbolic.DefaultAmalgamation())
+	_, stats, err := Compute(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakFrontSize <= 0 || stats.PeakStackBytes <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// The top separator of a 16×16 grid is 16 wide; the peak front is at
+	// least that.
+	if stats.PeakFrontSize < 16 {
+		t.Fatalf("peak front %d implausibly small", stats.PeakFrontSize)
+	}
+}
+
+func TestDense(t *testing.T) {
+	m, st := prep(t, gen.Dense(24), ord.Natural, 0, symbolic.NoAmalgamation())
+	f, stats, err := Compute(m, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fronts != 1 || stats.PeakFrontSize != 24 {
+		t.Fatalf("dense stats %+v", stats)
+	}
+	b := make([]float64, 24)
+	b[3] = 1
+	x := f.Solve(b)
+	if r := m.ResidualNorm(x, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestNotPositiveDefinite(t *testing.T) {
+	m, st := prep(t, gen.Grid2D(6), ord.NDGrid2D, 6, symbolic.NoAmalgamation())
+	m.Val[m.ColPtr[10]] = -8
+	if _, _, err := Compute(m, st); err == nil {
+		t.Fatal("indefinite accepted")
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	_, st := prep(t, gen.Grid2D(6), ord.NDGrid2D, 6, symbolic.NoAmalgamation())
+	if _, _, err := Compute(gen.Grid2D(7), st); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package order
+
+import (
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/sparse"
+)
+
+// Ordering benchmarks on a mid-size irregular mesh: the analysis phase the
+// paper runs sequentially before every parallel factorization.
+
+func benchPattern(n int) *sparse.Pattern {
+	return sparse.PatternOf(gen.IrregularMesh(n, 8, 3, 99))
+}
+
+func BenchmarkMinDegExact2k(b *testing.B) {
+	p := benchPattern(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinDeg(p)
+	}
+}
+
+func BenchmarkMinDegApprox2k(b *testing.B) {
+	p := benchPattern(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinDegApprox(p)
+	}
+}
+
+func BenchmarkGraphND2k(b *testing.B) {
+	p := benchPattern(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GraphND(p)
+	}
+}
+
+func BenchmarkHybridND2k(b *testing.B) {
+	p := benchPattern(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HybridND(p)
+	}
+}
+
+func BenchmarkRCM2k(b *testing.B) {
+	p := benchPattern(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RCM(p)
+	}
+}
+
+func BenchmarkNestedDissection2D150(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NestedDissection2D(150)
+	}
+}

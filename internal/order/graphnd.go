@@ -1,0 +1,210 @@
+package order
+
+import "blockfanout/internal/sparse"
+
+// GraphND computes a nested-dissection ordering of an arbitrary symmetric
+// pattern using breadth-first level-structure separators grown from a
+// pseudo-peripheral vertex. It is provided as a geometry-free alternative
+// to the grid-specific orderings (the paper uses minimum degree for its
+// irregular problems, but general ND is useful for the subtree-to-subcube
+// experiments, which want deep, balanced elimination trees).
+func GraphND(p *sparse.Pattern) Permutation {
+	return graphND(p, ndLeaf, nil)
+}
+
+// HybridND is graph nested dissection with minimum-degree ordering of the
+// leaf components — the incomplete-nested-dissection hybrid that became
+// standard practice after the paper's era: ND gives the top of the tree
+// balance and concurrency, minimum degree keeps leaf fill low.
+func HybridND(p *sparse.Pattern) Permutation {
+	return graphND(p, hybridLeaf, func(pat *sparse.Pattern, comp []int) []int {
+		// Build the component's induced subgraph with local labels.
+		localOf := make(map[int]int, len(comp))
+		for i, v := range comp {
+			localOf[v] = i
+		}
+		var ptr []int
+		var ind []int
+		ptr = append(ptr, 0)
+		for _, v := range comp {
+			for _, w := range pat.Adj(v) {
+				if lw, ok := localOf[w]; ok {
+					ind = append(ind, lw)
+				}
+			}
+			ptr = append(ptr, len(ind))
+		}
+		sub := &sparse.Pattern{N: len(comp), ColPtr: ptr, RowInd: ind}
+		out := make([]int, len(comp))
+		for i, l := range MinDeg(sub) {
+			out[i] = comp[l]
+		}
+		return out
+	})
+}
+
+// graphND is the shared recursion; leafOrder, when non-nil, orders leaf
+// components (natural order otherwise).
+func graphND(p *sparse.Pattern, leafSize int, leafOrder func(*sparse.Pattern, []int) []int) Permutation {
+	n := p.N
+	perm := make(Permutation, 0, n)
+	// comp holds the vertices of the current subgraph; active marks
+	// membership so neighbour scans can be restricted to the subgraph.
+	active := make([]int, n) // generation tags; vertex v active iff active[v] == gen
+	gen := 0
+	level := make([]int, n)
+	queue := make([]int, 0, n)
+
+	leaf := func(comp []int) {
+		if leafOrder != nil {
+			perm = append(perm, leafOrder(p, comp)...)
+		} else {
+			perm = append(perm, comp...)
+		}
+	}
+
+	var rec func(comp []int)
+	rec = func(comp []int) {
+		if len(comp) <= leafSize {
+			leaf(comp)
+			return
+		}
+		gen++
+		g := gen
+		for _, v := range comp {
+			active[v] = g
+		}
+		// BFS from comp[0] to find a far vertex, then BFS again from it
+		// (pseudo-peripheral heuristic), building a level structure.
+		bfs := func(root int) (order []int, maxLevel int) {
+			for _, v := range comp {
+				level[v] = -1
+			}
+			queue = queue[:0]
+			queue = append(queue, root)
+			level[root] = 0
+			for qi := 0; qi < len(queue); qi++ {
+				u := queue[qi]
+				for _, w := range p.Adj(u) {
+					if active[w] == g && level[w] < 0 {
+						level[w] = level[u] + 1
+						queue = append(queue, w)
+					}
+				}
+			}
+			last := queue[len(queue)-1]
+			return append([]int(nil), queue...), level[last]
+		}
+		order1, _ := bfs(comp[0])
+		if len(order1) < len(comp) {
+			// Disconnected subgraph: order the found component and the
+			// rest independently.
+			found := order1
+			gen++
+			g2 := gen
+			for _, v := range found {
+				active[v] = g2
+			}
+			rest := make([]int, 0, len(comp)-len(found))
+			for _, v := range comp {
+				if active[v] != g2 {
+					rest = append(rest, v)
+				}
+			}
+			rec(found)
+			rec(rest)
+			return
+		}
+		far := order1[len(order1)-1]
+		order2, maxL := bfs(far)
+		if maxL < 2 {
+			// Diameter too small to split usefully.
+			leaf(comp)
+			return
+		}
+		// Separator = middle BFS level; halves = levels below / above.
+		mid := maxL / 2
+		var lo, hi, sep []int
+		for _, v := range order2 {
+			switch {
+			case level[v] < mid:
+				lo = append(lo, v)
+			case level[v] > mid:
+				hi = append(hi, v)
+			default:
+				sep = append(sep, v)
+			}
+		}
+		lo, hi, sep = thinSeparator(p, lo, hi, sep, level, mid, active, g)
+		rec(lo)
+		rec(hi)
+		perm = append(perm, sep...)
+	}
+
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all)
+	return perm
+}
+
+// ndLeaf is the plain graph-ND leaf size; hybridLeaf is larger so the
+// minimum-degree leaf ordering has room to reduce fill.
+const (
+	ndLeaf     = 32
+	hybridLeaf = 200
+)
+
+// thinSeparator shrinks a BFS level separator: a separator vertex with no
+// neighbours in one half can safely join the other half (smaller halves
+// when it touches neither). The level array identifies which side a
+// neighbour is on (level < mid: lo side; > mid: hi side). Separator
+// vertices that move join the half's vertex list; the result is still a
+// valid vertex separator because only vertices without cross-edges leave.
+func thinSeparator(p *sparse.Pattern, lo, hi, sep []int, level []int, mid int,
+	active []int, gen int) (nlo, nhi, nsep []int) {
+	nlo, nhi = lo, hi
+	// inSep lets neighbour scans distinguish separator membership from
+	// the halves (all three sets share the same BFS generation).
+	inSep := make(map[int]bool, len(sep))
+	for _, v := range sep {
+		inSep[v] = true
+	}
+	for _, v := range sep {
+		touchLo, touchHi := false, false
+		for _, w := range p.Adj(v) {
+			if active[w] != gen || inSep[w] {
+				continue // outside this subgraph, or still in the separator
+			}
+			if level[w] < mid {
+				touchLo = true
+			} else if level[w] > mid {
+				touchHi = true
+			}
+		}
+		switch {
+		case touchLo && touchHi:
+			nsep = append(nsep, v) // genuinely separates
+		case touchLo:
+			nlo = append(nlo, v)
+			level[v] = mid - 1
+			delete(inSep, v)
+		case touchHi:
+			nhi = append(nhi, v)
+			level[v] = mid + 1
+			delete(inSep, v)
+		default:
+			// Isolated from both halves: join the smaller one.
+			if len(nlo) <= len(nhi) {
+				nlo = append(nlo, v)
+				level[v] = mid - 1
+			} else {
+				nhi = append(nhi, v)
+				level[v] = mid + 1
+			}
+			delete(inSep, v)
+		}
+	}
+	return nlo, nhi, nsep
+}

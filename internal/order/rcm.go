@@ -1,0 +1,90 @@
+package order
+
+import "blockfanout/internal/sparse"
+
+// RCM computes the reverse Cuthill–McKee ordering: a breadth-first
+// traversal from a pseudo-peripheral vertex with neighbours visited in
+// increasing-degree order, reversed. RCM minimizes bandwidth rather than
+// fill, so it is a profile/envelope baseline against which the paper-era
+// fill-reducing orderings (nested dissection, minimum degree) can be
+// compared; it is included for completeness of the ordering toolkit.
+func RCM(p *sparse.Pattern) Permutation {
+	n := p.N
+	perm := make(Permutation, 0, n)
+	visited := make([]bool, n)
+	level := make([]int, n)
+	queue := make([]int, 0, n)
+
+	// bfs fills queue with the component of root in BFS order and
+	// returns the vertex in the last level with smallest degree.
+	bfs := func(root int) (last int, comp []int) {
+		queue = queue[:0]
+		queue = append(queue, root)
+		seen := map[int]bool{root: true}
+		level[root] = 0
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, w := range p.Adj(u) {
+				if !visited[w] && !seen[w] {
+					seen[w] = true
+					level[w] = level[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		last = queue[len(queue)-1]
+		maxLevel := level[last]
+		for _, v := range queue {
+			if level[v] == maxLevel && p.Degree(v) < p.Degree(last) {
+				last = v
+			}
+		}
+		return last, queue
+	}
+
+	// insertion-sort neighbours by degree (lists are short).
+	byDegree := func(vs []int) {
+		for i := 1; i < len(vs); i++ {
+			v := vs[i]
+			j := i - 1
+			for j >= 0 && p.Degree(vs[j]) > p.Degree(v) {
+				vs[j+1] = vs[j]
+				j--
+			}
+			vs[j+1] = v
+		}
+	}
+
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		// Pseudo-peripheral start: two BFS sweeps.
+		far, _ := bfs(start)
+		root, _ := bfs(far)
+
+		// Cuthill–McKee over the component.
+		order := make([]int, 0, 16)
+		order = append(order, root)
+		visited[root] = true
+		nbrs := make([]int, 0, 16)
+		for qi := 0; qi < len(order); qi++ {
+			u := order[qi]
+			nbrs = nbrs[:0]
+			for _, w := range p.Adj(u) {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			byDegree(nbrs)
+			order = append(order, nbrs...)
+		}
+		// Reverse the component's ordering.
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		perm = append(perm, order...)
+	}
+	return perm
+}

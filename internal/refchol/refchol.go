@@ -1,0 +1,163 @@
+// Package refchol is an independent, column-compressed, up-looking sparse
+// Cholesky factorization (the classical row-by-row algorithm driven by the
+// elimination tree). It exists as a cross-check: it shares no code with the
+// blocked supernodal path (packages symbolic/blocks/numeric), so agreement
+// between the two factorizations validates both. It also serves as the
+// "true sequential algorithm" the paper mentions as slightly faster than
+// running the parallel algorithm on one processor.
+package refchol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"blockfanout/internal/etree"
+	"blockfanout/internal/sparse"
+)
+
+// ErrNotPositiveDefinite mirrors kernels.ErrNotPositiveDefinite for this
+// independent implementation.
+var ErrNotPositiveDefinite = errors.New("refchol: matrix is not positive definite")
+
+// Factor is a sparse lower-triangular Cholesky factor stored by columns:
+// column j holds the strictly-below-diagonal rows (ascending) in Rows[j] /
+// Vals[j], and its diagonal entry in Diag[j].
+type Factor struct {
+	N    int
+	Diag []float64
+	Rows [][]int32
+	Vals [][]float64
+}
+
+// Compute factors the (already permuted, if desired) matrix a = L·Lᵀ using
+// the up-looking algorithm: row k of L is produced by a sparse triangular
+// solve whose pattern is found by walking the elimination tree from the
+// entries of A's row k.
+func Compute(a *sparse.Matrix) (*Factor, error) {
+	n := a.N
+	t := etree.Build(a)
+	f := &Factor{
+		N:    n,
+		Diag: make([]float64, n),
+		Rows: make([][]int32, n),
+		Vals: make([][]float64, n),
+	}
+
+	// rowAdj: for row k, the columns j < k with A(k,j) ≠ 0.
+	rowPtr := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if i := a.RowInd[p]; i != j {
+				rowPtr[i+1]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	rowInd := make([]int, rowPtr[n])
+	rowVal := make([]float64, rowPtr[n])
+	next := append([]int(nil), rowPtr[:n]...)
+	for j := 0; j < n; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if i := a.RowInd[p]; i != j {
+				rowInd[next[i]] = j
+				rowVal[next[i]] = a.Val[p]
+				next[i]++
+			}
+		}
+	}
+
+	x := make([]float64, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	pattern := make([]int, 0, 64)
+
+	for k := 0; k < n; k++ {
+		// Row-k pattern: union of etree paths from A(k,j), j<k, up to k.
+		pattern = pattern[:0]
+		for p := rowPtr[k]; p < rowPtr[k+1]; p++ {
+			j := rowInd[p]
+			x[j] = rowVal[p]
+			for r := j; r != -1 && r < k && mark[r] != k; r = t.Parent[r] {
+				mark[r] = k
+				pattern = append(pattern, r)
+			}
+		}
+		sort.Ints(pattern)
+
+		d := a.Val[a.ColPtr[k]] // diagonal of column k
+		for _, j := range pattern {
+			lkj := x[j] / f.Diag[j]
+			x[j] = 0
+			rows, vals := f.Rows[j], f.Vals[j]
+			for p := range rows {
+				x[rows[p]] -= lkj * vals[p]
+			}
+			d -= lkj * lkj
+			f.Rows[j] = append(f.Rows[j], int32(k))
+			f.Vals[j] = append(f.Vals[j], lkj)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrNotPositiveDefinite, k)
+		}
+		f.Diag[k] = math.Sqrt(d)
+	}
+	return f, nil
+}
+
+// NNZ returns the number of below-diagonal factor entries.
+func (f *Factor) NNZ() int64 {
+	var nz int64
+	for _, r := range f.Rows {
+		nz += int64(len(r))
+	}
+	return nz
+}
+
+// At returns L(i,j) (i ≥ j); zero when the entry is not stored.
+func (f *Factor) At(i, j int) float64 {
+	if i == j {
+		return f.Diag[j]
+	}
+	rows := f.Rows[j]
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(rows[mid]) < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(rows) && int(rows[lo]) == i {
+		return f.Vals[j][lo]
+	}
+	return 0
+}
+
+// Solve solves L·Lᵀ·x = b, overwriting and returning a copy of b.
+func (f *Factor) Solve(b []float64) []float64 {
+	x := append([]float64(nil), b...)
+	for j := 0; j < f.N; j++ {
+		x[j] /= f.Diag[j]
+		xj := x[j]
+		rows, vals := f.Rows[j], f.Vals[j]
+		for p := range rows {
+			x[rows[p]] -= vals[p] * xj
+		}
+	}
+	for j := f.N - 1; j >= 0; j-- {
+		rows, vals := f.Rows[j], f.Vals[j]
+		s := x[j]
+		for p := range rows {
+			s -= vals[p] * x[rows[p]]
+		}
+		x[j] = s / f.Diag[j]
+	}
+	return x
+}

@@ -1,0 +1,135 @@
+package refchol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blockfanout/internal/etree"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sparse"
+)
+
+func TestAgainstDense(t *testing.T) {
+	m := gen.IrregularMesh(80, 4, 3, 9)
+	f, err := Compute(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense reference.
+	d := m.Dense()
+	n := m.N
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		v := d[j][j]
+		for k := 0; k < j; k++ {
+			v -= l[j][k] * l[j][k]
+		}
+		l[j][j] = math.Sqrt(v)
+		for i := j + 1; i < n; i++ {
+			s := d[i][j]
+			for k := 0; k < j; k++ {
+				s -= l[i][k] * l[j][k]
+			}
+			l[i][j] = s / l[j][j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Abs(f.At(i, j)-l[i][j]) > 1e-10*(1+math.Abs(l[i][j])) {
+				t.Fatalf("L(%d,%d)=%g, want %g", i, j, f.At(i, j), l[i][j])
+			}
+		}
+	}
+}
+
+func TestNNZMatchesSymbolicPrediction(t *testing.T) {
+	m := gen.Grid2D(11)
+	f, err := Compute(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := etree.FactorStats(etree.Build(m).ColCounts()).NZinL
+	if f.NNZ() != want {
+		t.Fatalf("numeric nnz %d != symbolic %d", f.NNZ(), want)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	for _, m := range []*sparse.Matrix{
+		gen.Grid2D(12),
+		gen.Cube3D(4),
+		gen.IrregularMesh(150, 5, 3, 6),
+		gen.Dense(30),
+	} {
+		f, err := Compute(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, m.N)
+		for i := range b {
+			b[i] = math.Cos(float64(i) * 0.3)
+		}
+		x := f.Solve(b)
+		if r := m.ResidualNorm(x, b); r > 1e-9 {
+			t.Fatalf("residual %g", r)
+		}
+	}
+}
+
+func TestWithFillReducingPermutation(t *testing.T) {
+	m := gen.IrregularMesh(200, 5, 3, 14)
+	p, err := ord.Compute(ord.MinDegree, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := m.Permute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Compute(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x := f.Solve(b)
+	if r := pm.ResidualNorm(x, b); r > 1e-9 {
+		t.Fatalf("residual %g", r)
+	}
+}
+
+func TestNotPositiveDefinite(t *testing.T) {
+	m := gen.Grid2D(4)
+	m.Val[m.ColPtr[5]] = -1
+	if _, err := Compute(m); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+// Property: refchol solves random SPD meshes to tiny residuals.
+func TestQuickSolve(t *testing.T) {
+	f := func(seed uint16) bool {
+		n := 30 + int(seed%60)
+		m := gen.IrregularMesh(n, 4, 3, uint64(seed)+3)
+		fac, err := Compute(m)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i%5) - 2
+		}
+		x := fac.Solve(b)
+		return m.ResidualNorm(x, b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package sched precomputes the data-driven execution structure of the
+// block fan-out method for a given block structure and block-to-processor
+// assignment: block ownership, per-block modification counts, message
+// sizes, and consumer (fan-out destination) lists. Both the real parallel
+// executor (package fanout) and the multicomputer simulator (package
+// machine) run the identical protocol over this program, which is what
+// makes the simulated timings faithful to the executed algorithm.
+package sched
+
+import (
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/domains"
+	"blockfanout/internal/mapping"
+)
+
+// BlockOwner is any full block-to-processor map (e.g. mapping.Arbitrary,
+// the §2.4 "most general form").
+type BlockOwner interface {
+	Owner(i, j int) int
+	P() int
+}
+
+// Assignment combines the 2-D mapping of the root portion with an optional
+// 1-D domain assignment (§2.3): blocks in a domain-owned panel column all
+// live on the domain's processor; every other block follows the 2-D map.
+// A non-nil Override replaces the Cartesian-product map entirely (domains
+// still win for their panels).
+type Assignment struct {
+	Map      *mapping.Mapping
+	Dom      *domains.Domains // optional; nil disables domains
+	Override BlockOwner       // optional; replaces Map when set
+}
+
+// Owner returns the processor owning block (i,j).
+func (a Assignment) Owner(i, j int) int {
+	if a.Dom != nil && a.Dom.PanelOwner[j] >= 0 {
+		return a.Dom.PanelOwner[j]
+	}
+	if a.Override != nil {
+		return a.Override.Owner(i, j)
+	}
+	return a.Map.Owner(i, j)
+}
+
+// P returns the processor count.
+func (a Assignment) P() int {
+	if a.Override != nil {
+		return a.Override.P()
+	}
+	return a.Map.Grid.P()
+}
+
+// MsgHeaderBytes models the per-message header the fan-out method attaches
+// to a block (block coordinates, row list) when it is sent.
+const MsgHeaderBytes = 64
+
+// Program is the precomputed fan-out schedule.
+type Program struct {
+	BS    *blocks.Structure
+	NProc int
+
+	NBlocks int
+	ColBase []int32 // block id of Cols[j].Blocks[0]
+	ColOf   []int32 // block id → column (panel J)
+	IdxOf   []int32 // block id → index within the column
+	Owner   []int32 // block id → owning processor
+	NMods   []int32 // block id → number of BMOD operations targeting it
+	// OwnOpFlops is the flop count of the block's completing operation:
+	// BFAC for diagonal blocks, BDIV otherwise.
+	OwnOpFlops []int64
+	Bytes      []int64   // message size when the block is sent
+	Consumers  [][]int32 // deduped processors needing the block as a source
+
+	// IncomingRemote[p] counts deliveries to p from other processors
+	// (used to size channels so sends can never block).
+	IncomingRemote []int
+	// OwnedCount[p] counts blocks owned by p.
+	OwnedCount []int
+	// TotalMessages is the total remote block transfer count.
+	TotalMessages int64
+	// TotalBytes is the total remote communication volume.
+	TotalBytes int64
+}
+
+// BlockID returns the block id of column j, index idx.
+func (pr *Program) BlockID(j, idx int) int32 { return pr.ColBase[j] + int32(idx) }
+
+// Build precomputes the program for a block structure under an assignment.
+func Build(bs *blocks.Structure, a Assignment) *Program {
+	nb := 0
+	ncols := bs.N()
+	pr := &Program{
+		BS:      bs,
+		NProc:   a.P(),
+		ColBase: make([]int32, ncols+1),
+	}
+	for j := 0; j < ncols; j++ {
+		pr.ColBase[j] = int32(nb)
+		nb += len(bs.Cols[j].Blocks)
+	}
+	pr.ColBase[ncols] = int32(nb)
+	pr.NBlocks = nb
+	pr.ColOf = make([]int32, nb)
+	pr.IdxOf = make([]int32, nb)
+	pr.Owner = make([]int32, nb)
+	pr.NMods = make([]int32, nb)
+	pr.OwnOpFlops = make([]int64, nb)
+	pr.Bytes = make([]int64, nb)
+	pr.Consumers = make([][]int32, nb)
+	pr.IncomingRemote = make([]int, pr.NProc)
+	pr.OwnedCount = make([]int, pr.NProc)
+
+	for j := 0; j < ncols; j++ {
+		w := bs.Part.Width(j)
+		for idx := range bs.Cols[j].Blocks {
+			id := pr.BlockID(j, idx)
+			b := &bs.Cols[j].Blocks[idx]
+			pr.ColOf[id] = int32(j)
+			pr.IdxOf[id] = int32(idx)
+			pr.Owner[id] = int32(a.Owner(b.I, j))
+			pr.OwnedCount[pr.Owner[id]]++
+			pr.Bytes[id] = int64(len(b.Rows))*int64(w)*8 + MsgHeaderBytes
+		}
+	}
+
+	// Dependency counts and own-op flop costs.
+	bs.ForEachOp(func(op blocks.Op) {
+		switch op.Kind {
+		case blocks.BFAC:
+			pr.OwnOpFlops[pr.BlockID(op.K, 0)] = op.Flops
+		case blocks.BDIV:
+			id := pr.findID(op.I, op.K)
+			pr.OwnOpFlops[id] = op.Flops
+		case blocks.BMOD:
+			pr.NMods[pr.findID(op.I, op.J)]++
+		}
+	})
+
+	// Consumer lists. procMark/gen implement an O(1)-reset membership set.
+	procMark := make([]int, pr.NProc)
+	for i := range procMark {
+		procMark[i] = -1
+	}
+	gen := 0
+	addConsumer := func(id int32, p int32) {
+		if procMark[p] != gen {
+			procMark[p] = gen
+			pr.Consumers[id] = append(pr.Consumers[id], p)
+		}
+	}
+	for k := 0; k < ncols; k++ {
+		col := &bs.Cols[k]
+		diagID := pr.BlockID(k, 0)
+		// The factored diagonal block is needed by the owner of every
+		// off-diagonal block in its column (for their BDIVs).
+		gen++
+		for idx := 1; idx < len(col.Blocks); idx++ {
+			addConsumer(diagID, pr.Owner[pr.BlockID(k, idx)])
+		}
+		// Completed off-diagonal blocks pair up within the column: the
+		// pair (ia ≥ jb) is consumed by the owner of dest (I_a, I_b).
+		for ia := 1; ia < len(col.Blocks); ia++ {
+			idA := pr.BlockID(k, ia)
+			gen++
+			for jb := 1; jb < len(col.Blocks); jb++ {
+				var destI, destJ int
+				if col.Blocks[ia].I >= col.Blocks[jb].I {
+					destI, destJ = col.Blocks[ia].I, col.Blocks[jb].I
+				} else {
+					destI, destJ = col.Blocks[jb].I, col.Blocks[ia].I
+				}
+				addConsumer(idA, int32(a.Owner(destI, destJ)))
+			}
+		}
+	}
+
+	for id := 0; id < nb; id++ {
+		for _, p := range pr.Consumers[id] {
+			if p != pr.Owner[id] {
+				pr.IncomingRemote[p]++
+				pr.TotalMessages++
+				pr.TotalBytes += pr.Bytes[id]
+			}
+		}
+	}
+	return pr
+}
+
+// findID returns the block id of block (i,j), panicking if absent (the
+// block structure guarantees presence of all op destinations).
+func (pr *Program) findID(i, j int) int32 {
+	col := &pr.BS.Cols[j]
+	lo, hi := 0, len(col.Blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if col.Blocks[mid].I < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(col.Blocks) || col.Blocks[lo].I != i {
+		panic("sched: block not found")
+	}
+	return pr.BlockID(j, lo)
+}
+
+// FindID is the exported lookup of a block id by block coordinates.
+func (pr *Program) FindID(i, j int) int32 { return pr.findID(i, j) }
+
+// ModFlops returns the flop cost of the BMOD with sources (ia, jb) of
+// column k (block indices within the column, ia pairs the larger block row
+// when destI != destJ — callers pass any order; cost is symmetric except
+// for the diagonal destination).
+func (pr *Program) ModFlops(k, ia, jb int) int64 {
+	col := &pr.BS.Cols[k]
+	wk := int64(pr.BS.Part.Width(k))
+	ri := int64(len(col.Blocks[ia].Rows))
+	cj := int64(len(col.Blocks[jb].Rows))
+	if col.Blocks[ia].I == col.Blocks[jb].I {
+		return ri * (ri + 1) * wk
+	}
+	return 2 * ri * cj * wk
+}

@@ -1,0 +1,344 @@
+// Package sparse provides the symmetric sparse matrix representations used
+// throughout the library.
+//
+// Two views of a symmetric matrix are used:
+//
+//   - Matrix: the numeric lower triangle (including the diagonal) in
+//     compressed sparse column (CSC) form. This is the input to symbolic and
+//     numeric factorization.
+//   - Pattern: the full symmetric adjacency structure (both triangles, no
+//     diagonal). This is the input to fill-reducing ordering algorithms,
+//     which operate on the graph of the matrix.
+//
+// Row indices within each column are kept sorted ascending; all constructors
+// and transformations preserve this invariant.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Matrix is a symmetric positive definite matrix stored as its lower
+// triangle (diagonal included) in compressed sparse column form.
+// Column j occupies Val[ColPtr[j]:ColPtr[j+1]] with row indices
+// RowInd[ColPtr[j]:ColPtr[j+1]] sorted ascending; the first entry of every
+// column is the diagonal.
+type Matrix struct {
+	N      int
+	ColPtr []int
+	RowInd []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries (lower triangle incl. diagonal).
+func (m *Matrix) NNZ() int { return len(m.RowInd) }
+
+// Validate checks the structural invariants of the matrix and returns a
+// descriptive error on the first violation.
+func (m *Matrix) Validate() error {
+	if m.N < 0 {
+		return fmt.Errorf("sparse: negative dimension %d", m.N)
+	}
+	if len(m.ColPtr) != m.N+1 {
+		return fmt.Errorf("sparse: len(ColPtr)=%d, want %d", len(m.ColPtr), m.N+1)
+	}
+	if len(m.RowInd) != len(m.Val) {
+		return fmt.Errorf("sparse: len(RowInd)=%d != len(Val)=%d", len(m.RowInd), len(m.Val))
+	}
+	if m.ColPtr[0] != 0 || m.ColPtr[m.N] != len(m.RowInd) {
+		return fmt.Errorf("sparse: ColPtr bounds [%d,%d], want [0,%d]", m.ColPtr[0], m.ColPtr[m.N], len(m.RowInd))
+	}
+	for j := 0; j < m.N; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: column %d has negative length", j)
+		}
+		if lo == hi || m.RowInd[lo] != j {
+			return fmt.Errorf("sparse: column %d missing diagonal entry", j)
+		}
+		for p := lo; p < hi; p++ {
+			r := m.RowInd[p]
+			if r < j || r >= m.N {
+				return fmt.Errorf("sparse: column %d row %d out of range", j, r)
+			}
+			if p > lo && m.RowInd[p-1] >= r {
+				return fmt.Errorf("sparse: column %d rows not strictly increasing at %d", j, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{
+		N:      m.N,
+		ColPtr: append([]int(nil), m.ColPtr...),
+		RowInd: append([]int(nil), m.RowInd...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Diag returns a copy of the diagonal.
+func (m *Matrix) Diag() []float64 {
+	d := make([]float64, m.N)
+	for j := 0; j < m.N; j++ {
+		d[j] = m.Val[m.ColPtr[j]]
+	}
+	return d
+}
+
+// At returns A(i,j). Both orderings of (i,j) are accepted; the lookup is a
+// binary search within the column of min(i,j).
+func (m *Matrix) At(i, j int) float64 {
+	if i < j {
+		i, j = j, i
+	}
+	lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+	rows := m.RowInd[lo:hi]
+	k := sort.SearchInts(rows, i)
+	if k < len(rows) && rows[k] == i {
+		return m.Val[lo+k]
+	}
+	return 0
+}
+
+// MulVec computes y = A·x for the full symmetric matrix (both triangles).
+func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.N)
+	for j := 0; j < m.N; j++ {
+		xj := x[j]
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			v := m.Val[p]
+			y[i] += v * xj
+			if i != j {
+				y[j] += v * x[i]
+			}
+		}
+	}
+	return y
+}
+
+// Pattern is the adjacency structure of a symmetric matrix: for each column
+// j, the sorted row indices of off-diagonal nonzeros in BOTH triangles
+// (i.e. the graph neighbourhood of vertex j). The diagonal is excluded.
+type Pattern struct {
+	N      int
+	ColPtr []int
+	RowInd []int
+}
+
+// Degree returns the number of neighbours of vertex j.
+func (p *Pattern) Degree(j int) int { return p.ColPtr[j+1] - p.ColPtr[j] }
+
+// Adj returns the (sorted) neighbour list of vertex j. The returned slice
+// aliases the pattern's storage and must not be modified.
+func (p *Pattern) Adj(j int) []int { return p.RowInd[p.ColPtr[j]:p.ColPtr[j+1]] }
+
+// NEdges returns the number of undirected edges.
+func (p *Pattern) NEdges() int { return len(p.RowInd) / 2 }
+
+// PatternOf builds the full symmetric adjacency structure from the lower
+// triangle of m.
+func PatternOf(m *Matrix) *Pattern {
+	n := m.N
+	deg := make([]int, n)
+	for j := 0; j < n; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			if i != j {
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	ptr := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		ptr[j+1] = ptr[j] + deg[j]
+	}
+	ind := make([]int, ptr[n])
+	next := append([]int(nil), ptr[:n]...)
+	for j := 0; j < n; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			if i != j {
+				ind[next[j]] = i
+				next[j]++
+				ind[next[i]] = j
+				next[i]++
+			}
+		}
+	}
+	// Row indices are appended in increasing column order for the upper
+	// part and increasing row order for the lower part; each adjacency
+	// list is already sorted because columns are visited in order and
+	// each column's rows are sorted. Verify cheaply in debug builds via
+	// tests; sort defensively here only if needed.
+	for j := 0; j < n; j++ {
+		adj := ind[ptr[j]:ptr[j+1]]
+		if !sort.IntsAreSorted(adj) {
+			sort.Ints(adj)
+		}
+	}
+	return &Pattern{N: n, ColPtr: ptr, RowInd: ind}
+}
+
+// Triplet is a single (row, col, value) entry used during assembly.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromTriplets assembles a symmetric matrix from lower-or-upper triangle
+// triplets. Duplicate entries are summed. Entries are mirrored into the
+// lower triangle; diagonal entries absent from the input are created with
+// value zero so the CSC invariant (explicit diagonal) holds.
+func FromTriplets(n int, ts []Triplet) (*Matrix, error) {
+	type key struct{ r, c int }
+	acc := make(map[key]float64, len(ts)+n)
+	for _, t := range ts {
+		r, c := t.Row, t.Col
+		if r < 0 || r >= n || c < 0 || c >= n {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) out of range for n=%d", r, c, n)
+		}
+		if r < c {
+			r, c = c, r
+		}
+		acc[key{r, c}] += t.Val
+	}
+	for j := 0; j < n; j++ {
+		if _, ok := acc[key{j, j}]; !ok {
+			acc[key{j, j}] = 0
+		}
+	}
+	counts := make([]int, n+1)
+	for k := range acc {
+		counts[k.c+1]++
+	}
+	for j := 0; j < n; j++ {
+		counts[j+1] += counts[j]
+	}
+	m := &Matrix{
+		N:      n,
+		ColPtr: counts,
+		RowInd: make([]int, len(acc)),
+		Val:    make([]float64, len(acc)),
+	}
+	next := append([]int(nil), counts[:n]...)
+	for k, v := range acc {
+		p := next[k.c]
+		next[k.c]++
+		m.RowInd[p] = k.r
+		m.Val[p] = v
+	}
+	// Sort each column's (row, val) pairs by row.
+	for j := 0; j < n; j++ {
+		lo, hi := m.ColPtr[j], m.ColPtr[j+1]
+		rows, vals := m.RowInd[lo:hi], m.Val[lo:hi]
+		sort.Sort(&rowValSort{rows, vals})
+	}
+	return m, nil
+}
+
+type rowValSort struct {
+	rows []int
+	vals []float64
+}
+
+func (s *rowValSort) Len() int           { return len(s.rows) }
+func (s *rowValSort) Less(i, j int) bool { return s.rows[i] < s.rows[j] }
+func (s *rowValSort) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// Permute computes the symmetric permutation B = P·A·Pᵀ where perm[new] =
+// old, i.e. B(i,j) = A(perm[i], perm[j]). The result is again a sorted
+// lower-triangular CSC matrix.
+func (m *Matrix) Permute(perm []int) (*Matrix, error) {
+	n := m.N
+	if len(perm) != n {
+		return nil, fmt.Errorf("sparse: permutation length %d for n=%d", len(perm), n)
+	}
+	inv := make([]int, n)
+	seen := make([]bool, n)
+	for newIdx, old := range perm {
+		if old < 0 || old >= n || seen[old] {
+			return nil, fmt.Errorf("sparse: invalid permutation at position %d", newIdx)
+		}
+		seen[old] = true
+		inv[old] = newIdx
+	}
+	counts := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			ni, nj := inv[i], inv[j]
+			if ni < nj {
+				ni, nj = nj, ni
+			}
+			counts[nj+1]++
+		}
+	}
+	for j := 0; j < n; j++ {
+		counts[j+1] += counts[j]
+	}
+	b := &Matrix{
+		N:      n,
+		ColPtr: counts,
+		RowInd: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	next := append([]int(nil), counts[:n]...)
+	for j := 0; j < n; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			ni, nj := inv[i], inv[j]
+			if ni < nj {
+				ni, nj = nj, ni
+			}
+			q := next[nj]
+			next[nj]++
+			b.RowInd[q] = ni
+			b.Val[q] = m.Val[p]
+		}
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := b.ColPtr[j], b.ColPtr[j+1]
+		sort.Sort(&rowValSort{b.RowInd[lo:hi], b.Val[lo:hi]})
+	}
+	return b, nil
+}
+
+// ResidualNorm returns ‖A·x − b‖∞, a convergence check for solvers.
+func (m *Matrix) ResidualNorm(x, b []float64) float64 {
+	ax := m.MulVec(x)
+	worst := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Dense expands the full symmetric matrix into a row-major n×n dense
+// matrix. Intended for tests and tiny reference computations only.
+func (m *Matrix) Dense() [][]float64 {
+	d := make([][]float64, m.N)
+	for i := range d {
+		d[i] = make([]float64, m.N)
+	}
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i := m.RowInd[p]
+			d[i][j] = m.Val[p]
+			d[j][i] = m.Val[p]
+		}
+	}
+	return d
+}

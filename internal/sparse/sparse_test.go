@@ -1,0 +1,261 @@
+package sparse
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tiny builds the 4×4 SPD matrix
+//
+//	[ 4 -1  0 -1]
+//	[-1  4 -1  0]
+//	[ 0 -1  4 -1]
+//	[-1  0 -1  4]
+func tiny(t *testing.T) *Matrix {
+	t.Helper()
+	m, err := FromTriplets(4, []Triplet{
+		{0, 0, 4}, {1, 1, 4}, {2, 2, 4}, {3, 3, 4},
+		{1, 0, -1}, {2, 1, -1}, {3, 2, -1}, {3, 0, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromTripletsBasics(t *testing.T) {
+	m := tiny(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 8 {
+		t.Fatalf("nnz=%d, want 8", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 4 {
+		t.Fatalf("A(0,0)=%g", got)
+	}
+	if got := m.At(0, 1); got != -1 {
+		t.Fatalf("A(0,1)=%g (symmetric access)", got)
+	}
+	if got := m.At(2, 0); got != 0 {
+		t.Fatalf("A(2,0)=%g, want 0", got)
+	}
+}
+
+func TestFromTripletsUpperMirrored(t *testing.T) {
+	// Entries supplied in the upper triangle must land in the lower.
+	m, err := FromTriplets(3, []Triplet{
+		{0, 0, 2}, {1, 1, 2}, {2, 2, 2},
+		{0, 2, -1}, // upper triangle input
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(2, 0); got != -1 {
+		t.Fatalf("A(2,0)=%g, want -1", got)
+	}
+}
+
+func TestFromTripletsDuplicatesSummed(t *testing.T) {
+	m, err := FromTriplets(2, []Triplet{
+		{0, 0, 1}, {0, 0, 2}, {1, 1, 3}, {1, 0, -1}, {0, 1, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 0); got != 3 {
+		t.Fatalf("duplicate diag sum %g, want 3", got)
+	}
+	if got := m.At(1, 0); got != -2 {
+		t.Fatalf("duplicate offdiag sum %g, want -2", got)
+	}
+}
+
+func TestFromTripletsOutOfRange(t *testing.T) {
+	if _, err := FromTriplets(2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range triplet")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := tiny(t)
+	m.RowInd[1], m.RowInd[2] = m.RowInd[2], m.RowInd[1]
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected unsorted-rows error")
+	}
+}
+
+func TestValidateMissingDiagonal(t *testing.T) {
+	m := &Matrix{N: 2, ColPtr: []int{0, 1, 2}, RowInd: []int{1, 1}, Val: []float64{1, 1}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected missing-diagonal error")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	m := tiny(t)
+	d := m.Dense()
+	x := []float64{1, 2, -3, 0.5}
+	y := m.MulVec(x)
+	for i := 0; i < m.N; i++ {
+		var want float64
+		for j := 0; j < m.N; j++ {
+			want += d[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-14 {
+			t.Fatalf("y[%d]=%g, want %g", i, y[i], want)
+		}
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	m := tiny(t)
+	perm := []int{2, 0, 3, 1}
+	b, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got, want := b.At(i, j), m.At(perm[i], perm[j]); got != want {
+				t.Fatalf("B(%d,%d)=%g, want A(%d,%d)=%g", i, j, got, perm[i], perm[j], want)
+			}
+		}
+	}
+	// Permuting back with the inverse must restore A exactly.
+	inv := make([]int, 4)
+	for n, o := range perm {
+		inv[o] = n
+	}
+	c, err := b.Permute(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.ColPtr, m.ColPtr) || !reflect.DeepEqual(c.RowInd, m.RowInd) {
+		t.Fatal("structure not restored by inverse permutation")
+	}
+	for p := range c.Val {
+		if c.Val[p] != m.Val[p] {
+			t.Fatalf("value %d not restored", p)
+		}
+	}
+}
+
+func TestPermuteRejectsBad(t *testing.T) {
+	m := tiny(t)
+	if _, err := m.Permute([]int{0, 1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := m.Permute([]int{0, 0, 1, 2}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if _, err := m.Permute([]int{0, 1, 2, 4}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestPatternOf(t *testing.T) {
+	m := tiny(t)
+	p := PatternOf(m)
+	if p.NEdges() != 4 {
+		t.Fatalf("edges=%d, want 4", p.NEdges())
+	}
+	wantAdj := map[int][]int{
+		0: {1, 3}, 1: {0, 2}, 2: {1, 3}, 3: {0, 2},
+	}
+	for v, want := range wantAdj {
+		if got := p.Adj(v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("adj(%d)=%v, want %v", v, got, want)
+		}
+		if p.Degree(v) != len(want) {
+			t.Fatalf("degree(%d)=%d", v, p.Degree(v))
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := tiny(t)
+	c := m.Clone()
+	c.Val[0] = 99
+	if m.Val[0] == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := tiny(t)
+	d := m.Diag()
+	for i, v := range d {
+		if v != 4 {
+			t.Fatalf("diag[%d]=%g", i, v)
+		}
+	}
+}
+
+func TestResidualNorm(t *testing.T) {
+	m := tiny(t)
+	x := []float64{1, 1, 1, 1}
+	b := m.MulVec(x)
+	if r := m.ResidualNorm(x, b); r != 0 {
+		t.Fatalf("residual %g, want 0", r)
+	}
+	b[0] += 0.5
+	if r := m.ResidualNorm(x, b); math.Abs(r-0.5) > 1e-15 {
+		t.Fatalf("residual %g, want 0.5", r)
+	}
+}
+
+// Property: for random sparse SPD-patterned matrices, PatternOf is an
+// involution partner of the lower triangle — rebuilding a matrix from the
+// pattern's lower edges reproduces the structure.
+func TestQuickPermuteSymmetryPreserved(t *testing.T) {
+	f := func(seed uint8, permSeed uint8) bool {
+		n := 6 + int(seed%7)
+		var ts []Triplet
+		for i := 0; i < n; i++ {
+			ts = append(ts, Triplet{i, i, 10})
+		}
+		s := int(seed)
+		for i := 1; i < n; i++ {
+			j := (i*7 + s) % i
+			ts = append(ts, Triplet{i, j, -1})
+		}
+		m, err := FromTriplets(n, ts)
+		if err != nil {
+			return false
+		}
+		// Random-ish permutation by repeated swapping.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		ps := int(permSeed) + 1
+		for i := n - 1; i > 0; i-- {
+			j := (i*ps + 3) % (i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		b, err := m.Permute(perm)
+		if err != nil {
+			return false
+		}
+		if b.Validate() != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if b.At(i, j) != m.At(perm[i], perm[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

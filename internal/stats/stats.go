@@ -1,0 +1,113 @@
+// Package stats summarizes an analyzed plan in human-readable form:
+// ordering quality, supernode and panel distributions, block structure
+// size, storage estimates, and the paper's headline per-problem numbers.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"blockfanout/internal/core"
+)
+
+// Memory estimates the storage the factorization needs.
+type Memory struct {
+	FactorBytes int64 // dense block storage of L
+	IndexBytes  int64 // block row lists and partition arrays
+	MatrixBytes int64 // the permuted input matrix
+}
+
+// Total returns the summed estimate.
+func (m Memory) Total() int64 { return m.FactorBytes + m.IndexBytes + m.MatrixBytes }
+
+// Estimate computes the memory footprint of a plan's factorization.
+func Estimate(p *core.Plan) Memory {
+	var mem Memory
+	part := p.BS.Part
+	for j := range p.BS.Cols {
+		w := int64(part.Width(j))
+		for _, b := range p.BS.Cols[j].Blocks {
+			mem.FactorBytes += int64(len(b.Rows)) * w * 8
+			mem.IndexBytes += int64(len(b.Rows)) * 8
+		}
+	}
+	mem.IndexBytes += int64(len(part.Start)+len(part.PanelOf)+len(part.SnodeOf)) * 8
+	mem.MatrixBytes = int64(p.PA.NNZ())*16 + int64(p.PA.N+1)*8
+	return mem
+}
+
+// histogram buckets values into powers of two and renders counts.
+func histogram(w io.Writer, label string, values []int) {
+	if len(values) == 0 {
+		return
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	buckets := map[int]int{} // bucket upper bound → count
+	for _, v := range sorted {
+		ub := 1
+		for ub < v {
+			ub *= 2
+		}
+		buckets[ub]++
+	}
+	var ubs []int
+	for ub := range buckets {
+		ubs = append(ubs, ub)
+	}
+	sort.Ints(ubs)
+	fmt.Fprintf(w, "%s: n=%d min=%d median=%d max=%d\n", label,
+		len(sorted), sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1])
+	for _, ub := range ubs {
+		lo := ub/2 + 1
+		if ub == 1 {
+			lo = 1
+		}
+		fmt.Fprintf(w, "  %6d..%-6d %6d ", lo, ub, buckets[ub])
+		stars := buckets[ub] * 40 / len(sorted)
+		for s := 0; s < stars; s++ {
+			fmt.Fprint(w, "*")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Report writes the full plan summary.
+func Report(w io.Writer, p *core.Plan) {
+	fmt.Fprintf(w, "matrix: n=%d nnz(A,lower)=%d\n", p.A.N, p.A.NNZ())
+	fmt.Fprintf(w, "factor: nnz(L)=%d ops=%.1fM fill=%.1fx\n",
+		p.Exact.NZinL, float64(p.Exact.Flops)/1e6,
+		float64(p.Exact.NZinL)/float64(p.A.NNZ()-p.A.N))
+	fmt.Fprintf(w, "relaxed structure: nnz=%d (+%.1f%%) ops=%.1fM (+%.1f%%)\n",
+		p.Sym.NNZ(), pct(p.Sym.NNZ(), p.Exact.NZinL),
+		float64(p.BS.TotalFlops)/1e6, pct(p.BS.TotalFlops, p.Exact.Flops))
+
+	widths := make([]int, len(p.Sym.Snodes))
+	for i, sn := range p.Sym.Snodes {
+		widths[i] = sn.Width
+	}
+	histogram(w, "supernode widths", widths)
+
+	panels := make([]int, p.BS.N())
+	blocksPerCol := make([]int, p.BS.N())
+	for j := range p.BS.Cols {
+		panels[j] = p.BS.Part.Width(j)
+		blocksPerCol[j] = len(p.BS.Cols[j].Blocks)
+	}
+	histogram(w, "panel widths", panels)
+	histogram(w, "blocks per block-column", blocksPerCol)
+
+	mem := Estimate(p)
+	fmt.Fprintf(w, "storage: factor %.1f MB, indices %.1f MB, matrix %.1f MB (total %.1f MB)\n",
+		mb(mem.FactorBytes), mb(mem.IndexBytes), mb(mem.MatrixBytes), mb(mem.Total()))
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+func pct(newV, oldV int64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (float64(newV)/float64(oldV) - 1) * 100
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	ord "blockfanout/internal/order"
+)
+
+func planFixture(t *testing.T) *core.Plan {
+	t.Helper()
+	p, err := core.NewPlan(gen.IrregularMesh(300, 5, 3, 4),
+		core.Options{Ordering: ord.MinDegree, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEstimate(t *testing.T) {
+	p := planFixture(t)
+	mem := Estimate(p)
+	if mem.FactorBytes <= 0 || mem.IndexBytes <= 0 || mem.MatrixBytes <= 0 {
+		t.Fatalf("non-positive estimates: %+v", mem)
+	}
+	if mem.Total() != mem.FactorBytes+mem.IndexBytes+mem.MatrixBytes {
+		t.Fatal("total mismatch")
+	}
+	// The factor bytes must be at least 8× the exact nnz (relaxed
+	// structure only adds entries) plus the packed diagonal triangles.
+	if mem.FactorBytes < p.Exact.NZinL*8 {
+		t.Fatalf("factor bytes %d below exact nnz bound %d", mem.FactorBytes, p.Exact.NZinL*8)
+	}
+}
+
+func TestReport(t *testing.T) {
+	p := planFixture(t)
+	var sb strings.Builder
+	Report(&sb, p)
+	out := sb.String()
+	for _, want := range []string{
+		"matrix:", "factor:", "relaxed structure:",
+		"supernode widths", "panel widths", "blocks per block-column",
+		"storage:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	var sb strings.Builder
+	histogram(&sb, "empty", nil)
+	if sb.Len() != 0 {
+		t.Fatal("empty histogram produced output")
+	}
+	histogram(&sb, "ones", []int{1, 1, 1})
+	if !strings.Contains(sb.String(), "1..1") {
+		t.Fatalf("unexpected: %s", sb.String())
+	}
+}

@@ -1,0 +1,103 @@
+// Package trace renders simulated execution timelines (machine.Span
+// records) as ASCII charts: a per-processor Gantt strip showing
+// computation, communication overhead, and idle time, plus a utilization
+// summary. It visualizes the §5 observation that, after the mapping
+// heuristics are applied, the dominant loss is processors sitting idle
+// waiting for data.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"blockfanout/internal/machine"
+)
+
+// Gantt writes one row per processor, dividing [0, res.Time] into width
+// buckets: '#' buckets are mostly computation, '~' mostly communication,
+// '.' mostly idle.
+func Gantt(w io.Writer, res *machine.Result, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	np := len(res.CompTime)
+	if res.Time <= 0 {
+		return fmt.Errorf("trace: empty result")
+	}
+	if len(res.Spans) == 0 {
+		return fmt.Errorf("trace: no spans recorded (set Config.CollectTrace)")
+	}
+	// Per-processor, per-bucket busy fractions.
+	comp := make([][]float64, np)
+	comm := make([][]float64, np)
+	for p := 0; p < np; p++ {
+		comp[p] = make([]float64, width)
+		comm[p] = make([]float64, width)
+	}
+	bucket := res.Time / float64(width)
+	for _, s := range res.Spans {
+		dst := comp[s.Proc]
+		if s.Comm {
+			dst = comm[s.Proc]
+		}
+		// Spread the span over the buckets it overlaps.
+		b0 := int(s.Start / bucket)
+		b1 := int(s.End / bucket)
+		if b1 >= width {
+			b1 = width - 1
+		}
+		for b := b0; b <= b1; b++ {
+			lo := float64(b) * bucket
+			hi := lo + bucket
+			if s.Start > lo {
+				lo = s.Start
+			}
+			if s.End < hi {
+				hi = s.End
+			}
+			if hi > lo {
+				dst[b] += (hi - lo) / bucket
+			}
+		}
+	}
+	fmt.Fprintf(w, "timeline 0 .. %.4fs  ('#' compute, '~' comm, '.' idle)\n", res.Time)
+	for p := 0; p < np; p++ {
+		row := make([]byte, width)
+		for b := 0; b < width; b++ {
+			switch {
+			case comp[p][b] >= 0.5:
+				row[b] = '#'
+			case comp[p][b]+comm[p][b] >= 0.5:
+				row[b] = '~'
+			default:
+				row[b] = '.'
+			}
+		}
+		fmt.Fprintf(w, "P%-4d |%s| busy %4.0f%%\n", p, row,
+			(res.CompTime[p]+res.CommTime[p])/res.Time*100)
+	}
+	return nil
+}
+
+// Utilization writes a histogram of per-processor busy fractions and the
+// machine-wide compute/communicate/idle breakdown.
+func Utilization(w io.Writer, res *machine.Result) {
+	comp, comm, idle := res.Breakdown()
+	fmt.Fprintf(w, "machine-wide: compute %.0f%%  comm %.0f%%  idle %.0f%%\n",
+		comp*100, comm*100, idle*100)
+	busy := make([]float64, len(res.CompTime))
+	for p := range busy {
+		busy[p] = (res.CompTime[p] + res.CommTime[p]) / res.Time
+	}
+	sort.Float64s(busy)
+	q := func(f float64) float64 {
+		if len(busy) == 0 {
+			return 0
+		}
+		i := int(f * float64(len(busy)-1))
+		return busy[i]
+	}
+	fmt.Fprintf(w, "per-proc busy fraction: min %.0f%%  p25 %.0f%%  median %.0f%%  p75 %.0f%%  max %.0f%%\n",
+		q(0)*100, q(0.25)*100, q(0.5)*100, q(0.75)*100, q(1)*100)
+}

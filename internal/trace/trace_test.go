@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/etree"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/symbolic"
+)
+
+func simResult(t *testing.T, collect bool) *machine.Result {
+	t.Helper()
+	m := gen.Grid2D(14)
+	p, err := ord.Compute(ord.NDGrid2D, m, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := m.Permute(p)
+	po := etree.Build(m1).Postorder()
+	m2, _ := m1.Permute(po)
+	st, err := symbolic.Analyze(m2, symbolic.DefaultAmalgamation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := blocks.Build(st, blocks.NewPartition(st, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
+	cfg := machine.Paragon()
+	cfg.CollectTrace = collect
+	res := machine.Simulate(pr, cfg)
+	return &res
+}
+
+func TestGantt(t *testing.T) {
+	res := simResult(t, true)
+	if len(res.Spans) == 0 {
+		t.Fatal("no spans collected")
+	}
+	var sb strings.Builder
+	if err := Gantt(&sb, res, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 processors
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, "|") || !strings.Contains(l, "busy") {
+			t.Fatalf("malformed row %q", l)
+		}
+	}
+	if !strings.ContainsAny(out, "#") {
+		t.Fatal("no computation rendered")
+	}
+}
+
+func TestGanttRequiresSpans(t *testing.T) {
+	res := simResult(t, false)
+	var sb strings.Builder
+	if err := Gantt(&sb, res, 40); err == nil {
+		t.Fatal("expected error without spans")
+	}
+}
+
+func TestSpanAccountingMatchesTotals(t *testing.T) {
+	res := simResult(t, true)
+	sum := make([]float64, len(res.CompTime))
+	for _, s := range res.Spans {
+		if s.End < s.Start {
+			t.Fatal("negative span")
+		}
+		if s.End > res.Time+1e-12 {
+			t.Fatalf("span past makespan: %v vs %v", s.End, res.Time)
+		}
+		sum[s.Proc] += s.End - s.Start
+	}
+	for p := range sum {
+		want := res.CompTime[p] + res.CommTime[p]
+		if diff := sum[p] - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("proc %d span total %g != busy %g", p, sum[p], want)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	res := simResult(t, true)
+	var sb strings.Builder
+	Utilization(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, "idle") || !strings.Contains(out, "median") {
+		t.Fatalf("unexpected output %q", out)
+	}
+}
