@@ -1,0 +1,34 @@
+package blockfanout
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"blockfanout/internal/benchjson"
+)
+
+// TestWriteBenchKernelsJSON regenerates BENCH_kernels.json, the committed
+// kernel-throughput report (per-kernel GFlop/s across block widths plus
+// end-to-end fan-out wall time at CI scale). It is opt-in because timing
+// runs are meaningless on a loaded machine:
+//
+//	BENCH_JSON=1 go test -run WriteBenchKernelsJSON .
+func TestWriteBenchKernelsJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to measure kernels and rewrite BENCH_kernels.json")
+	}
+	rep, err := benchjson.Collect(200 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteFile("BENCH_kernels.json"); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Kernels {
+		if row.GFlops <= 0 {
+			t.Fatalf("kernel %s w=%d measured no throughput", row.Kernel, row.Width)
+		}
+	}
+	t.Logf("wrote BENCH_kernels.json: %d kernel rows, %d fanout rows", len(rep.Kernels), len(rep.Fanout))
+}

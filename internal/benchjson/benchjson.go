@@ -1,0 +1,245 @@
+// Package benchjson measures the library's kernel and end-to-end
+// performance and serializes the result as a machine-readable report
+// (BENCH_kernels.json at the repo root). The numbers answer the paper's
+// recurring question — what fraction of the machine rate does the
+// factorization achieve? — for this implementation: the per-kernel GFlop/s
+// rows are the "machine rate" of the tiled block operations, and the fan-out
+// row is the achieved end-to-end rate at CI scale.
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"blockfanout/internal/experiments"
+	"blockfanout/internal/fanout"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/kernels"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	"blockfanout/internal/sched"
+)
+
+// KernelRow is one (kernel, block width) throughput measurement.
+type KernelRow struct {
+	Kernel string  `json:"kernel"`
+	Width  int     `json:"w"`
+	GFlops float64 `json:"gflops"`
+	// SpeedupVsNaive is tiled/naive throughput at the same width; zero for
+	// the naive reference rows themselves.
+	SpeedupVsNaive float64 `json:"speedup_vs_naive,omitempty"`
+}
+
+// FanoutRow is one end-to-end parallel factorization measurement.
+type FanoutRow struct {
+	Problem string  `json:"problem"`
+	Procs   int     `json:"procs"`
+	Seconds float64 `json:"seconds"`
+	GFlops  float64 `json:"gflops"`
+}
+
+// Report is the full BENCH_kernels.json document.
+type Report struct {
+	Host string `json:"host"`
+	// FMA records whether the AVX2+FMA micro-kernel was active; the
+	// MulSubPortable rows measure the register-tiled Go fallback either way.
+	FMA     bool        `json:"fma"`
+	Scale   string      `json:"scale"`
+	Kernels []KernelRow `json:"kernels"`
+	Fanout  []FanoutRow `json:"fanout"`
+}
+
+// Widths are the block sizes the partitioner actually produces; they match
+// the kernel micro-benchmarks in internal/kernels.
+var Widths = []int{8, 16, 24, 32, 48, 64}
+
+const benchRows = 64
+
+// timeLoop runs fn until minTime has elapsed (after one warmup call) and
+// returns throughput in GFlop/s.
+func timeLoop(minTime time.Duration, flopsPerIter int64, fn func()) float64 {
+	fn()
+	var iters int64
+	start := time.Now()
+	for time.Since(start) < minTime {
+		fn()
+		iters++
+	}
+	sec := time.Since(start).Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(flopsPerIter) * float64(iters) / sec / 1e9
+}
+
+func blockOperands(w, r int) (a, b, c []float64, rel []int) {
+	a = make([]float64, r*w)
+	b = make([]float64, r*w)
+	c = make([]float64, r*r)
+	for i := range a {
+		a[i] = float64(i%7) - 3
+		b[i] = float64(i%11) - 5
+	}
+	rel = make([]int, r)
+	for i := range rel {
+		rel[i] = i
+	}
+	return
+}
+
+func spd(w int, shift float64) []float64 {
+	a := make([]float64, w*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j <= i; j++ {
+			v := 1 / (1 + float64(i-j))
+			a[i*w+j] = v
+			a[j*w+i] = v
+		}
+		a[i*w+i] += float64(w) + shift
+	}
+	return a
+}
+
+// collectKernels measures every tiled kernel and its retained naive
+// reference across Widths.
+func collectKernels(minTime time.Duration) []KernelRow {
+	var rows []KernelRow
+	r := benchRows
+	for _, w := range Widths {
+		a, b, c, rel := blockOperands(w, r)
+		mulFlops := int64(2 * r * r * w)
+		tiled := timeLoop(minTime, mulFlops, func() {
+			kernels.MulSub(c, r, a, r, b, r, w, rel, rel, false, nil, nil)
+		})
+		naive := timeLoop(minTime, mulFlops, func() {
+			kernels.MulSubNaive(c, r, a, r, b, r, w, rel, rel, false, nil, nil)
+		})
+		scattered := timeLoop(minTime, mulFlops, func() {
+			kernels.MulSubScattered(c, r, a, r, b, r, w, rel, rel)
+		})
+		rows = append(rows,
+			KernelRow{Kernel: "MulSub", Width: w, GFlops: tiled, SpeedupVsNaive: tiled / naive},
+			KernelRow{Kernel: "MulSubScattered", Width: w, GFlops: scattered, SpeedupVsNaive: scattered / naive},
+			KernelRow{Kernel: "MulSubNaive", Width: w, GFlops: naive},
+		)
+		if kernels.HasFMA() {
+			kernels.SetFMA(false)
+			portable := timeLoop(minTime, mulFlops, func() {
+				kernels.MulSub(c, r, a, r, b, r, w, rel, rel, false, nil, nil)
+			})
+			kernels.SetFMA(true)
+			rows = append(rows, KernelRow{Kernel: "MulSubPortable", Width: w, GFlops: portable, SpeedupVsNaive: portable / naive})
+		}
+
+		src := spd(w, 2)
+		dst := make([]float64, w*w)
+		cholFlops := int64(w) * int64(w) * int64(w) / 3
+		chol := timeLoop(minTime, cholFlops, func() {
+			copy(dst, src)
+			if err := kernels.Cholesky(dst, w); err != nil {
+				panic(err)
+			}
+		})
+		cholNaive := timeLoop(minTime, cholFlops, func() {
+			copy(dst, src)
+			if err := kernels.CholeskyNaive(dst, w); err != nil {
+				panic(err)
+			}
+		})
+		rows = append(rows,
+			KernelRow{Kernel: "Cholesky", Width: w, GFlops: chol, SpeedupVsNaive: chol / cholNaive},
+			KernelRow{Kernel: "CholeskyNaive", Width: w, GFlops: cholNaive},
+		)
+
+		l := spd(w, 1)
+		if err := kernels.Cholesky(l, w); err != nil {
+			panic(err)
+		}
+		x := make([]float64, r*w)
+		work := make([]float64, r*w)
+		for i := range x {
+			x[i] = float64(i%13) - 6
+		}
+		slvFlops := int64(r) * int64(w) * int64(w)
+		slv := timeLoop(minTime, slvFlops, func() {
+			copy(work, x)
+			kernels.SolveRight(work, r, l, w)
+		})
+		slvNaive := timeLoop(minTime, slvFlops, func() {
+			copy(work, x)
+			kernels.SolveRightNaive(work, r, l, w)
+		})
+		rows = append(rows,
+			KernelRow{Kernel: "SolveRight", Width: w, GFlops: slv, SpeedupVsNaive: slv / slvNaive},
+			KernelRow{Kernel: "SolveRightNaive", Width: w, GFlops: slvNaive},
+		)
+	}
+	return rows
+}
+
+// collectFanout times complete parallel factorizations of the CI-scale
+// BCSSTK31 stand-in across processor grids.
+func collectFanout(minRuns int) ([]FanoutRow, error) {
+	const problem = "BCSSTK31"
+	p, ok := gen.ByName(gen.Table1Suite(gen.ScaleCI), problem)
+	if !ok {
+		panic("suite problem missing: " + problem)
+	}
+	plan, err := experiments.PlanFor(p, gen.ScaleCI, 16)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FanoutRow
+	for _, g := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 2}, {Pr: 4, Pc: 4}} {
+		pr := sched.Build(plan.BS, plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2))
+		best := 0.0
+		for run := 0; run < minRuns; run++ {
+			f, err := numeric.New(plan.BS, plan.PA)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := fanout.Run(f, pr); err != nil {
+				return nil, err
+			}
+			sec := time.Since(start).Seconds()
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		rows = append(rows, FanoutRow{
+			Problem: problem,
+			Procs:   g.P(),
+			Seconds: best,
+			GFlops:  float64(plan.BS.TotalFlops) / best / 1e9,
+		})
+	}
+	return rows, nil
+}
+
+// Collect measures everything and assembles the report. minTime bounds the
+// per-kernel measurement window.
+func Collect(minTime time.Duration) (*Report, error) {
+	host, _ := os.Hostname()
+	fan, err := collectFanout(5)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Host:    host,
+		FMA:     kernels.HasFMA(),
+		Scale:   "ci",
+		Kernels: collectKernels(minTime),
+		Fanout:  fan,
+	}, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,96 @@
+package fanout
+
+import (
+	"fmt"
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+)
+
+// TestFanoutSteadyStateAllocs pins down the allocation-free hot path: a
+// processor's entire run — hundreds of BFAC/BDIV/BMOD block operations plus
+// all arrival bookkeeping — may only allocate its fixed startup state (the
+// arrival bitset, the local work stack, the BMOD workspace, and the handful
+// of closures runProc builds). If any per-block or per-modification
+// allocation sneaks back into the loop, the per-run average scales with the
+// block count and blows well past the budget.
+func TestFanoutSteadyStateAllocs(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(250, 5, 3, 31), ord.MinDegree, 0, 8)
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 1, Pc: 1}, bs.N())})
+	if pr.NBlocks < 100 {
+		t.Fatalf("problem too small to distinguish per-block allocation: %d blocks", pr.NBlocks)
+	}
+
+	// AllocsPerRun calls the body runs+1 times (one warmup); every call
+	// needs a fresh unfactored copy, built outside the measurement.
+	const runs = 5
+	factors := make([]*numeric.Factor, runs+1)
+	for i := range factors {
+		f, err := numeric.New(bs, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors[i] = f
+	}
+
+	modsLeft := make([]int32, pr.NBlocks)
+	diagReady := make([]bool, pr.NBlocks)
+	done := make([]bool, pr.NBlocks)
+	inboxes := []chan int32{make(chan int32, 1)}
+	abort := make(chan struct{})
+	fail := func(err error) { t.Error(err) }
+
+	next := 0
+	avg := testing.AllocsPerRun(runs, func() {
+		f := factors[next]
+		next++
+		copy(modsLeft, pr.NMods)
+		for i := range diagReady {
+			diagReady[i] = false
+			done[i] = false
+		}
+		runProc(0, f, pr, modsLeft, diagReady, done, inboxes, abort, fail)
+	})
+
+	// Startup state only: bitset + stack + workspace + closures. The exact
+	// count is compiler-dependent; what matters is that it stays a small
+	// constant while the run handles pr.NBlocks ≫ budget blocks.
+	const budget = 24
+	if avg > budget {
+		t.Fatalf("runProc averaged %.1f allocations over %d blocks; want ≤ %d (steady state must not allocate)",
+			avg, pr.NBlocks, budget)
+	}
+}
+
+// BenchmarkFanoutRun times complete parallel factorizations — scheduling
+// overhead, channel traffic, and the tiled kernels together — at the
+// CI-scale problem size.
+func BenchmarkFanoutRun(b *testing.B) {
+	_, bs, pm := setup(b, gen.IrregularMesh(600, 7, 3, 57), ord.MinDegree, 0, 16)
+	for _, g := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 2}, {Pr: 4, Pc: 4}} {
+		b.Run(fmt.Sprintf("p=%d", g.P()), func(b *testing.B) {
+			pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(g, bs.N())})
+			flops := bs.TotalFlops
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, err := numeric.New(bs, pm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := Run(f, pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(flops)*float64(b.N)/sec/1e9, "GFlop/s")
+			}
+		})
+	}
+}

@@ -82,9 +82,15 @@ func runProc(me int32, f *numeric.Factor, pr *sched.Program,
 	if remaining == 0 {
 		return
 	}
-	arrived := make(map[int32]bool, remaining*2)
-	var local []int32
-	var relRow, relCol []int
+	// All per-processor state is sized up front so the steady-state loop
+	// below never allocates: arrival tracking is a bitset over block ids,
+	// the local work stack can hold every owned block (each is pushed at
+	// most once — Consumers lists are deduped), and the BMOD workspace is
+	// reserved for the widest block in the factor.
+	arrived := make([]uint64, (pr.NBlocks+63)/64)
+	local := make([]int32, 0, pr.OwnedCount[me])
+	var ws numeric.Workspace
+	ws.Reserve(f.MaxBlockRows())
 
 	failed := false
 
@@ -120,22 +126,19 @@ func runProc(me int32, f *numeric.Factor, pr *sched.Program,
 	}
 
 	// execMod performs BMOD with column-k sources at block indices a and b
-	// (unordered) and decrements the destination's counter.
+	// (unordered) and decrements the destination's counter. Blocks within
+	// a column are sorted by block row, so the larger index is the I side,
+	// and the destination id comes from the precomputed pairing table.
 	execMod := func(k, a, b int) {
-		colK := &pr.BS.Cols[k]
-		ia, jb := a, b
-		if colK.Blocks[ia].I < colK.Blocks[jb].I {
-			ia, jb = jb, ia
+		if a < b {
+			a, b = b, a
 		}
-		destI, destJ := colK.Blocks[ia].I, colK.Blocks[jb].I
-		var err error
-		relRow, relCol, err = f.BMOD(k, ia, jb, relRow, relCol)
-		if err != nil {
+		if err := f.BMOD(k, a, b, &ws); err != nil {
 			fail(err)
 			failed = true
 			return
 		}
-		dest := pr.FindID(destI, destJ)
+		dest := pr.ModDestID(k, a, b)
 		modsLeft[dest]--
 		if modsLeft[dest] == 0 && !done[dest] {
 			if pr.IdxOf[dest] == 0 || diagReady[dest] {
@@ -145,10 +148,10 @@ func runProc(me int32, f *numeric.Factor, pr *sched.Program,
 	}
 
 	handle := func(id int32) {
-		if arrived[id] {
+		if arrived[id>>6]&(1<<(uint(id)&63)) != 0 {
 			return
 		}
-		arrived[id] = true
+		arrived[id>>6] |= 1 << (uint(id) & 63)
 		k := int(pr.ColOf[id])
 		idx := int(pr.IdxOf[id])
 		colK := &pr.BS.Cols[k]
@@ -174,16 +177,10 @@ func runProc(me int32, f *numeric.Factor, pr *sched.Program,
 		// of its column whose pairing destination this processor owns.
 		for j := 1; j < len(colK.Blocks); j++ {
 			other := pr.BlockID(k, j)
-			var destI, destJ int
-			if colK.Blocks[idx].I >= colK.Blocks[j].I {
-				destI, destJ = colK.Blocks[idx].I, colK.Blocks[j].I
-			} else {
-				destI, destJ = colK.Blocks[j].I, colK.Blocks[idx].I
-			}
-			if int32(me) != pr.Owner[pr.FindID(destI, destJ)] {
+			if me != pr.Owner[pr.ModDestID(k, idx, j)] {
 				continue
 			}
-			if other == id || arrived[other] {
+			if other == id || arrived[other>>6]&(1<<(uint(other)&63)) != 0 {
 				execMod(k, idx, j)
 				if failed {
 					return

@@ -16,7 +16,7 @@ import (
 	"blockfanout/internal/symbolic"
 )
 
-func setup(t *testing.T, m *sparse.Matrix, method ord.Method, gridDim, b int) (*symbolic.Structure, *blocks.Structure, *sparse.Matrix) {
+func setup(t testing.TB, m *sparse.Matrix, method ord.Method, gridDim, b int) (*symbolic.Structure, *blocks.Structure, *sparse.Matrix) {
 	t.Helper()
 	p, err := ord.Compute(method, m, gridDim)
 	if err != nil {

@@ -1,10 +1,118 @@
 package kernels
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
-// Kernel micro-benchmarks at the paper's block size (B=48): these are the
-// operations the paper implements with hand-optimized Level-3 BLAS, so
-// their throughput sets the library's single-node "machine rate".
+// Kernel micro-benchmarks across the block sizes the partitioner actually
+// produces: these are the operations the paper implements with
+// hand-optimized Level-3 BLAS, so their throughput sets the library's
+// single-node "machine rate". Each benchmark reports GFlop/s; the *Naive
+// variants time the retained reference kernels so the tiling win is
+// measured in-tree. Run with:
+//
+//	go test -bench 'Kernel|Fanout' -benchmem ./...
+const benchRows = 64
+
+var benchWidths = []int{8, 16, 24, 32, 48, 64}
+
+func reportGFlops(b *testing.B, flopsPerOp int64) {
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(flopsPerOp)*float64(b.N)/sec/1e9, "GFlop/s")
+	}
+}
+
+func benchMulSub(b *testing.B, w int, fn func(c []float64, ldc int, a []float64, ra int, bb []float64, rb, w int, relRow, relCol []int)) {
+	r := benchRows
+	_, _, a, bm, c, relRow, relCol := benchBlocks(w, r)
+	b.SetBytes(int64(2*r*w+r*r) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(c, r, a, r, bm, r, w, relRow, relCol)
+	}
+	reportGFlops(b, int64(2*r*r*w))
+}
+
+func BenchmarkKernelMulSub(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			benchMulSub(b, w, func(c []float64, ldc int, a []float64, ra int, bb []float64, rb, w int, relRow, relCol []int) {
+				MulSub(c, ldc, a, ra, bb, rb, w, relRow, relCol, false, nil, nil)
+			})
+		})
+	}
+}
+
+func BenchmarkKernelMulSubScattered(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			benchMulSub(b, w, MulSubScattered)
+		})
+	}
+}
+
+func BenchmarkKernelMulSubNaive(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			benchMulSub(b, w, func(c []float64, ldc int, a []float64, ra int, bb []float64, rb, w int, relRow, relCol []int) {
+				MulSubNaive(c, ldc, a, ra, bb, rb, w, relRow, relCol, false, nil, nil)
+			})
+		})
+	}
+}
+
+func benchCholesky(b *testing.B, w int, fn func([]float64, int) error) {
+	src := spd(w, 2)
+	dst := make([]float64, w*w)
+	b.SetBytes(int64(w * w * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(dst, src)
+		if err := fn(dst, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGFlops(b, int64(w)*int64(w)*int64(w)/3)
+}
+
+func BenchmarkKernelCholesky(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) { benchCholesky(b, w, Cholesky) })
+	}
+}
+
+func BenchmarkKernelCholeskyNaive(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) { benchCholesky(b, w, CholeskyNaive) })
+	}
+}
+
+func benchSolveRight(b *testing.B, w int, fn func(x []float64, r int, l []float64, w int)) {
+	r := benchRows
+	l, x, _, _, _, _, _ := benchBlocks(w, r)
+	work := make([]float64, len(x))
+	b.SetBytes(int64(r * w * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		fn(work, r, l, w)
+	}
+	reportGFlops(b, int64(r)*int64(w)*int64(w))
+}
+
+func BenchmarkKernelSolveRight(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) { benchSolveRight(b, w, SolveRight) })
+	}
+}
+
+func BenchmarkKernelSolveRightNaive(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) { benchSolveRight(b, w, SolveRightNaive) })
+	}
+}
 
 func benchBlocks(w, r int) (l, x, a, b, c []float64, relRow, relCol []int) {
 	l = spd(w, 1)
@@ -29,44 +137,19 @@ func benchBlocks(w, r int) (l, x, a, b, c []float64, relRow, relCol []int) {
 	return
 }
 
-func BenchmarkCholesky48(bb *testing.B) {
-	w := 48
-	src := spd(w, 2)
-	dst := make([]float64, w*w)
-	bb.SetBytes(int64(w * w * 8))
-	for i := 0; i < bb.N; i++ {
-		copy(dst, src)
-		if err := Cholesky(dst, w); err != nil {
-			bb.Fatal(err)
-		}
+// BenchmarkKernelMulSubPortable times the register-tiled Go code with the
+// FMA micro-kernel disabled — the throughput non-amd64 builds get.
+func BenchmarkKernelMulSubPortable(b *testing.B) {
+	if !useFMA {
+		b.Skip("portable path already measured by BenchmarkKernelMulSub")
 	}
-}
-
-func BenchmarkSolveRight48x48(bb *testing.B) {
-	w, r := 48, 48
-	l, x, _, _, _, _, _ := benchBlocks(w, r)
-	work := make([]float64, len(x))
-	bb.SetBytes(int64(r * w * 8))
-	for i := 0; i < bb.N; i++ {
-		copy(work, x)
-		SolveRight(work, r, l, w)
-	}
-}
-
-func BenchmarkMulSub48(bb *testing.B) {
-	w, r := 48, 48
-	_, _, a, b, c, relRow, relCol := benchBlocks(w, r)
-	flops := int64(2 * r * r * w)
-	bb.SetBytes(flops) // report "bytes" as flops for ns/flop reading
-	for i := 0; i < bb.N; i++ {
-		MulSub(c, r, a, r, b, r, w, relRow, relCol, false, nil, nil)
-	}
-}
-
-func BenchmarkMulSubSmall8(bb *testing.B) {
-	w, r := 8, 8
-	_, _, a, b, c, relRow, relCol := benchBlocks(w, r)
-	for i := 0; i < bb.N; i++ {
-		MulSub(c, r, a, r, b, r, w, relRow, relCol, false, nil, nil)
+	useFMA = false
+	defer func() { useFMA = true }()
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			benchMulSub(b, w, func(c []float64, ldc int, a []float64, ra int, bb []float64, rb, w int, relRow, relCol []int) {
+				MulSub(c, ldc, a, ra, bb, rb, w, relRow, relCol, false, nil, nil)
+			})
+		})
 	}
 }

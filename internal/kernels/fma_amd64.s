@@ -1,0 +1,142 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dot4x2fma(a0, a1, a2, a3, b0, b1 *float64, n int, out *[8]float64)
+//
+// Eight dot products in one sweep: out[2i+j] = Σₖ aᵢ[k]·bⱼ[k]. The main
+// loop processes four k per iteration with eight YMM accumulators (Y0–Y7)
+// and six operand loads (Y8–Y13) — the vector version of the 4×2 micro-tile
+// the portable kernel uses. Remainder elements are accumulated with scalar
+// FMAs after the horizontal reduction.
+TEXT ·dot4x2fma(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b0+32(FP), R12
+	MOVQ b1+40(FP), R13
+	MOVQ n+48(FP), CX
+	MOVQ out+56(FP), DI
+
+	VXORPD Y0, Y0, Y0 // Σ a0·b0
+	VXORPD Y1, Y1, Y1 // Σ a0·b1
+	VXORPD Y2, Y2, Y2 // Σ a1·b0
+	VXORPD Y3, Y3, Y3 // Σ a1·b1
+	VXORPD Y4, Y4, Y4 // Σ a2·b0
+	VXORPD Y5, Y5, Y5 // Σ a2·b1
+	VXORPD Y6, Y6, Y6 // Σ a3·b0
+	VXORPD Y7, Y7, Y7 // Σ a3·b1
+
+	MOVQ CX, BX
+	SHRQ $2, BX
+	JZ   reduce
+
+vloop:
+	VMOVUPD (R12), Y8  // b0[k:k+4]
+	VMOVUPD (R13), Y9  // b1[k:k+4]
+	VMOVUPD (R8), Y10  // a0[k:k+4]
+	VMOVUPD (R9), Y11  // a1[k:k+4]
+	VMOVUPD (R10), Y12 // a2[k:k+4]
+	VMOVUPD (R11), Y13 // a3[k:k+4]
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VFMADD231PD Y8, Y12, Y4
+	VFMADD231PD Y9, Y12, Y5
+	VFMADD231PD Y8, Y13, Y6
+	VFMADD231PD Y9, Y13, Y7
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ BX
+	JNZ  vloop
+
+reduce:
+	// Fold each 4-lane accumulator into its low scalar lane.
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD       X8, X0, X0
+	VHADDPD      X0, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD       X8, X1, X1
+	VHADDPD      X1, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD       X8, X2, X2
+	VHADDPD      X2, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD       X8, X3, X3
+	VHADDPD      X3, X3, X3
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD       X8, X4, X4
+	VHADDPD      X4, X4, X4
+	VEXTRACTF128 $1, Y5, X8
+	VADDPD       X8, X5, X5
+	VHADDPD      X5, X5, X5
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD       X8, X6, X6
+	VHADDPD      X6, X6, X6
+	VEXTRACTF128 $1, Y7, X8
+	VADDPD       X8, X7, X7
+	VHADDPD      X7, X7, X7
+
+	ANDQ $3, CX
+	JZ   store
+
+sloop:
+	VMOVSD (R12), X8
+	VMOVSD (R13), X9
+	VMOVSD (R8), X10
+	VMOVSD (R9), X11
+	VMOVSD (R10), X12
+	VMOVSD (R11), X13
+	VFMADD231SD X8, X10, X0
+	VFMADD231SD X9, X10, X1
+	VFMADD231SD X8, X11, X2
+	VFMADD231SD X9, X11, X3
+	VFMADD231SD X8, X12, X4
+	VFMADD231SD X9, X12, X5
+	VFMADD231SD X8, X13, X6
+	VFMADD231SD X9, X13, X7
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	ADDQ $8, R12
+	ADDQ $8, R13
+	DECQ CX
+	JNZ  sloop
+
+store:
+	VMOVSD X0, (DI)
+	VMOVSD X1, 8(DI)
+	VMOVSD X2, 16(DI)
+	VMOVSD X3, 24(DI)
+	VMOVSD X4, 32(DI)
+	VMOVSD X5, 40(DI)
+	VMOVSD X6, 48(DI)
+	VMOVSD X7, 56(DI)
+	VZEROUPPER
+	RET

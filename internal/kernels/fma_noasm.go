@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package kernels
+
+// Non-amd64 builds always run the portable register-tiled kernels.
+var useFMA = false
+
+func dot4x2fma(a0, a1, a2, a3, b0, b1 *float64, n int, out *[8]float64) {
+	panic("kernels: dot4x2fma called without hardware support")
+}

@@ -293,13 +293,7 @@ func Simulate(pr *sched.Program, cfg Config) Result {
 		}
 		for j := 1; j < len(colK.Blocks); j++ {
 			other := pr.BlockID(k, j)
-			var destI, destJ int
-			if colK.Blocks[idx].I >= colK.Blocks[j].I {
-				destI, destJ = colK.Blocks[idx].I, colK.Blocks[j].I
-			} else {
-				destI, destJ = colK.Blocks[j].I, colK.Blocks[idx].I
-			}
-			dest := pr.FindID(destI, destJ)
+			dest := pr.ModDestID(k, idx, j)
 			if pr.Owner[dest] != me {
 				continue
 			}

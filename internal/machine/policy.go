@@ -44,13 +44,7 @@ func Priorities(pr *sched.Program, cfg Config) []float64 {
 			id := pr.BlockID(k, idx)
 			best := 0.0
 			for j := 1; j < len(col.Blocks); j++ {
-				var destI, destJ int
-				if col.Blocks[idx].I >= col.Blocks[j].I {
-					destI, destJ = col.Blocks[idx].I, col.Blocks[j].I
-				} else {
-					destI, destJ = col.Blocks[j].I, col.Blocks[idx].I
-				}
-				dest := pr.FindID(destI, destJ)
+				dest := pr.ModDestID(k, idx, j)
 				v := cost(pr.ModFlops(k, idx, j)) + cost(pr.OwnOpFlops[dest]) + level[dest]
 				if v > best {
 					best = v

@@ -100,57 +100,105 @@ func (f *Factor) BDIV(k, bi int) {
 	kernels.SolveRight(f.Data[k][bi], r, f.Data[k][0], w)
 }
 
+// Workspace holds the per-executor scratch of BMOD: the destination index
+// maps relRow/relCol. Each parallel processor (and the sequential driver)
+// owns one Workspace, replacing the ad-hoc threading of the two slices
+// through every call; Reserve lets executors preallocate once so the
+// factorization hot path never allocates.
+type Workspace struct {
+	relRow, relCol []int
+}
+
+// Reserve grows the index scratch to hold destinations of up to r rows.
+func (ws *Workspace) Reserve(r int) {
+	if cap(ws.relRow) < r {
+		ws.relRow = make([]int, r)
+	}
+	if cap(ws.relCol) < r {
+		ws.relCol = make([]int, r)
+	}
+}
+
+// MaxBlockRows returns the largest row count of any block of the factor —
+// the Workspace.Reserve bound that makes every BMOD allocation-free.
+func (f *Factor) MaxBlockRows() int {
+	max := 0
+	for j := range f.BS.Cols {
+		for _, blk := range f.BS.Cols[j].Blocks {
+			if len(blk.Rows) > max {
+				max = len(blk.Rows)
+			}
+		}
+	}
+	return max
+}
+
 // BMOD applies the update L_IJ ← L_IJ − L_IK·L_JKᵀ, where the sources are
 // blocks ia (the I side) and jb (the J side) of column k, with
-// Blocks[ia].I ≥ Blocks[jb].I. Scratch buffers relRow/relCol are grown as
-// needed and returned for reuse across calls.
-func (f *Factor) BMOD(k, ia, jb int, relRow, relCol []int) (rr, rc []int, err error) {
+// Blocks[ia].I ≥ Blocks[jb].I. ws supplies the index scratch, reused
+// across calls.
+//
+// While building the index maps BMOD classifies the destination once per
+// (k, ia, jb) pairing: when the source rows land in consecutive
+// destination rows and columns the update dispatches to the
+// no-indirection contiguous kernel, otherwise to the scattered (or, for
+// diagonal destinations, lower-masked) kernel.
+func (f *Factor) BMOD(k, ia, jb int, ws *Workspace) error {
 	colK := &f.BS.Cols[k]
 	srcA, srcB := &colK.Blocks[ia], &colK.Blocks[jb]
 	destI, destJ := srcA.I, srcB.I
 	if destI < destJ {
-		return relRow, relCol, fmt.Errorf("numeric: BMOD sources out of order (I=%d < J=%d)", destI, destJ)
+		return fmt.Errorf("numeric: BMOD sources out of order (I=%d < J=%d)", destI, destJ)
 	}
 	part := f.BS.Part
 	destCol := &f.BS.Cols[destJ]
 	dbi := findBlock(destCol, destI)
 	if dbi < 0 {
-		return relRow, relCol, fmt.Errorf("numeric: BMOD dest (%d,%d) missing", destI, destJ)
+		return fmt.Errorf("numeric: BMOD dest (%d,%d) missing", destI, destJ)
 	}
 	dest := &destCol.Blocks[dbi]
 	wK := part.Width(k)
 	wJ := part.Width(destJ)
+	ra, rb := len(srcA.Rows), len(srcB.Rows)
 
 	// relRow[s]: position of srcA.Rows[s] in dest.Rows (merge of two
-	// sorted lists). relCol[t]: srcB.Rows[t] − Start[destJ].
-	relRow = growInts(relRow, len(srcA.Rows))
-	relCol = growInts(relCol, len(srcB.Rows))
+	// sorted lists). relCol[t]: srcB.Rows[t] − Start[destJ]. Contiguity of
+	// each map is detected here, fused into the same pass that builds it.
+	ws.Reserve(ra)
+	ws.Reserve(rb)
+	relRow := ws.relRow[:ra]
+	relCol := ws.relCol[:rb]
+	rowContig := true
 	d := 0
 	for s, g := range srcA.Rows {
 		for d < len(dest.Rows) && dest.Rows[d] < g {
 			d++
 		}
 		if d >= len(dest.Rows) || dest.Rows[d] != g {
-			return relRow, relCol, fmt.Errorf("numeric: BMOD row %d of source (%d,%d) missing from dest (%d,%d)", g, destI, k, destI, destJ)
+			return fmt.Errorf("numeric: BMOD row %d of source (%d,%d) missing from dest (%d,%d)", g, destI, k, destI, destJ)
 		}
 		relRow[s] = d
+		rowContig = rowContig && d == relRow[0]+s
 	}
 	start := part.Start[destJ]
+	colContig := true
 	for t, g := range srcB.Rows {
 		relCol[t] = g - start
+		colContig = colContig && g-start == relCol[0]+t
 	}
-	kernels.MulSub(f.Data[destJ][dbi], wJ,
-		f.Data[k][ia], len(srcA.Rows),
-		f.Data[k][jb], len(srcB.Rows), wK,
-		relRow, relCol, destI == destJ, srcA.Rows, srcB.Rows)
-	return relRow, relCol, nil
-}
-
-func growInts(s []int, n int) []int {
-	if cap(s) < n {
-		return make([]int, n)
+	cd := f.Data[destJ][dbi]
+	switch {
+	case destI == destJ:
+		kernels.MulSubLower(cd, wJ, f.Data[k][ia], ra, f.Data[k][jb], rb, wK,
+			relRow, relCol, srcA.Rows, srcB.Rows)
+	case rowContig && colContig:
+		kernels.MulSubContig(cd[relRow[0]*wJ+relCol[0]:], wJ,
+			f.Data[k][ia], ra, f.Data[k][jb], rb, wK)
+	default:
+		kernels.MulSubScattered(cd, wJ, f.Data[k][ia], ra, f.Data[k][jb], rb, wK,
+			relRow, relCol)
 	}
-	return s[:n]
+	return nil
 }
 
 func findBlock(col *blocks.BlockCol, i int) int {
@@ -173,7 +221,8 @@ func findBlock(col *blocks.BlockCol, i int) int {
 // processor — the paper's baseline t_seq measurement uses exactly this
 // "parallel algorithm on one processor".
 func (f *Factor) FactorSequential() error {
-	var relRow, relCol []int
+	var ws Workspace
+	ws.Reserve(f.MaxBlockRows())
 	for k := 0; k < f.BS.N(); k++ {
 		if err := f.BFAC(k); err != nil {
 			return err
@@ -184,9 +233,7 @@ func (f *Factor) FactorSequential() error {
 		}
 		for jb := 1; jb < len(col.Blocks); jb++ {
 			for ia := jb; ia < len(col.Blocks); ia++ {
-				var err error
-				relRow, relCol, err = f.BMOD(k, ia, jb, relRow, relCol)
-				if err != nil {
+				if err := f.BMOD(k, ia, jb, &ws); err != nil {
 					return err
 				}
 			}

@@ -220,7 +220,7 @@ func TestBMODRejectsBadOrder(t *testing.T) {
 	// sources swapped (I < J must error).
 	for k := range bs.Cols {
 		if len(bs.Cols[k].Blocks) >= 3 {
-			if _, _, err := f.BMOD(k, 1, 2, nil, nil); err == nil {
+			if err := f.BMOD(k, 1, 2, new(Workspace)); err == nil {
 				t.Fatal("BMOD accepted I < J")
 			}
 			return

@@ -71,6 +71,14 @@ type Program struct {
 	Bytes      []int64   // message size when the block is sent
 	Consumers  [][]int32 // deduped processors needing the block as a source
 
+	// ModBase/ModDest form the precomputed BMOD destination table: the
+	// pairing of source block indices ia ≥ jb ≥ 1 in column k has its
+	// destination block id at ModDest[ModBase[k] + (ia−1)·ia/2 + (jb−1)].
+	// Executors read it through ModDestID so their inner loops never
+	// binary-search the block structure.
+	ModBase []int
+	ModDest []int32
+
 	// IncomingRemote[p] counts deliveries to p from other processors
 	// (used to size channels so sends can never block).
 	IncomingRemote []int
@@ -174,6 +182,27 @@ func Build(bs *blocks.Structure, a Assignment) *Program {
 		}
 	}
 
+	// BMOD destination table: one binary search per pairing here at build
+	// time removes every FindID call from the executors' inner loops.
+	pr.ModBase = make([]int, ncols+1)
+	total := 0
+	for k := 0; k < ncols; k++ {
+		pr.ModBase[k] = total
+		m := len(bs.Cols[k].Blocks) - 1 // off-diagonal blocks
+		total += m * (m + 1) / 2
+	}
+	pr.ModBase[ncols] = total
+	pr.ModDest = make([]int32, total)
+	for k := 0; k < ncols; k++ {
+		col := &bs.Cols[k]
+		base := pr.ModBase[k]
+		for ia := 1; ia < len(col.Blocks); ia++ {
+			for jb := 1; jb <= ia; jb++ {
+				pr.ModDest[base+(ia-1)*ia/2+jb-1] = pr.findID(col.Blocks[ia].I, col.Blocks[jb].I)
+			}
+		}
+	}
+
 	for id := 0; id < nb; id++ {
 		for _, p := range pr.Consumers[id] {
 			if p != pr.Owner[id] {
@@ -205,8 +234,20 @@ func (pr *Program) findID(i, j int) int32 {
 	return pr.BlockID(j, lo)
 }
 
-// FindID is the exported lookup of a block id by block coordinates.
+// FindID is the exported lookup of a block id by block coordinates. The
+// executors' hot paths use the precomputed ModDest table instead; this
+// binary search remains for callers that start from coordinates.
 func (pr *Program) FindID(i, j int) int32 { return pr.findID(i, j) }
+
+// ModDestID returns the destination block id of the BMOD pairing of
+// source block indices ia and jb (either order, both ≥ 1) of column k,
+// served from the table precomputed at Build time.
+func (pr *Program) ModDestID(k, ia, jb int) int32 {
+	if ia < jb {
+		ia, jb = jb, ia
+	}
+	return pr.ModDest[pr.ModBase[k]+(ia-1)*ia/2+jb-1]
+}
 
 // ModFlops returns the flop cost of the BMOD with sources (ia, jb) of
 // column k (block indices within the column, ia pairs the larger block row
