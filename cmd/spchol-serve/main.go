@@ -1,0 +1,98 @@
+// Command spchol-serve runs the long-running sparse Cholesky solve service.
+// Clients POST matrices to /v1/factor (MatrixMarket text or JSON-CSC,
+// selected by Content-Type) and right-hand sides to /v1/solve; repeated
+// factor requests for the same sparsity pattern skip ordering and symbolic
+// analysis via the pattern-keyed plan cache and refactor numerically in
+// place, and concurrent single-RHS solves are coalesced into shared
+// multi-RHS sweeps.
+//
+// Usage:
+//
+//	spchol-serve -addr :8080 -procs 8 -workers 4
+//	spchol-serve -cache-entries 32 -cache-bytes 536870912 -batch-window 2ms
+//
+// SIGINT/SIGTERM drain the server: health checks start failing (so load
+// balancers stop routing), in-flight requests finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blockfanout/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spchol-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		procs        = flag.Int("procs", 0, "parallel width of each factorization (0 = GOMAXPROCS, capped at 16)")
+		workers      = flag.Int("workers", 0, "concurrent heavy operations (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "operations that may wait for a worker before 429")
+		cacheEntries = flag.Int("cache-entries", 0, "plan cache entry budget (0 = default 64)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "plan cache byte budget (0 = default 1 GiB)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "how long the first solve of a batch waits for company (negative disables batching)")
+		batchLimit   = flag.Int("batch-limit", 64, "flush a batch early at this many right-hand sides")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline for heavy work")
+		block        = flag.Int("block", 0, "panel width B of new plans (0 = default 48)")
+		drainWait    = flag.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Procs:          *procs,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		BatchWindow:    *batchWindow,
+		BatchLimit:     *batchLimit,
+		RequestTimeout: *timeout,
+		BlockSize:      *block,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("spchol-serve listening on %s", *addr)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (up to %s)...", *drainWait)
+	s.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return <-errc
+}

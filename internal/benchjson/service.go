@@ -1,0 +1,193 @@
+// Service benchmark: measures the long-running solve service end to end —
+// over real HTTP, through the plan cache, refactorization, and the RHS
+// batcher — and serializes BENCH_service.json. The headline numbers are the
+// analyze-once/factor-many ratio (cold factor vs warm refactor of the same
+// pattern) and the batching win (per-RHS cost of a coalesced multi-RHS
+// sweep vs one-at-a-time solves).
+package benchjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"time"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/server"
+	"blockfanout/internal/sparse"
+)
+
+// ServiceReport is the BENCH_service.json document.
+type ServiceReport struct {
+	Host  string `json:"host"`
+	Procs int    `json:"procs"`
+	N     int    `json:"n"`
+	NNZ   int    `json:"nnz"`
+
+	// ColdFactorMs is the first POST /v1/factor for a pattern: ordering +
+	// symbolic analysis + partition + mapping + numeric factorization.
+	ColdFactorMs float64 `json:"cold_factor_ms"`
+	// RefactorMs is a warm POST /v1/factor for the same pattern: plan-cache
+	// hit + numeric-only refactorization (best of several).
+	RefactorMs float64 `json:"refactor_ms"`
+	// RefactorSpeedup = ColdFactorMs / RefactorMs — what the pattern-keyed
+	// cache buys per iteration of a values-change-pattern-stays workload.
+	RefactorSpeedup float64 `json:"refactor_speedup"`
+
+	// SoloSolveMs is one single-RHS POST /v1/solve with batching disabled.
+	SoloSolveMs float64 `json:"solo_solve_ms"`
+	// BatchedPerRHSMs is the per-RHS wall time of BatchRHS concurrent
+	// solves coalesced by the batcher into shared sweeps.
+	BatchRHS        int     `json:"batch_rhs"`
+	BatchedPerRHSMs float64 `json:"batched_per_rhs_ms"`
+	// BatchSpeedup = SoloSolveMs / BatchedPerRHSMs.
+	BatchSpeedup float64 `json:"batch_speedup"`
+}
+
+// serviceProcs is the parallel width of the benchmark service.
+const serviceProcs = 4
+
+func postService(url, path string, v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+type cscBody struct {
+	N      int       `json:"n"`
+	ColPtr []int     `json:"colptr"`
+	RowInd []int     `json:"rowind"`
+	Val    []float64 `json:"val"`
+}
+
+func factorBody(m *sparse.Matrix) cscBody {
+	return cscBody{N: m.N, ColPtr: m.ColPtr, RowInd: m.RowInd, Val: m.Val}
+}
+
+// CollectService stands up an in-process service and measures the serving
+// hot paths. rounds controls how many warm measurements each number is the
+// best of.
+func CollectService(rounds int) (*ServiceReport, error) {
+	host, _ := os.Hostname()
+	m := gen.IrregularMesh(3000, 7, 3, 42)
+	const batchRHS = 16
+
+	srv := server.New(server.Config{
+		Procs:       serviceProcs,
+		BatchWindow: 2 * time.Millisecond,
+		BatchLimit:  batchRHS,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep := &ServiceReport{Host: host, Procs: serviceProcs, N: m.N, NNZ: m.NNZ(), BatchRHS: batchRHS}
+
+	var fr struct {
+		ID string `json:"id"`
+	}
+	start := time.Now()
+	body, err := postService(ts.URL, "/v1/factor", factorBody(m))
+	if err != nil {
+		return nil, err
+	}
+	rep.ColdFactorMs = time.Since(start).Seconds() * 1e3
+	if err := json.Unmarshal(body, &fr); err != nil {
+		return nil, err
+	}
+
+	// Warm path: same pattern, perturbed values, best of rounds.
+	warm := factorBody(m)
+	warm.Val = append([]float64(nil), m.Val...)
+	for r := 0; r < rounds; r++ {
+		for i := range warm.Val {
+			warm.Val[i] *= 1 + 1e-3*float64(r+1)
+		}
+		start = time.Now()
+		if _, err := postService(ts.URL, "/v1/factor", warm); err != nil {
+			return nil, err
+		}
+		ms := time.Since(start).Seconds() * 1e3
+		if rep.RefactorMs == 0 || ms < rep.RefactorMs {
+			rep.RefactorMs = ms
+		}
+	}
+	if rep.RefactorMs > 0 {
+		rep.RefactorSpeedup = rep.ColdFactorMs / rep.RefactorMs
+	}
+
+	rhs := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = float64(i%17) - 8
+	}
+	solveReq := map[string]any{"id": fr.ID, "b": rhs}
+
+	// Solo baseline: sequential single-RHS solves. The 2ms batch window
+	// never sees a second request, so each travels alone.
+	for r := 0; r < rounds; r++ {
+		start = time.Now()
+		if _, err := postService(ts.URL, "/v1/solve", solveReq); err != nil {
+			return nil, err
+		}
+		ms := time.Since(start).Seconds() * 1e3
+		if rep.SoloSolveMs == 0 || ms < rep.SoloSolveMs {
+			rep.SoloSolveMs = ms
+		}
+	}
+
+	// Batched: batchRHS concurrent requests; the limit flush coalesces them
+	// into shared SolveMany sweeps.
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, batchRHS)
+		start = time.Now()
+		for i := 0; i < batchRHS; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = postService(ts.URL, "/v1/solve", solveReq)
+			}(i)
+		}
+		wg.Wait()
+		ms := time.Since(start).Seconds() * 1e3 / batchRHS
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		if rep.BatchedPerRHSMs == 0 || ms < rep.BatchedPerRHSMs {
+			rep.BatchedPerRHSMs = ms
+		}
+	}
+	if rep.BatchedPerRHSMs > 0 {
+		rep.BatchSpeedup = rep.SoloSolveMs / rep.BatchedPerRHSMs
+	}
+	return rep, nil
+}
+
+// WriteFile writes the service report as indented JSON.
+func (r *ServiceReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"blockfanout/internal/blocks"
 	"blockfanout/internal/critpath"
@@ -46,7 +48,12 @@ type Options struct {
 }
 
 // Plan is the analyzed, partitioned problem, ready to be mapped and
-// factored.
+// factored. A Plan depends only on the matrix's sparsity structure (values
+// ride along but are never consulted by the analysis), so one Plan can
+// factor any matrix sharing A's pattern — the refactorization and
+// plan-cache machinery is built on exactly that property. All Plan methods
+// are safe for concurrent use; the Plan itself is never mutated after
+// NewPlan.
 type Plan struct {
 	A    *sparse.Matrix    // the original matrix
 	Perm order.Permutation // total permutation (fill-reducing ∘ postorder)
@@ -60,6 +67,10 @@ type Plan struct {
 	// factorization (pre-amalgamation); the paper's Tables 1/6 numbers
 	// and the numerator of all Mflops figures.
 	Exact etree.Stats
+	// ValMap gathers original values into permuted positions:
+	// PA.Val[q] == A.Val[ValMap[q]]. Refactorization applies it to route
+	// fresh values onto the fixed pattern without re-permuting.
+	ValMap []int
 }
 
 // NewPlan analyzes the matrix: ordering, postorder, symbolic factorization,
@@ -81,7 +92,7 @@ func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
 	}
 	po := etree.Build(a1).Postorder()
 	perm := fillPerm.Compose(po)
-	pa, err := a.Permute(perm)
+	pa, vmap, err := a.PermuteWithMap(perm)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +121,7 @@ func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
 		BS:         bs,
 		PanelDepth: depth,
 		Exact:      etree.FactorStats(sym.ColCounts),
+		ValMap:     vmap,
 	}, nil
 }
 
@@ -137,17 +149,26 @@ func (p *Plan) Assign(m *mapping.Mapping, domainBeta float64) sched.Assignment {
 
 // Factor runs the real parallel block fan-out factorization under the
 // assignment and returns the numeric factor. The factor keeps the
-// assignment's schedule, so SolveParallel can reuse the data distribution.
+// assignment's schedule and executor, so SolveParallel can reuse the data
+// distribution and Refactor can re-run the factorization without any
+// setup work.
 func (p *Plan) Factor(a sched.Assignment) (*Factor, error) {
+	return p.FactorContext(context.Background(), a)
+}
+
+// FactorContext is Factor with cancellation: the parallel factorization
+// aborts early (returning ctx.Err()) if the context is cancelled.
+func (p *Plan) FactorContext(ctx context.Context, a sched.Assignment) (*Factor, error) {
 	nf, err := numeric.New(p.BS, p.PA)
 	if err != nil {
 		return nil, err
 	}
 	pr := sched.Build(p.BS, a)
-	if _, err := fanout.Run(nf, pr); err != nil {
+	ex := fanout.NewExecutor(nf, pr)
+	if _, err := ex.RunContext(ctx); err != nil {
 		return nil, err
 	}
-	return &Factor{plan: p, nf: nf, pr: pr}, nil
+	return &Factor{plan: p, nf: nf, pr: pr, ex: ex, a: p.A}, nil
 }
 
 // FactorSequential factors on one processor (the paper's t_seq baseline).
@@ -159,7 +180,17 @@ func (p *Plan) FactorSequential() (*Factor, error) {
 	if err := nf.FactorSequential(); err != nil {
 		return nil, err
 	}
-	return &Factor{plan: p, nf: nf}, nil
+	return &Factor{plan: p, nf: nf, a: p.A}, nil
+}
+
+// Refactor refactors f in place with new numeric values for the plan's
+// fixed pattern. It is the analyze-once/factor-many entry point; see
+// Factor.Refactor for the contract.
+func (p *Plan) Refactor(f *Factor, values []float64) error {
+	if f.plan != p {
+		return fmt.Errorf("core: factor belongs to a different plan")
+	}
+	return f.Refactor(values)
 }
 
 // Simulate runs the discrete-event multicomputer simulation of the fan-out
@@ -175,11 +206,20 @@ func (p *Plan) CriticalPath(cfg machine.Config) float64 {
 }
 
 // Factor is a computed Cholesky factor bound to its plan, able to solve
-// linear systems in the original (unpermuted) index space.
+// linear systems in the original (unpermuted) index space. A Factor is
+// safe for concurrent solves; Refactor must be externally serialized
+// against solves (e.g. the server wraps factors in an RWMutex).
 type Factor struct {
 	plan *Plan
 	nf   *numeric.Factor
-	pr   *sched.Program // non-nil when the factor was computed in parallel
+	pr   *sched.Program   // non-nil when the factor was computed in parallel
+	ex   *fanout.Executor // reusable parallel engine (nil for sequential factors)
+	// a is the matrix this factor currently represents: plan.A after
+	// Factor, a value-swapped view of the same pattern after Refactor.
+	a *sparse.Matrix
+	// pav is the reusable scratch holding values gathered into permuted
+	// order; allocated on first Refactor, reused afterwards.
+	pav []float64
 }
 
 // Numeric exposes the underlying block factor.
@@ -188,10 +228,82 @@ func (f *Factor) Numeric() *numeric.Factor { return f.nf }
 // Plan exposes the plan the factor was computed from.
 func (f *Factor) Plan() *Plan { return f.plan }
 
+// Matrix returns the matrix the factor currently represents: the plan's
+// matrix, or a same-pattern matrix carrying the values of the most recent
+// Refactor.
+func (f *Factor) Matrix() *sparse.Matrix { return f.a }
+
+// Refactor recomputes the factor for new numeric values on the plan's
+// fixed sparsity pattern. values must be laid out like plan.A.Val (same
+// CSC entry order); every value must be finite. No ordering, symbolic
+// analysis, or partitioning runs — the values are gathered through the
+// plan's ValMap into the preallocated block storage and the factorization
+// re-executes over the existing schedule, reusing the executor's
+// workspaces. Parallel factors refactor in parallel; sequential ones
+// sequentially.
+func (f *Factor) Refactor(values []float64) error {
+	return f.RefactorContext(context.Background(), values)
+}
+
+// RefactorContext is Refactor with cancellation. A cancelled refactor
+// leaves the factor numerically invalid; a subsequent successful Refactor
+// restores it.
+func (f *Factor) RefactorContext(ctx context.Context, values []float64) error {
+	if len(values) != len(f.plan.A.Val) {
+		return fmt.Errorf("core: refactor got %d values, pattern has %d nonzeros", len(values), len(f.plan.A.Val))
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: refactor value %d is not finite (%g)", i, v)
+		}
+	}
+	// Keep f.a describing the current values without mutating the plan's
+	// (possibly shared) matrix: first Refactor clones the pattern view with
+	// private value storage, later ones overwrite it in place.
+	if f.a == f.plan.A {
+		f.a = &sparse.Matrix{
+			N:      f.plan.A.N,
+			ColPtr: f.plan.A.ColPtr,
+			RowInd: f.plan.A.RowInd,
+			Val:    make([]float64, len(values)),
+		}
+	}
+	copy(f.a.Val, values)
+	if f.pav == nil {
+		f.pav = make([]float64, len(values))
+	}
+	for q, src := range f.plan.ValMap {
+		f.pav[q] = values[src]
+	}
+	if err := f.nf.Reload(f.pav); err != nil {
+		return err
+	}
+	if f.ex != nil {
+		_, err := f.ex.RunContext(ctx)
+		return err
+	}
+	return f.nf.FactorSequential()
+}
+
+// checkRHS validates one right-hand side: exact length and finite entries.
+// The solve entry points call it so they are total functions — malformed
+// service input yields an error, never a panic or silent NaN propagation.
+func checkRHS(n int, b []float64) error {
+	if len(b) != n {
+		return fmt.Errorf("core: rhs length %d, want %d", len(b), n)
+	}
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: rhs entry %d is not finite (%g)", i, v)
+		}
+	}
+	return nil
+}
+
 // Solve solves A·x = b for the original matrix A.
 func (f *Factor) Solve(b []float64) ([]float64, error) {
-	if len(b) != f.plan.A.N {
-		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), f.plan.A.N)
+	if err := checkRHS(f.plan.A.N, b); err != nil {
+		return nil, err
 	}
 	pb := f.plan.Perm.Apply(b)
 	px := f.nf.Solve(pb)
@@ -205,8 +317,8 @@ func (f *Factor) SolveParallel(b []float64) ([]float64, error) {
 	if f.pr == nil {
 		return nil, fmt.Errorf("core: factor was computed sequentially; use Solve")
 	}
-	if len(b) != f.plan.A.N {
-		return nil, fmt.Errorf("core: rhs length %d, want %d", len(b), f.plan.A.N)
+	if err := checkRHS(f.plan.A.N, b); err != nil {
+		return nil, err
 	}
 	pb := f.plan.Perm.Apply(b)
 	px, err := fanout.Solve(f.nf, f.pr, pb)
@@ -216,7 +328,8 @@ func (f *Factor) SolveParallel(b []float64) ([]float64, error) {
 	return f.plan.Perm.ApplyInverse(px), nil
 }
 
-// Residual returns ‖A·x − b‖∞ for a solution produced by Solve.
+// Residual returns ‖A·x − b‖∞ for a solution produced by Solve, measured
+// against the matrix the factor currently represents.
 func (f *Factor) Residual(x, b []float64) float64 {
-	return f.plan.A.ResidualNorm(x, b)
+	return f.a.ResidualNorm(x, b)
 }

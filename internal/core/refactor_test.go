@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/order"
+)
+
+// refactorFixture returns a plan, a parallel factor, and a same-pattern
+// value variant of the plan's matrix.
+func refactorFixture(t testing.TB) (*Plan, *Factor, []float64) {
+	t.Helper()
+	a := gen.IrregularMesh(300, 6, 3, 23)
+	plan, err := NewPlan(a, Options{Ordering: order.MinDegree, BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mapping.Grid{Pr: 2, Pc: 2}
+	f, err := plan.Factor(plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), a.Val...)
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			if a.RowInd[p] != j {
+				vals[p] *= 0.7
+			} else {
+				vals[p] *= 1.3
+			}
+		}
+	}
+	return plan, f, vals
+}
+
+// TestRefactorMatchesFromScratch: Plan.Refactor on a fixed pattern with new
+// values must match a from-scratch NewPlan+Factor to 1e-12 relative — the
+// PR's acceptance criterion.
+func TestRefactorMatchesFromScratch(t *testing.T) {
+	plan, f, vals := refactorFixture(t)
+	if err := plan.Refactor(f, vals); err != nil {
+		t.Fatal(err)
+	}
+
+	a2 := plan.A.Clone()
+	copy(a2.Val, vals)
+	plan2, err := NewPlan(a2, Options{Ordering: order.MinDegree, BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := plan2.Factor(plan2.Assign(plan2.Map(mapping.Grid{Pr: 2, Pc: 2}, mapping.ID, mapping.CY), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Orderings are deterministic, so both factors live on the same
+	// permuted pattern; compare block data directly.
+	nf, nf2 := f.Numeric(), f2.Numeric()
+	for j := range nf.Data {
+		for bi := range nf.Data[j] {
+			for i, v := range nf.Data[j][bi] {
+				w := nf2.Data[j][bi][i]
+				if math.Abs(v-w) > 1e-12*(1+math.Abs(w)) {
+					t.Fatalf("block (%d,%d)[%d]: refactored %g vs from-scratch %g", j, bi, i, v, w)
+				}
+			}
+		}
+	}
+
+	// And the refactored factor solves the new system.
+	b := make([]float64, plan.A.N)
+	for i := range b {
+		b[i] = float64(i%5) + 1
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Residual(x, b); r > 1e-8 {
+		t.Fatalf("refactored solve residual %g", r)
+	}
+}
+
+// TestRefactorZeroSymbolicAllocs asserts Refactor skips
+// ordering/symbolic/partition entirely: steady-state allocations per
+// Refactor stay a tiny constant (per-run goroutine control state only),
+// while any symbolic re-analysis would allocate proportionally to the
+// thousands of structure entries of the fixture.
+func TestRefactorZeroSymbolicAllocs(t *testing.T) {
+	a := gen.IrregularMesh(300, 6, 3, 23)
+	plan, err := NewPlan(a, Options{Ordering: order.MinDegree, BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single processor keeps goroutine startup noise at its floor.
+	g := mapping.Grid{Pr: 1, Pc: 1}
+	f, err := plan.Factor(plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), a.Val...)
+	if err := f.Refactor(vals); err != nil { // warm the scratch buffers
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if err := f.Refactor(vals); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 24
+	if avg > budget {
+		t.Fatalf("Refactor averaged %.1f allocations; want ≤ %d (no symbolic-phase allocation)", avg, budget)
+	}
+}
+
+func TestRefactorErrors(t *testing.T) {
+	plan, f, vals := refactorFixture(t)
+
+	if err := f.Refactor(vals[:len(vals)-1]); err == nil {
+		t.Fatal("Refactor accepted a short value slice")
+	}
+	bad := append([]float64(nil), vals...)
+	bad[3] = math.NaN()
+	if err := f.Refactor(bad); err == nil {
+		t.Fatal("Refactor accepted NaN values")
+	}
+	bad[3] = math.Inf(1)
+	if err := f.Refactor(bad); err == nil {
+		t.Fatal("Refactor accepted Inf values")
+	}
+
+	other := gen.Grid2D(10)
+	otherPlan, err := NewPlan(other, Options{Ordering: order.NDGrid2D, GridDim: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := otherPlan.Refactor(f, other.Val); err == nil {
+		t.Fatal("Plan.Refactor accepted a factor from a different plan")
+	}
+
+	// Cancelled context aborts the parallel refactorization.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.RefactorContext(ctx, vals); err == nil {
+		t.Fatal("RefactorContext ignored a cancelled context")
+	}
+	// The factor recovers on the next successful refactor.
+	if err := f.Refactor(vals); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, plan.A.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Residual(x, b); r > 1e-8 {
+		t.Fatalf("post-cancel refactor residual %g", r)
+	}
+}
+
+// TestRefactorSequential covers the sequential-factor refactor path.
+func TestRefactorSequential(t *testing.T) {
+	a := gen.Grid2D(15)
+	plan, err := NewPlan(a, Options{Ordering: order.NDGrid2D, GridDim: 15, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), a.Val...)
+	for i := range vals {
+		vals[i] *= 2
+	}
+	if err := f.Refactor(vals); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Residual(x, b); r > 1e-9 {
+		t.Fatalf("sequential refactor residual %g", r)
+	}
+	// Scaling A by 2 halves the solution; check against the original system.
+	x0, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := x0.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(2*x[i]-y[i]) > 1e-8*(1+math.Abs(y[i])) {
+			t.Fatalf("x[%d]: scaled system solution %g, want %g/2", i, x[i], y[i])
+		}
+	}
+}

@@ -4,13 +4,17 @@ import "fmt"
 
 // SolveMany solves A·x = b for several right-hand sides in one batched
 // sweep over the factor (see numeric.SolveN), returning one solution per
-// input.
+// input. Every right-hand side is validated (length, finiteness) before
+// any work runs, so a malformed vector in a batch fails the whole call
+// cleanly instead of corrupting its neighbours' shared sweep.
 func (f *Factor) SolveMany(bs [][]float64) ([][]float64, error) {
+	for i, b := range bs {
+		if err := checkRHS(f.plan.A.N, b); err != nil {
+			return nil, fmt.Errorf("rhs %d: %w", i, err)
+		}
+	}
 	pbs := make([][]float64, len(bs))
 	for i, b := range bs {
-		if len(b) != f.plan.A.N {
-			return nil, fmt.Errorf("core: rhs %d length %d, want %d", i, len(b), f.plan.A.N)
-		}
 		pbs[i] = f.plan.Perm.Apply(b)
 	}
 	pxs := f.nf.SolveN(pbs)
@@ -28,11 +32,14 @@ func (f *Factor) SolveMany(bs [][]float64) ([][]float64, error) {
 // Refinement recovers accuracy lost to round-off in the factorization,
 // which matters for ill-conditioned systems.
 func (f *Factor) SolveRefined(b []float64, maxIter int, tol float64) (x []float64, iters int, resid float64, err error) {
+	if maxIter < 0 {
+		return nil, 0, 0, fmt.Errorf("core: negative refinement iteration count %d", maxIter)
+	}
 	x, err = f.Solve(b)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	a := f.plan.A
+	a := f.a
 	for iters = 0; iters < maxIter; iters++ {
 		ax := a.MulVec(x)
 		r := make([]float64, len(b))

@@ -2,6 +2,7 @@ package fanout
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"blockfanout/internal/gen"
@@ -11,58 +12,98 @@ import (
 	"blockfanout/internal/sched"
 )
 
-// TestFanoutSteadyStateAllocs pins down the allocation-free hot path: a
-// processor's entire run — hundreds of BFAC/BDIV/BMOD block operations plus
-// all arrival bookkeeping — may only allocate its fixed startup state (the
-// arrival bitset, the local work stack, the BMOD workspace, and the handful
-// of closures runProc builds). If any per-block or per-modification
-// allocation sneaks back into the loop, the per-run average scales with the
-// block count and blows well past the budget.
-func TestFanoutSteadyStateAllocs(t *testing.T) {
+// TestExecutorSteadyStateAllocs pins down the allocation-free refactor hot
+// path: once an Executor exists, a full reload-and-refactor cycle —
+// hundreds of BFAC/BDIV/BMOD block operations plus all arrival bookkeeping
+// — may only allocate its per-run control state (the abort channel,
+// goroutine startup, and the handful of words Run itself needs). All bulk
+// state (arrival bitsets, work stacks, BMOD workspaces, channels, counters)
+// is preallocated by NewExecutor and reset in place. If any per-block or
+// per-modification allocation sneaks back into the loop, the per-run
+// average scales with the block count and blows well past the budget.
+func TestExecutorSteadyStateAllocs(t *testing.T) {
 	_, bs, pm := setup(t, gen.IrregularMesh(250, 5, 3, 31), ord.MinDegree, 0, 8)
 	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 1, Pc: 1}, bs.N())})
 	if pr.NBlocks < 100 {
 		t.Fatalf("problem too small to distinguish per-block allocation: %d blocks", pr.NBlocks)
 	}
 
-	// AllocsPerRun calls the body runs+1 times (one warmup); every call
-	// needs a fresh unfactored copy, built outside the measurement.
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(f, pr)
+
 	const runs = 5
-	factors := make([]*numeric.Factor, runs+1)
-	for i := range factors {
-		f, err := numeric.New(bs, pm)
+	avg := testing.AllocsPerRun(runs, func() {
+		if err := f.Reload(pm.Val); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Per-run control state only: the abort channel, the goroutine, and
+	// Run's few bookkeeping words. The exact count is compiler-dependent;
+	// what matters is that it stays a small constant while the run handles
+	// pr.NBlocks ≫ budget blocks.
+	const budget = 24
+	if avg > budget {
+		t.Fatalf("Executor.Run averaged %.1f allocations over %d blocks; want ≤ %d (steady state must not allocate)",
+			avg, pr.NBlocks, budget)
+	}
+}
+
+// TestExecutorReuse checks that one Executor run repeatedly over reloaded
+// values produces the same factors as one-shot Run calls on fresh state.
+func TestExecutorReuse(t *testing.T) {
+	m, bs, pm := setup(t, gen.IrregularMesh(220, 5, 3, 17), ord.MinDegree, 0, 8)
+	_ = m
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
+
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(f, pr)
+
+	for round := 0; round < 3; round++ {
+		vals := append([]float64(nil), pm.Val...)
+		for i := range vals {
+			// Perturb off-diagonals differently each round; pm's diagonal
+			// dominance keeps every variant positive definite.
+			vals[i] *= 1 + 0.1*float64(round)
+		}
+		if err := f.Reload(vals); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Run(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+
+		pm2 := pm.Clone()
+		copy(pm2.Val, vals)
+		ref, err := numeric.New(bs, pm2)
 		if err != nil {
 			t.Fatal(err)
 		}
-		factors[i] = f
-	}
-
-	modsLeft := make([]int32, pr.NBlocks)
-	diagReady := make([]bool, pr.NBlocks)
-	done := make([]bool, pr.NBlocks)
-	inboxes := []chan int32{make(chan int32, 1)}
-	abort := make(chan struct{})
-	fail := func(err error) { t.Error(err) }
-
-	next := 0
-	avg := testing.AllocsPerRun(runs, func() {
-		f := factors[next]
-		next++
-		copy(modsLeft, pr.NMods)
-		for i := range diagReady {
-			diagReady[i] = false
-			done[i] = false
+		if _, err := Run(ref, pr); err != nil {
+			t.Fatal(err)
 		}
-		runProc(0, f, pr, modsLeft, diagReady, done, inboxes, abort, fail)
-	})
-
-	// Startup state only: bitset + stack + workspace + closures. The exact
-	// count is compiler-dependent; what matters is that it stays a small
-	// constant while the run handles pr.NBlocks ≫ budget blocks.
-	const budget = 24
-	if avg > budget {
-		t.Fatalf("runProc averaged %.1f allocations over %d blocks; want ≤ %d (steady state must not allocate)",
-			avg, pr.NBlocks, budget)
+		// BMOD arrival order is nondeterministic across goroutines, so two
+		// runs may round differently in the last bit; 1e-12 relative is the
+		// refactorization acceptance tolerance.
+		for j := range f.Data {
+			for bi := range f.Data[j] {
+				for i, v := range f.Data[j][bi] {
+					if w := ref.Data[j][bi][i]; math.Abs(v-w) > 1e-12*(1+math.Abs(w)) {
+						t.Fatalf("round %d: block (%d,%d)[%d]: reused executor %g vs fresh %g",
+							round, j, bi, i, v, w)
+					}
+				}
+			}
+		}
 	}
 }
 
@@ -84,6 +125,36 @@ func BenchmarkFanoutRun(b *testing.B) {
 				}
 				b.StartTimer()
 				if _, err := Run(f, pr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(flops)*float64(b.N)/sec/1e9, "GFlop/s")
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorRefactor times the refactorization path — Reload plus a
+// reused Executor — against the from-scratch path benchmarked above.
+func BenchmarkExecutorRefactor(b *testing.B) {
+	_, bs, pm := setup(b, gen.IrregularMesh(600, 7, 3, 57), ord.MinDegree, 0, 16)
+	for _, g := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 4, Pc: 4}} {
+		b.Run(fmt.Sprintf("p=%d", g.P()), func(b *testing.B) {
+			pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(g, bs.N())})
+			f, err := numeric.New(bs, pm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ex := NewExecutor(f, pr)
+			flops := bs.TotalFlops
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Reload(pm.Val); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ex.Run(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,9 +11,17 @@
 // because a block's data is written exclusively by its owner before the
 // completion message is sent (the channel send/receive provides the
 // happens-before edge), and is read-only afterwards.
+//
+// An Executor owns every piece of mutable run state — modification
+// counters, arrival bitsets, work stacks, BMOD workspaces, and the message
+// channels — preallocated once and reset between runs, so repeated
+// factorizations over the same schedule (the refactorization serving
+// pattern: reload values, factor again) perform no per-run setup
+// allocation beyond goroutine startup.
 package fanout
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -30,195 +38,294 @@ type Stats struct {
 
 // Run factors f in parallel according to the program's assignment. It
 // returns factorization statistics, or the first error encountered (e.g. a
-// non-positive-definite pivot).
+// non-positive-definite pivot). One-shot convenience over NewExecutor.
 func Run(f *numeric.Factor, pr *sched.Program) (Stats, error) {
-	np := pr.NProc
-	// Owner-indexed shared state: each entry is touched only by the
-	// owning processor's goroutine, so no locking is needed.
-	modsLeft := append([]int32(nil), pr.NMods...)
-	diagReady := make([]bool, pr.NBlocks)
-	done := make([]bool, pr.NBlocks)
-
-	inboxes := make([]chan int32, np)
-	for p := 0; p < np; p++ {
-		inboxes[p] = make(chan int32, pr.IncomingRemote[p]+1)
-	}
-
-	abort := make(chan struct{})
-	var abortOnce sync.Once
-	var firstErr error
-	var errMu sync.Mutex
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		abortOnce.Do(func() { close(abort) })
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(np)
-	for p := 0; p < np; p++ {
-		go func(me int32) {
-			defer wg.Done()
-			runProc(me, f, pr, modsLeft, diagReady, done, inboxes, abort, fail)
-		}(int32(p))
-	}
-	wg.Wait()
-
-	if firstErr != nil {
-		return Stats{}, firstErr
-	}
-	return Stats{Messages: pr.TotalMessages, Bytes: pr.TotalBytes, Procs: np}, nil
+	return NewExecutor(f, pr).Run()
 }
 
-// runProc is the SPMD body executed by every processor.
-func runProc(me int32, f *numeric.Factor, pr *sched.Program,
-	modsLeft []int32, diagReady, done []bool,
-	inboxes []chan int32, abort chan struct{}, fail func(error)) {
+// Executor is a reusable parallel factorization engine bound to one factor
+// and one schedule. It is not safe for concurrent use; a Run must finish
+// before the next begins.
+type Executor struct {
+	f  *numeric.Factor
+	pr *sched.Program
 
-	remaining := pr.OwnedCount[me]
-	if remaining == 0 {
+	modsLeft  []int32
+	diagReady []bool
+	done      []bool
+	inboxes   []chan int32
+	procs     []procState
+
+	// Per-run control state, reset by Run.
+	abort     chan struct{}
+	abortOnce sync.Once
+	errMu     sync.Mutex
+	firstErr  error
+}
+
+// procState is the preallocated per-processor working set.
+type procState struct {
+	ex        *Executor
+	me        int32
+	arrived   []uint64 // bitset over block ids
+	local     []int32  // owned-work stack
+	ws        numeric.Workspace
+	remaining int
+	failed    bool
+}
+
+// NewExecutor preallocates all run state for factoring f under pr. The
+// factor may be reloaded with new values (numeric.Factor.Reload) between
+// runs; the schedule is fixed.
+func NewExecutor(f *numeric.Factor, pr *sched.Program) *Executor {
+	np := pr.NProc
+	ex := &Executor{
+		f:         f,
+		pr:        pr,
+		modsLeft:  make([]int32, pr.NBlocks),
+		diagReady: make([]bool, pr.NBlocks),
+		done:      make([]bool, pr.NBlocks),
+		inboxes:   make([]chan int32, np),
+		procs:     make([]procState, np),
+	}
+	maxRows := f.MaxBlockRows()
+	for p := 0; p < np; p++ {
+		ex.inboxes[p] = make(chan int32, pr.IncomingRemote[p]+1)
+		ps := &ex.procs[p]
+		ps.ex = ex
+		ps.me = int32(p)
+		ps.arrived = make([]uint64, (pr.NBlocks+63)/64)
+		ps.local = make([]int32, 0, pr.OwnedCount[p])
+		ps.ws.Reserve(maxRows)
+	}
+	return ex
+}
+
+func (ex *Executor) fail(err error) {
+	ex.errMu.Lock()
+	if ex.firstErr == nil {
+		ex.firstErr = err
+	}
+	ex.errMu.Unlock()
+	ex.abortOnce.Do(func() { close(ex.abort) })
+}
+
+// reset restores the executor to its pre-run state: counters reloaded from
+// the schedule, bitsets and stacks cleared, channels drained of any
+// messages stranded by an aborted previous run.
+func (ex *Executor) reset() {
+	copy(ex.modsLeft, ex.pr.NMods)
+	for i := range ex.done {
+		ex.done[i] = false
+		ex.diagReady[i] = false
+	}
+	for p := range ex.procs {
+		ps := &ex.procs[p]
+		for i := range ps.arrived {
+			ps.arrived[i] = 0
+		}
+		ps.local = ps.local[:0]
+		ps.remaining = ex.pr.OwnedCount[p]
+		ps.failed = false
+	drain:
+		for {
+			select {
+			case <-ex.inboxes[p]:
+			default:
+				break drain
+			}
+		}
+	}
+	ex.abort = make(chan struct{})
+	ex.abortOnce = sync.Once{}
+	ex.firstErr = nil
+}
+
+// Run executes one parallel factorization.
+func (ex *Executor) Run() (Stats, error) {
+	return ex.RunContext(context.Background())
+}
+
+// RunContext executes one parallel factorization, aborting early (with
+// ctx.Err()) if the context is cancelled. A cancelled run leaves the factor
+// numerically incomplete; Reload before the next Run restores it.
+func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
+	ex.reset()
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		watcherExit := make(chan struct{})
+		// The watcher must be fully gone before RunContext returns: a later
+		// run calls reset(), which reinstalls abortOnce, and a straggling
+		// fail() racing that reinstall would be a data race.
+		defer func() {
+			close(stop)
+			<-watcherExit
+		}()
+		go func() {
+			defer close(watcherExit)
+			select {
+			case <-done:
+				ex.fail(ctx.Err())
+			case <-stop:
+			case <-ex.abort:
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ex.procs))
+	for p := range ex.procs {
+		ps := &ex.procs[p]
+		go func() {
+			defer wg.Done()
+			ps.run()
+		}()
+	}
+	wg.Wait()
+	if ex.firstErr != nil {
+		return Stats{}, ex.firstErr
+	}
+	return Stats{Messages: ex.pr.TotalMessages, Bytes: ex.pr.TotalBytes, Procs: ex.pr.NProc}, nil
+}
+
+// run is the SPMD body executed by every processor.
+func (ps *procState) run() {
+	if ps.remaining == 0 {
 		return
 	}
-	// All per-processor state is sized up front so the steady-state loop
-	// below never allocates: arrival tracking is a bitset over block ids,
-	// the local work stack can hold every owned block (each is pushed at
-	// most once — Consumers lists are deduped), and the BMOD workspace is
-	// reserved for the widest block in the factor.
-	arrived := make([]uint64, (pr.NBlocks+63)/64)
-	local := make([]int32, 0, pr.OwnedCount[me])
-	var ws numeric.Workspace
-	ws.Reserve(f.MaxBlockRows())
-
-	failed := false
-
-	// complete marks an owned block finished and fans it out.
-	complete := func(id int32) {
-		done[id] = true
-		remaining--
-		for _, c := range pr.Consumers[id] {
-			if c == me {
-				local = append(local, id)
-			} else {
-				inboxes[c] <- id
-			}
-		}
-	}
-
-	// finish runs a block's own completing operation (BFAC or BDIV) once
-	// its modifications are done (and, for off-diagonal blocks, its
-	// diagonal block has arrived).
-	finish := func(id int32) {
-		k := int(pr.ColOf[id])
-		idx := int(pr.IdxOf[id])
-		if idx == 0 {
-			if err := f.BFAC(k); err != nil {
-				fail(err)
-				failed = true
-				return
-			}
-		} else {
-			f.BDIV(k, idx)
-		}
-		complete(id)
-	}
-
-	// execMod performs BMOD with column-k sources at block indices a and b
-	// (unordered) and decrements the destination's counter. Blocks within
-	// a column are sorted by block row, so the larger index is the I side,
-	// and the destination id comes from the precomputed pairing table.
-	execMod := func(k, a, b int) {
-		if a < b {
-			a, b = b, a
-		}
-		if err := f.BMOD(k, a, b, &ws); err != nil {
-			fail(err)
-			failed = true
-			return
-		}
-		dest := pr.ModDestID(k, a, b)
-		modsLeft[dest]--
-		if modsLeft[dest] == 0 && !done[dest] {
-			if pr.IdxOf[dest] == 0 || diagReady[dest] {
-				finish(dest)
-			}
-		}
-	}
-
-	handle := func(id int32) {
-		if arrived[id>>6]&(1<<(uint(id)&63)) != 0 {
-			return
-		}
-		arrived[id>>6] |= 1 << (uint(id) & 63)
-		k := int(pr.ColOf[id])
-		idx := int(pr.IdxOf[id])
-		colK := &pr.BS.Cols[k]
-		if idx == 0 {
-			// Factored diagonal block: enables BDIV of owned
-			// off-diagonal blocks in column k whose mods are done.
-			for j := 1; j < len(colK.Blocks); j++ {
-				bid := pr.BlockID(k, j)
-				if pr.Owner[bid] != me {
-					continue
-				}
-				diagReady[bid] = true
-				if modsLeft[bid] == 0 && !done[bid] {
-					finish(bid)
-					if failed {
-						return
-					}
-				}
-			}
-			return
-		}
-		// Completed off-diagonal block: pair with every available block
-		// of its column whose pairing destination this processor owns.
-		for j := 1; j < len(colK.Blocks); j++ {
-			other := pr.BlockID(k, j)
-			if me != pr.Owner[pr.ModDestID(k, idx, j)] {
-				continue
-			}
-			if other == id || arrived[other>>6]&(1<<(uint(other)&63)) != 0 {
-				execMod(k, idx, j)
-				if failed {
-					return
-				}
-			}
-		}
-	}
+	ex := ps.ex
+	pr := ex.pr
 
 	// Seed: owned diagonal blocks with no pending modifications can be
 	// factored immediately.
 	for j := range pr.BS.Cols {
 		id := pr.BlockID(j, 0)
-		if pr.Owner[id] == me && pr.NMods[id] == 0 {
-			finish(id)
-			if failed {
+		if pr.Owner[id] == ps.me && pr.NMods[id] == 0 {
+			ps.finish(id)
+			if ps.failed {
 				return
 			}
 		}
 	}
 
-	for remaining > 0 && !failed {
+	for ps.remaining > 0 && !ps.failed {
 		var id int32
-		if len(local) > 0 {
-			id = local[len(local)-1]
-			local = local[:len(local)-1]
+		if n := len(ps.local); n > 0 {
+			id = ps.local[n-1]
+			ps.local = ps.local[:n-1]
 		} else {
 			select {
-			case id = <-inboxes[me]:
-			case <-abort:
+			case id = <-ex.inboxes[ps.me]:
+			case <-ex.abort:
 				return
 			}
 		}
-		handle(id)
+		ps.handle(id)
 	}
-	if failed {
+	if ps.failed {
 		return
 	}
-	if remaining != 0 {
-		fail(fmt.Errorf("fanout: processor %d stalled with %d blocks unfinished", me, remaining))
+	if ps.remaining != 0 {
+		ex.fail(fmt.Errorf("fanout: processor %d stalled with %d blocks unfinished", ps.me, ps.remaining))
+	}
+}
+
+// complete marks an owned block finished and fans it out.
+func (ps *procState) complete(id int32) {
+	ex := ps.ex
+	ex.done[id] = true
+	ps.remaining--
+	for _, c := range ex.pr.Consumers[id] {
+		if c == ps.me {
+			ps.local = append(ps.local, id)
+		} else {
+			ex.inboxes[c] <- id
+		}
+	}
+}
+
+// finish runs a block's own completing operation (BFAC or BDIV) once its
+// modifications are done (and, for off-diagonal blocks, its diagonal block
+// has arrived).
+func (ps *procState) finish(id int32) {
+	ex := ps.ex
+	k := int(ex.pr.ColOf[id])
+	idx := int(ex.pr.IdxOf[id])
+	if idx == 0 {
+		if err := ex.f.BFAC(k); err != nil {
+			ex.fail(err)
+			ps.failed = true
+			return
+		}
+	} else {
+		ex.f.BDIV(k, idx)
+	}
+	ps.complete(id)
+}
+
+// execMod performs BMOD with column-k sources at block indices a and b
+// (unordered) and decrements the destination's counter. Blocks within a
+// column are sorted by block row, so the larger index is the I side, and
+// the destination id comes from the precomputed pairing table.
+func (ps *procState) execMod(k, a, b int) {
+	ex := ps.ex
+	if a < b {
+		a, b = b, a
+	}
+	if err := ex.f.BMOD(k, a, b, &ps.ws); err != nil {
+		ex.fail(err)
+		ps.failed = true
+		return
+	}
+	dest := ex.pr.ModDestID(k, a, b)
+	ex.modsLeft[dest]--
+	if ex.modsLeft[dest] == 0 && !ex.done[dest] {
+		if ex.pr.IdxOf[dest] == 0 || ex.diagReady[dest] {
+			ps.finish(dest)
+		}
+	}
+}
+
+// handle processes one arriving completed block.
+func (ps *procState) handle(id int32) {
+	if ps.arrived[id>>6]&(1<<(uint(id)&63)) != 0 {
+		return
+	}
+	ps.arrived[id>>6] |= 1 << (uint(id) & 63)
+	ex := ps.ex
+	pr := ex.pr
+	k := int(pr.ColOf[id])
+	idx := int(pr.IdxOf[id])
+	colK := &pr.BS.Cols[k]
+	if idx == 0 {
+		// Factored diagonal block: enables BDIV of owned off-diagonal
+		// blocks in column k whose mods are done.
+		for j := 1; j < len(colK.Blocks); j++ {
+			bid := pr.BlockID(k, j)
+			if pr.Owner[bid] != ps.me {
+				continue
+			}
+			ex.diagReady[bid] = true
+			if ex.modsLeft[bid] == 0 && !ex.done[bid] {
+				ps.finish(bid)
+				if ps.failed {
+					return
+				}
+			}
+		}
+		return
+	}
+	// Completed off-diagonal block: pair with every available block of its
+	// column whose pairing destination this processor owns.
+	for j := 1; j < len(colK.Blocks); j++ {
+		other := pr.BlockID(k, j)
+		if ps.me != pr.Owner[pr.ModDestID(k, idx, j)] {
+			continue
+		}
+		if other == id || ps.arrived[other>>6]&(1<<(uint(other)&63)) != 0 {
+			ps.execMod(k, idx, j)
+			if ps.failed {
+				return
+			}
+		}
 	}
 }

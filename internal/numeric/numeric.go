@@ -18,6 +18,16 @@ import (
 type Factor struct {
 	BS   *blocks.Structure
 	Data [][][]float64
+	// scatter maps each nonzero position p of the matrix the factor was
+	// built from to its destination slot in Data — the precomputed symbolic
+	// half of the scatter, which is what lets Reload refill the factor with
+	// new numeric values without touching the block structure.
+	scatter []scatterRef
+}
+
+// scatterRef addresses one Data slot: Data[J][BI][Off].
+type scatterRef struct {
+	J, BI, Off int32
 }
 
 // New allocates the factor and scatters the (permuted) matrix a into it.
@@ -26,7 +36,11 @@ func New(bs *blocks.Structure, a *sparse.Matrix) (*Factor, error) {
 	if a.N != len(bs.Part.PanelOf) {
 		return nil, fmt.Errorf("numeric: matrix n=%d does not match partition n=%d", a.N, len(bs.Part.PanelOf))
 	}
-	f := &Factor{BS: bs, Data: make([][][]float64, bs.N())}
+	f := &Factor{
+		BS:      bs,
+		Data:    make([][][]float64, bs.N()),
+		scatter: make([]scatterRef, a.NNZ()),
+	}
 	part := bs.Part
 	for j := range bs.Cols {
 		w := part.Width(j)
@@ -37,7 +51,7 @@ func New(bs *blocks.Structure, a *sparse.Matrix) (*Factor, error) {
 			f.Data[j][bi] = make([]float64, r*w)
 		}
 	}
-	// Scatter A's lower triangle.
+	// Scatter A's lower triangle, recording each entry's destination.
 	for gcol := 0; gcol < a.N; gcol++ {
 		j := part.PanelOf[gcol]
 		lc := gcol - part.Start[j]
@@ -61,9 +75,38 @@ func New(bs *blocks.Structure, a *sparse.Matrix) (*Factor, error) {
 				return nil, fmt.Errorf("numeric: row %d missing from block (%d,%d)", grow, b.I, j)
 			}
 			f.Data[j][bi][lr*w+lc] = a.Val[p]
+			f.scatter[p] = scatterRef{J: int32(j), BI: int32(bi), Off: int32(lr*w + lc)}
 		}
 	}
 	return f, nil
+}
+
+// Reload refills the factor's block storage with new numeric values and
+// leaves it ready to be factored again. values must be laid out exactly
+// like the Val slice of the matrix the factor was built from (same
+// pattern, same CSC entry order). The symbolic work — block structure,
+// row lists, scatter destinations — is all reused; the call performs no
+// allocation.
+func (f *Factor) Reload(values []float64) error {
+	if f.scatter == nil {
+		return fmt.Errorf("numeric: factor was not built by New; cannot Reload")
+	}
+	if len(values) != len(f.scatter) {
+		return fmt.Errorf("numeric: Reload got %d values, factor holds %d nonzeros", len(values), len(f.scatter))
+	}
+	for j := range f.Data {
+		for bi := range f.Data[j] {
+			d := f.Data[j][bi]
+			for i := range d {
+				d[i] = 0
+			}
+		}
+	}
+	for p := range f.scatter {
+		s := &f.scatter[p]
+		f.Data[s.J][s.BI][s.Off] = values[p]
+	}
+	return nil
 }
 
 // searchRows returns the position of g in the sorted slice rows, or -1.

@@ -1,0 +1,201 @@
+package plancache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/sparse"
+)
+
+func buildFor(m *sparse.Matrix) func() (*core.Plan, sched.Assignment, error) {
+	return func() (*core.Plan, sched.Assignment, error) {
+		plan, err := core.NewPlan(m, core.Options{Ordering: order.MinDegree, BlockSize: 16})
+		if err != nil {
+			return nil, sched.Assignment{}, err
+		}
+		mp := plan.Map(mapping.Grid{Pr: 2, Pc: 2}, mapping.ID, mapping.CY)
+		return plan, plan.Assign(mp, 2), nil
+	}
+}
+
+func TestHitMissAndValueIndependence(t *testing.T) {
+	c := New(Config{})
+	a := gen.IrregularMesh(150, 5, 3, 7)
+
+	e1, hit, err := c.GetOrBuild(a, buildFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first lookup reported a hit")
+	}
+
+	// Same pattern, different values: must hit and return the same plan.
+	a2 := a.Clone()
+	for i := range a2.Val {
+		a2.Val[i] *= 2.5
+	}
+	e2, hit, err := c.GetOrBuild(a2, buildFor(a2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || e2.Plan != e1.Plan {
+		t.Fatalf("value change broke pattern reuse (hit=%v, same plan=%v)", hit, e2.Plan == e1.Plan)
+	}
+
+	// Different structure: miss.
+	b := gen.IrregularMesh(150, 5, 3, 8)
+	_, hit, err = c.GetOrBuild(b, buildFor(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("different pattern reported a hit")
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want 1 hit, 2 misses, 2 entries", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("byte accounting did not move")
+	}
+}
+
+func TestEntryBudgetEviction(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	ms := []*sparse.Matrix{
+		gen.IrregularMesh(100, 5, 3, 1),
+		gen.IrregularMesh(100, 5, 3, 2),
+		gen.IrregularMesh(100, 5, 3, 3),
+	}
+	for _, m := range ms {
+		if _, _, err := c.GetOrBuild(m, buildFor(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v; want 2 entries, 1 eviction", st)
+	}
+	// The oldest (ms[0]) was evicted; ms[1] and ms[2] remain.
+	if _, ok := c.Get(ms[0]); ok {
+		t.Fatal("LRU kept the oldest entry")
+	}
+	if _, ok := c.Get(ms[2]); !ok {
+		t.Fatal("LRU dropped the newest entry")
+	}
+}
+
+func TestByteBudgetEviction(t *testing.T) {
+	m1 := gen.IrregularMesh(120, 5, 3, 4)
+	plan, _, err := buildFor(m1)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits one plan of this size but not two.
+	c := New(Config{MaxBytes: PlanBytes(plan) + PlanBytes(plan)/2})
+	if _, _, err := c.GetOrBuild(m1, buildFor(m1)); err != nil {
+		t.Fatal(err)
+	}
+	m2 := gen.IrregularMesh(120, 5, 3, 5)
+	if _, _, err := c.GetOrBuild(m2, buildFor(m2)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("byte budget produced no evictions: %+v", st)
+	}
+	if st.Bytes > c.cfg.MaxBytes {
+		t.Fatalf("retained %d bytes over budget %d", st.Bytes, c.cfg.MaxBytes)
+	}
+	// The newest entry always stays, even if alone over budget.
+	if _, ok := c.Get(m2); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	c := New(Config{})
+	a := gen.IrregularMesh(200, 5, 3, 9)
+
+	var builds int32
+	release := make(chan struct{})
+	build := func() (*core.Plan, sched.Assignment, error) {
+		atomic.AddInt32(&builds, 1)
+		<-release // hold every concurrent caller in the same flight
+		return buildFor(a)()
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	plans := make([]*core.Plan, callers)
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, hit, err := c.GetOrBuild(a, build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i], hits[i] = e.Plan, hit
+		}(i)
+	}
+	// Let callers pile up against the in-flight build, then release it.
+	for {
+		c.mu.Lock()
+		waiting := c.coalesced
+		c.mu.Unlock()
+		if waiting >= callers-1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if got := atomic.LoadInt32(&builds); got != 1 {
+		t.Fatalf("analysis ran %d times for one pattern; want 1", got)
+	}
+	nhits := 0
+	for i := range plans {
+		if plans[i] != plans[0] {
+			t.Fatal("coalesced callers got different plans")
+		}
+		if hits[i] {
+			nhits++
+		}
+	}
+	if nhits != callers-1 {
+		t.Fatalf("%d callers reported reuse; want %d", nhits, callers-1)
+	}
+	if st := c.Stats(); st.Coalesced != callers-1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want %d coalesced, 1 miss", st, callers-1)
+	}
+}
+
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New(Config{})
+	a := gen.IrregularMesh(80, 5, 3, 10)
+	boom := errors.New("boom")
+	fail := func() (*core.Plan, sched.Assignment, error) { return nil, sched.Assignment{}, boom }
+
+	if _, _, err := c.GetOrBuild(a, fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("failed build was cached")
+	}
+	// A later successful build proceeds normally.
+	if _, hit, err := c.GetOrBuild(a, buildFor(a)); err != nil || hit {
+		t.Fatalf("rebuild after failure: hit=%v err=%v", hit, err)
+	}
+}

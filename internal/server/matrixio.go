@@ -1,0 +1,76 @@
+// Request body parsing for the solve service: symmetric SPD matrices
+// arrive either as MatrixMarket text (the exchange format of the paper's
+// benchmark suite) or as JSON-CSC (the wire-friendly form of
+// sparse.Matrix), selected by Content-Type.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"strings"
+
+	"blockfanout/internal/mmio"
+	"blockfanout/internal/sparse"
+)
+
+// jsonCSC is the JSON wire form of a symmetric matrix: the lower triangle
+// (diagonal included) in compressed sparse column order, exactly mirroring
+// sparse.Matrix.
+type jsonCSC struct {
+	N      int       `json:"n"`
+	ColPtr []int     `json:"colptr"`
+	RowInd []int     `json:"rowind"`
+	Val    []float64 `json:"val"`
+}
+
+// readMatrix parses a factor-request body. contentType selects the codec:
+// anything containing "json" is decoded as JSON-CSC; everything else is
+// treated as MatrixMarket coordinate text.
+func readMatrix(body io.Reader, contentType string) (*sparse.Matrix, error) {
+	mt := contentType
+	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+		mt = parsed
+	}
+	var m *sparse.Matrix
+	if strings.Contains(mt, "json") {
+		var c jsonCSC
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&c); err != nil {
+			return nil, fmt.Errorf("bad JSON-CSC body: %w", err)
+		}
+		m = &sparse.Matrix{N: c.N, ColPtr: c.ColPtr, RowInd: c.RowInd, Val: c.Val}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if m, err = mmio.Read(body); err != nil {
+			return nil, err
+		}
+	}
+	for i, v := range m.Val {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("matrix value %d is not finite (%g)", i, v)
+		}
+	}
+	return m, nil
+}
+
+// validRHS checks one right-hand side before it is allowed into a batch,
+// so one malformed vector can never fail the coalesced SolveMany call it
+// would otherwise share with innocent requests.
+func validRHS(n int, b []float64) error {
+	if len(b) != n {
+		return fmt.Errorf("rhs length %d, want %d", len(b), n)
+	}
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("rhs entry %d is not finite (%g)", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyTrack accumulates a latency distribution's cheap sufficient
+// statistics (count, total, max) without locks; /metrics derives the mean.
+type latencyTrack struct {
+	count  atomic.Int64
+	totalµ atomic.Int64
+	maxµ   atomic.Int64
+}
+
+func (l *latencyTrack) observe(d time.Duration) {
+	µ := d.Microseconds()
+	l.count.Add(1)
+	l.totalµ.Add(µ)
+	for {
+		cur := l.maxµ.Load()
+		if µ <= cur || l.maxµ.CompareAndSwap(cur, µ) {
+			return
+		}
+	}
+}
+
+// latencyJSON is the /metrics rendering of one tracked operation.
+type latencyJSON struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func (l *latencyTrack) snapshot() latencyJSON {
+	n := l.count.Load()
+	out := latencyJSON{Count: n, MaxMs: float64(l.maxµ.Load()) / 1e3}
+	if n > 0 {
+		out.MeanMs = float64(l.totalµ.Load()) / float64(n) / 1e3
+	}
+	return out
+}
+
+// metrics is the server's expvar-style counter set.
+type metrics struct {
+	factorRequests  atomic.Int64
+	solveRequests   atomic.Int64
+	healthzRequests atomic.Int64
+	metricsRequests atomic.Int64
+
+	inFlight atomic.Int64 // gauge: requests currently being handled
+	rejected atomic.Int64 // 429s from a full queue
+	errors   atomic.Int64 // 4xx/5xx other than 429
+
+	factors   atomic.Int64 // full factorizations (analysis or numeric-only)
+	refactors atomic.Int64 // value-only refactorizations of a live factor
+	solvedRHS atomic.Int64 // right-hand sides solved
+	batches   atomic.Int64 // coalesced SolveMany calls issued by the batcher
+	batched   atomic.Int64 // right-hand sides that travelled in those batches
+
+	factorLat   latencyTrack
+	refactorLat latencyTrack
+	solveLat    latencyTrack
+}

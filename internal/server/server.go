@@ -1,0 +1,561 @@
+// Package server turns the block fan-out Cholesky library into a
+// long-running solve service. It is the serving layer the ROADMAP's
+// analyze-once/factor-many workloads need: a pattern-keyed plan cache so
+// repeated factor requests for the same sparsity structure skip ordering
+// and symbolic analysis, in-place numeric refactorization of live factors,
+// and an RHS batcher that coalesces concurrent solve requests against the
+// same factor into one cache-friendly multi-RHS sweep.
+//
+// Endpoints (all JSON responses):
+//
+//	POST /v1/factor   MatrixMarket or JSON-CSC body → factor id
+//	POST /v1/solve    {"id", "b": [...]} or {"id", "bs": [[...], ...]}
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     expvar-style counter document
+//
+// Heavy work (analysis, factorization, solves) runs on a bounded worker
+// pool; requests beyond the pool plus a configurable queue depth are
+// rejected with 429 so overload degrades predictably instead of piling up
+// goroutines. Request deadlines propagate as context cancellation into the
+// parallel factorization executor. Drain flips the service into a mode
+// where health checks fail (so load balancers stop routing) while in-flight
+// work completes.
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/plancache"
+	"blockfanout/internal/sched"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// Procs is the goroutine-processor count of each parallel
+	// factorization (default: GOMAXPROCS capped at 16).
+	Procs int
+	// Workers bounds concurrently executing heavy operations
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many heavy operations may wait for a worker before
+	// new ones are rejected with 429 (default 64).
+	QueueDepth int
+	// CacheEntries / CacheBytes budget the pattern-keyed plan cache
+	// (defaults: plancache defaults). MaxFactors bounds the live factor
+	// registry (default: CacheEntries).
+	CacheEntries int
+	CacheBytes   int64
+	MaxFactors   int
+	// BatchWindow is how long the first single-RHS solve of a batch waits
+	// for company (default 2ms; negative disables batching). BatchLimit
+	// flushes a batch early once it holds this many vectors (default 64).
+	BatchWindow time.Duration
+	BatchLimit  int
+	// RequestTimeout bounds each request's heavy work (default 60s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 512 MiB).
+	MaxBodyBytes int64
+	// BlockSize is the panel width B of new plans (default
+	// core.DefaultBlockSize).
+	BlockSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Procs <= 0 {
+		c.Procs = runtime.GOMAXPROCS(0)
+		if c.Procs > 16 {
+			c.Procs = 16
+		}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchLimit <= 0 {
+		c.BatchLimit = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 512 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = core.DefaultBlockSize
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = plancache.DefaultEntries
+	}
+	if c.MaxFactors <= 0 {
+		c.MaxFactors = c.CacheEntries
+	}
+}
+
+// factorEntry is one live factor. mu serializes refactorization (writer)
+// against solves (readers); f is nil only while the initial factorization
+// is still running under the write lock.
+type factorEntry struct {
+	id string
+	n  int
+	mu sync.RWMutex
+	f  *core.Factor
+	bt *batcher
+	el *list.Element // position in the server's factor LRU
+}
+
+// Server is the solve service. Create with New, mount via Handler.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	sem   chan struct{} // worker pool slots
+
+	mu       sync.Mutex // guards factors, lru, queued
+	factors  map[string]*factorEntry
+	lru      *list.List // front = most recently used factorEntry
+	queued   int
+	draining bool
+
+	met metrics
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		sem:     make(chan struct{}, cfg.Workers),
+		factors: make(map[string]*factorEntry),
+		lru:     list.New(),
+	}
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/factor", s.handleFactor)
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain flips the server into shutdown mode: /healthz reports 503 so load
+// balancers stop routing, and new factor/solve requests are refused while
+// in-flight ones finish (http.Server.Shutdown provides the actual wait).
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+var errBusy = errors.New("server overloaded: worker queue full")
+
+// acquire takes a worker slot, respecting the queue bound and the caller's
+// deadline.
+func (s *Server) acquire(ctx context.Context) error {
+	s.mu.Lock()
+	if s.queued >= s.cfg.Workers+s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		return errBusy
+	}
+	s.queued++
+	s.mu.Unlock()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.mu.Lock()
+	s.queued--
+	s.mu.Unlock()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ---- response plumbing ----
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	if code != http.StatusTooManyRequests {
+		s.met.errors.Add(1)
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// errStatus maps an operational error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ---- /v1/factor ----
+
+type factorResponse struct {
+	ID         string  `json:"id"`
+	N          int     `json:"n"`
+	NNZ        int     `json:"nnz"`
+	NNZL       int64   `json:"nnz_l"`
+	Flops      int64   `json:"flops"`
+	CacheHit   bool    `json:"cache_hit"`
+	Refactored bool    `json:"refactored"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
+	s.met.factorRequests.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.isDraining() {
+		s.writeErr(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	m, err := readMatrix(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if err := s.acquire(ctx); err != nil {
+		s.writeErr(w, errStatus(err), err)
+		return
+	}
+	defer s.release()
+
+	start := time.Now()
+	entry, hit, err := s.cache.GetOrBuild(m, func() (*core.Plan, sched.Assignment, error) {
+		plan, err := core.NewPlan(m, core.Options{BlockSize: s.cfg.BlockSize})
+		if err != nil {
+			return nil, sched.Assignment{}, err
+		}
+		g := mapping.BestGrid(s.cfg.Procs)
+		mp := plan.Map(g, mapping.ID, mapping.CY)
+		return plan, plan.Assign(mp, 2), nil
+	})
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	id := fmt.Sprintf("%016x", entry.Key)
+	fe, created := s.claimEntry(id, m.N)
+	refactored := false
+	if created {
+		// fe.mu is held for writing; publish the factor, or unregister on
+		// failure so a later request can retry.
+		f, ferr := entry.Plan.FactorContext(ctx, entry.Assign)
+		if ferr != nil {
+			fe.mu.Unlock()
+			s.dropEntry(id)
+			s.writeErr(w, factorErrStatus(ferr), ferr)
+			return
+		}
+		fe.f = f
+		fe.mu.Unlock()
+		s.met.factors.Add(1)
+		s.met.factorLat.observe(time.Since(start))
+	} else {
+		// Live factor for this pattern: numeric-only refactorization. The
+		// write lock serializes against in-flight solves, so a solve
+		// observes either the old values' factor or the new one, never a
+		// half-updated state.
+		fe.mu.Lock()
+		rerr := fe.f.RefactorContext(ctx, m.Val)
+		fe.mu.Unlock()
+		if rerr != nil {
+			s.writeErr(w, factorErrStatus(rerr), rerr)
+			return
+		}
+		refactored = true
+		s.met.refactors.Add(1)
+		s.met.refactorLat.observe(time.Since(start))
+	}
+
+	plan := entry.Plan
+	writeJSON(w, http.StatusOK, factorResponse{
+		ID:         id,
+		N:          m.N,
+		NNZ:        m.NNZ(),
+		NNZL:       plan.Exact.NZinL,
+		Flops:      plan.Exact.Flops,
+		CacheHit:   hit,
+		Refactored: refactored,
+		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// factorErrStatus: numeric failures (non-SPD input) are the client's fault.
+func factorErrStatus(err error) int {
+	if st := errStatus(err); st != http.StatusInternalServerError {
+		return st
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// claimEntry returns the factor entry for id, creating it if absent. When
+// created is true the entry's write lock is held and fe.f is nil — the
+// caller must set fe.f and unlock (or dropEntry on failure). This is the
+// per-factor singleflight: a concurrent request for the same new pattern
+// blocks on fe.mu instead of factoring twice.
+func (s *Server) claimEntry(id string, n int) (fe *factorEntry, created bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fe, ok := s.factors[id]; ok {
+		s.lru.MoveToFront(fe.el)
+		return fe, false
+	}
+	fe = &factorEntry{id: id, n: n}
+	fe.bt = &batcher{s: s, fe: fe}
+	fe.mu.Lock()
+	s.factors[id] = fe
+	fe.el = s.lru.PushFront(fe)
+	for len(s.factors) > s.cfg.MaxFactors {
+		oldest := s.lru.Back().Value.(*factorEntry)
+		s.lru.Remove(oldest.el)
+		delete(s.factors, oldest.id)
+	}
+	return fe, true
+}
+
+func (s *Server) dropEntry(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fe, ok := s.factors[id]; ok {
+		s.lru.Remove(fe.el)
+		delete(s.factors, id)
+	}
+}
+
+func (s *Server) lookup(id string) (*factorEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fe, ok := s.factors[id]
+	if ok {
+		s.lru.MoveToFront(fe.el)
+	}
+	return fe, ok
+}
+
+// ---- /v1/solve ----
+
+type solveRequest struct {
+	ID string      `json:"id"`
+	B  []float64   `json:"b,omitempty"`
+	BS [][]float64 `json:"bs,omitempty"`
+}
+
+type solveResponse struct {
+	ID        string      `json:"id"`
+	X         []float64   `json:"x,omitempty"`
+	XS        [][]float64 `json:"xs,omitempty"`
+	Batch     int         `json:"batch,omitempty"` // RHS count of the coalesced sweep
+	ElapsedMs float64     `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.met.solveRequests.Add(1)
+	s.met.inFlight.Add(1)
+	defer s.met.inFlight.Add(-1)
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.isDraining() {
+		s.writeErr(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad solve body: %w", err))
+		return
+	}
+	if (req.B == nil) == (req.BS == nil) {
+		s.writeErr(w, http.StatusBadRequest, errors.New(`exactly one of "b" and "bs" must be set`))
+		return
+	}
+	fe, ok := s.lookup(req.ID)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown factor id %q", req.ID))
+		return
+	}
+
+	start := time.Now()
+	if req.B != nil {
+		if err := validRHS(fe.n, req.B); err != nil {
+			s.writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var out solveOutcome
+		if s.cfg.BatchWindow > 0 {
+			out = fe.bt.submit(ctx, req.B)
+		} else {
+			out = s.solveDirect(ctx, fe, [][]float64{req.B})
+		}
+		if out.err != nil {
+			s.writeErr(w, errStatus(out.err), out.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{
+			ID: req.ID, X: out.x, Batch: out.batch,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1e3,
+		})
+		return
+	}
+
+	for i, b := range req.BS {
+		if err := validRHS(fe.n, b); err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("rhs %d: %w", i, err))
+			return
+		}
+	}
+	out := s.solveDirect(ctx, fe, req.BS)
+	if out.err != nil {
+		s.writeErr(w, errStatus(out.err), out.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse{
+		ID: req.ID, XS: out.xs,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// solveDirect runs one SolveMany on the worker pool, bypassing the batcher
+// (multi-RHS requests are already batches).
+func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, bs [][]float64) solveOutcome {
+	if err := s.acquire(ctx); err != nil {
+		return solveOutcome{err: err}
+	}
+	defer s.release()
+	start := time.Now()
+	fe.mu.RLock()
+	xs, err := fe.f.SolveMany(bs)
+	fe.mu.RUnlock()
+	s.met.solveLat.observe(time.Since(start))
+	if err != nil {
+		return solveOutcome{err: err}
+	}
+	s.met.solvedRHS.Add(int64(len(bs)))
+	if len(bs) == 1 {
+		return solveOutcome{x: xs[0], batch: 1}
+	}
+	return solveOutcome{xs: xs}
+}
+
+// ---- /healthz and /metrics ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.healthzRequests.Add(1)
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metricsDoc is the /metrics JSON document.
+type metricsDoc struct {
+	Requests struct {
+		Factor  int64 `json:"factor"`
+		Solve   int64 `json:"solve"`
+		Healthz int64 `json:"healthz"`
+		Metrics int64 `json:"metrics"`
+	} `json:"requests"`
+	InFlight  int64           `json:"in_flight"`
+	Rejected  int64           `json:"rejected"`
+	Errors    int64           `json:"errors"`
+	Factors   int64           `json:"factors"`
+	Refactors int64           `json:"refactors"`
+	SolvedRHS int64           `json:"solved_rhs"`
+	Batches   int64           `json:"batches"`
+	BatchedR  int64           `json:"batched_rhs"`
+	Cache     plancache.Stats `json:"plan_cache"`
+	LiveFac   int             `json:"live_factors"`
+	Latency   struct {
+		Factor   latencyJSON `json:"factor"`
+		Refactor latencyJSON `json:"refactor"`
+		Solve    latencyJSON `json:"solve"`
+	} `json:"latency"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.metricsRequests.Add(1)
+	var doc metricsDoc
+	doc.Requests.Factor = s.met.factorRequests.Load()
+	doc.Requests.Solve = s.met.solveRequests.Load()
+	doc.Requests.Healthz = s.met.healthzRequests.Load()
+	doc.Requests.Metrics = s.met.metricsRequests.Load()
+	doc.InFlight = s.met.inFlight.Load()
+	doc.Rejected = s.met.rejected.Load()
+	doc.Errors = s.met.errors.Load()
+	doc.Factors = s.met.factors.Load()
+	doc.Refactors = s.met.refactors.Load()
+	doc.SolvedRHS = s.met.solvedRHS.Load()
+	doc.Batches = s.met.batches.Load()
+	doc.BatchedR = s.met.batched.Load()
+	doc.Cache = s.cache.Stats()
+	s.mu.Lock()
+	doc.LiveFac = len(s.factors)
+	s.mu.Unlock()
+	doc.Latency.Factor = s.met.factorLat.snapshot()
+	doc.Latency.Refactor = s.met.refactorLat.snapshot()
+	doc.Latency.Solve = s.met.solveLat.snapshot()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// CacheStats exposes the plan-cache counters (used by tests and the
+// service benchmark; HTTP clients read them from /metrics).
+func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }

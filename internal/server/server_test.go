@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/sparse"
+)
+
+// testService spins up the full HTTP stack around a small server config.
+func testService(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func toCSC(m *sparse.Matrix) jsonCSC {
+	return jsonCSC{N: m.N, ColPtr: m.ColPtr, RowInd: m.RowInd, Val: m.Val}
+}
+
+func factorMatrix(t *testing.T, url string, m *sparse.Matrix) factorResponse {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/factor", toCSC(m))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: status %d: %s", resp.StatusCode, body)
+	}
+	var fr factorResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatalf("factor response: %v", err)
+	}
+	return fr
+}
+
+func fetchMetrics(t *testing.T, url string) metricsDoc {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc metricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestServiceEndToEnd drives the whole serving story over real HTTP: factor
+// a matrix, re-factor the same pattern with new values through the plan
+// cache (asserting the cache hit means no second analysis), then fire
+// concurrent single-RHS solves that the batcher must coalesce, and check
+// every answer against the matrix it was solved for.
+func TestServiceEndToEnd(t *testing.T) {
+	const batchLimit = 8
+	s, ts := testService(t, Config{
+		Procs:       4,
+		BlockSize:   16,
+		BatchWindow: 200 * time.Millisecond,
+		BatchLimit:  batchLimit,
+	})
+
+	a := gen.IrregularMesh(250, 6, 3, 11)
+	fr := factorMatrix(t, ts.URL, a)
+	if fr.CacheHit || fr.Refactored {
+		t.Fatalf("first factor: cache_hit=%v refactored=%v; want fresh analysis", fr.CacheHit, fr.Refactored)
+	}
+	if fr.N != a.N || fr.NNZ != a.NNZ() || fr.NNZL <= 0 || fr.Flops <= 0 {
+		t.Fatalf("factor response stats look wrong: %+v", fr)
+	}
+
+	// Same pattern, new values: the plan cache must hit (no symbolic work)
+	// and the live factor must be numerically refactored in place.
+	a2 := a.Clone()
+	rng := rand.New(rand.NewSource(7))
+	for i := range a2.Val {
+		a2.Val[i] *= 1 + 0.2*rng.Float64()
+	}
+	for j := 0; j < a2.N; j++ { // keep it safely SPD
+		a2.Val[a2.ColPtr[j]] *= 1.5
+	}
+	fr2 := factorMatrix(t, ts.URL, a2)
+	if !fr2.CacheHit || !fr2.Refactored {
+		t.Fatalf("second factor: cache_hit=%v refactored=%v; want warm-path refactorization", fr2.CacheHit, fr2.Refactored)
+	}
+	if fr2.ID != fr.ID {
+		t.Fatalf("same pattern produced different ids: %s vs %s", fr.ID, fr2.ID)
+	}
+	if st := s.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("plan cache stats = %+v; want exactly 1 hit, 1 miss", st)
+	}
+
+	// Concurrent single-RHS solves: exactly batchLimit requests released
+	// together must coalesce into few SolveMany sweeps (the limit flush
+	// guarantees at least one multi-RHS batch). Answers are checked against
+	// a2 — the values the factor currently holds.
+	bs := make([][]float64, batchLimit)
+	for i := range bs {
+		b := make([]float64, a2.N)
+		for k := range b {
+			b[k] = rng.NormFloat64()
+		}
+		bs[i] = b
+	}
+	var wg sync.WaitGroup
+	results := make([]solveResponse, batchLimit)
+	errs := make([]error, batchLimit)
+	for i := 0; i < batchLimit; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, B: bs[i]})
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("solve %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			errs[i] = json.Unmarshal(body, &results[i])
+		}(i)
+	}
+	wg.Wait()
+	maxBatch := 0
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if r := a2.ResidualNorm(results[i].X, bs[i]); r > 1e-8 {
+			t.Fatalf("solve %d residual %g", i, r)
+		}
+		if results[i].Batch > maxBatch {
+			maxBatch = results[i].Batch
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no solve was coalesced (max batch %d); batcher is not batching", maxBatch)
+	}
+
+	// Multi-RHS request goes through the direct path.
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, BS: bs[:3]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("multi solve: status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.XS) != 3 {
+		t.Fatalf("multi solve returned %d solutions; want 3", len(sr.XS))
+	}
+	for i, x := range sr.XS {
+		if r := a2.ResidualNorm(x, bs[i]); r > 1e-8 {
+			t.Fatalf("multi solve %d residual %g", i, r)
+		}
+	}
+
+	doc := fetchMetrics(t, ts.URL)
+	if doc.Factors != 1 || doc.Refactors != 1 {
+		t.Fatalf("metrics: factors=%d refactors=%d; want 1 and 1", doc.Factors, doc.Refactors)
+	}
+	if doc.Cache.Hits != 1 || doc.Cache.Misses != 1 {
+		t.Fatalf("metrics cache stats = %+v; want 1 hit, 1 miss", doc.Cache)
+	}
+	if doc.Batches == 0 || doc.BatchedR < 2 {
+		t.Fatalf("metrics: batches=%d batched_rhs=%d; batcher left no trace", doc.Batches, doc.BatchedR)
+	}
+	if want := int64(batchLimit + 3); doc.SolvedRHS != want {
+		t.Fatalf("metrics: solved_rhs=%d; want %d", doc.SolvedRHS, want)
+	}
+}
+
+// TestServiceDistinctPatterns: two different structures get two ids, and
+// each id solves against its own matrix.
+func TestServiceDistinctPatterns(t *testing.T) {
+	_, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1})
+
+	a := gen.IrregularMesh(120, 5, 3, 1)
+	b := gen.IrregularMesh(120, 5, 3, 2)
+	fa := factorMatrix(t, ts.URL, a)
+	fb := factorMatrix(t, ts.URL, b)
+	if fa.ID == fb.ID {
+		t.Fatal("different patterns share an id")
+	}
+	if fb.CacheHit {
+		t.Fatal("different pattern hit the plan cache")
+	}
+
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	for _, tc := range []struct {
+		id string
+		m  *sparse.Matrix
+	}{{fa.ID, a}, {fb.ID, b}} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: tc.id, B: rhs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+		}
+		var sr solveResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if r := tc.m.ResidualNorm(sr.X, rhs); r > 1e-8 {
+			t.Fatalf("id %s residual %g", tc.id, r)
+		}
+	}
+}
+
+// TestServiceRequestValidation covers the client-error surface: malformed
+// bodies, unknown ids, bad right-hand sides.
+func TestServiceRequestValidation(t *testing.T) {
+	_, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1})
+	a := gen.IrregularMesh(100, 5, 3, 3)
+	fr := factorMatrix(t, ts.URL, a)
+
+	check := func(name string, resp *http.Response, body []byte, wantStatus int, wantSub string) {
+		t.Helper()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s: status %d, want %d (%s)", name, resp.StatusCode, wantStatus, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Fatalf("%s: non-JSON error body %q", name, body)
+		}
+		if wantSub != "" && !strings.Contains(eb.Error, wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, eb.Error, wantSub)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/factor", map[string]any{"n": 2, "bogus": true})
+	check("unknown field", resp, body, http.StatusBadRequest, "bogus")
+
+	// JSON cannot carry Inf, but MatrixMarket text can.
+	mm := "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 4\n2 1 inf\n2 2 4\n"
+	infResp, err := http.Post(ts.URL+"/v1/factor", "text/plain", strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	infBody, _ := io.ReadAll(infResp.Body)
+	infResp.Body.Close()
+	check("inf matrix value", infResp, infBody, http.StatusBadRequest, "not finite")
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: "deadbeef", B: make([]float64, a.N)})
+	check("unknown id", resp, body, http.StatusNotFound, "unknown factor id")
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, B: make([]float64, 3)})
+	check("short rhs", resp, body, http.StatusBadRequest, "length")
+
+	// JSON cannot carry NaN, so exercise the RHS finiteness guard directly
+	// (it protects the batcher from poisoned coalesced sweeps).
+	nan := make([]float64, a.N)
+	nan[4] = math.NaN()
+	if err := validRHS(a.N, nan); err == nil || !strings.Contains(err.Error(), "not finite") {
+		t.Fatalf("validRHS(NaN) = %v; want not-finite error", err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID})
+	check("no rhs", resp, body, http.StatusBadRequest, `"b"`)
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve",
+		solveRequest{ID: fr.ID, B: make([]float64, a.N), BS: [][]float64{make([]float64, a.N)}})
+	check("both rhs forms", resp, body, http.StatusBadRequest, `"b"`)
+
+	// One bad vector inside a multi-RHS request names the offender.
+	bad := [][]float64{make([]float64, a.N), make([]float64, 2)}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, BS: bad})
+	check("bad rhs in batch", resp, body, http.StatusBadRequest, "rhs 1")
+
+	get, err := http.Get(ts.URL + "/v1/factor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(get.Body)
+	get.Body.Close()
+	check("wrong method", get, b, http.StatusMethodNotAllowed, "POST")
+}
+
+// TestServiceMatrixMarketBody: the factor endpoint accepts MatrixMarket
+// text when the content type is not JSON.
+func TestServiceMatrixMarketBody(t *testing.T) {
+	_, ts := testService(t, Config{Procs: 2, BlockSize: 8, BatchWindow: -1})
+
+	var mm bytes.Buffer
+	mm.WriteString("%%MatrixMarket matrix coordinate real symmetric\n")
+	a := gen.Grid2D(8)
+	fmt.Fprintf(&mm, "%d %d %d\n", a.N, a.N, a.NNZ())
+	for j := 0; j < a.N; j++ {
+		for p := a.ColPtr[j]; p < a.ColPtr[j+1]; p++ {
+			fmt.Fprintf(&mm, "%d %d %.17g\n", a.RowInd[p]+1, j+1, a.Val[p])
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/factor", "text/plain", &mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matrixmarket factor: status %d: %s", resp.StatusCode, body)
+	}
+	var fr factorResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.N != a.N || fr.NNZ != a.NNZ() {
+		t.Fatalf("parsed n=%d nnz=%d; want n=%d nnz=%d", fr.N, fr.NNZ, a.N, a.NNZ())
+	}
+}
+
+// TestServiceDrain: draining fails health checks and refuses new work.
+func TestServiceDrain(t *testing.T) {
+	s, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+
+	s.Drain()
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	a := gen.Grid2D(6)
+	r2, body := postJSON(t, ts.URL+"/v1/factor", toCSC(a))
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("factor while draining: %d (%s), want 503", r2.StatusCode, body)
+	}
+}
+
+// TestServiceBackpressure: with a one-worker pool and zero queue, a request
+// arriving while the worker is held must get 429 and bump the rejected
+// counter.
+func TestServiceBackpressure(t *testing.T) {
+	s, ts := testService(t, Config{Procs: 1, Workers: 1, QueueDepth: 1, BlockSize: 16, BatchWindow: -1})
+	a := gen.IrregularMesh(100, 5, 3, 5)
+	fr := factorMatrix(t, ts.URL, a)
+
+	// Occupy the only worker slot and fill the queue to its bound.
+	s.sem <- struct{}{}
+	s.mu.Lock()
+	s.queued = s.cfg.Workers + s.cfg.QueueDepth
+	s.mu.Unlock()
+	defer func() {
+		<-s.sem
+		s.mu.Lock()
+		s.queued = 0
+		s.mu.Unlock()
+	}()
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, B: make([]float64, a.N)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded solve: status %d (%s), want 429", resp.StatusCode, body)
+	}
+	if doc := fetchMetrics(t, ts.URL); doc.Rejected == 0 {
+		t.Fatal("rejected counter did not move")
+	}
+}

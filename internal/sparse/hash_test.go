@@ -1,0 +1,138 @@
+package sparse
+
+import "testing"
+
+// tridiag builds an n×n tridiagonal SPD matrix with the given off-diagonal
+// value (structure is independent of the value).
+func tridiag(n int, off float64) *Matrix {
+	var ts []Triplet
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{Row: i, Col: i, Val: 4})
+		if i > 0 {
+			ts = append(ts, Triplet{Row: i, Col: i - 1, Val: off})
+		}
+	}
+	m, err := FromTriplets(n, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestPatternHashValueIndependent(t *testing.T) {
+	a := tridiag(40, -1)
+	b := tridiag(40, -0.25)
+	if !a.SamePattern(b) {
+		t.Fatal("fixtures should share a pattern")
+	}
+	if a.PatternHash() != b.PatternHash() {
+		t.Fatalf("same pattern, different values: hashes differ (%#x vs %#x)",
+			a.PatternHash(), b.PatternHash())
+	}
+	// Scaling values in place must not move the hash either.
+	c := a.Clone()
+	for i := range c.Val {
+		c.Val[i] *= 3.5
+	}
+	if a.PatternHash() != c.PatternHash() {
+		t.Fatal("value scaling changed the pattern hash")
+	}
+}
+
+func TestPatternHashStructureSensitive(t *testing.T) {
+	base := tridiag(40, -1)
+	h := base.PatternHash()
+
+	// Different dimension.
+	if tridiag(41, -1).PatternHash() == h {
+		t.Fatal("n=41 collided with n=40")
+	}
+
+	// Same n, one extra off-diagonal entry.
+	perturbed := tridiag(40, -1)
+	ts := []Triplet{{Row: 17, Col: 3, Val: -1}}
+	for j := 0; j < perturbed.N; j++ {
+		for p := perturbed.ColPtr[j]; p < perturbed.ColPtr[j+1]; p++ {
+			ts = append(ts, Triplet{Row: perturbed.RowInd[p], Col: j, Val: perturbed.Val[p]})
+		}
+	}
+	p2, err := FromTriplets(40, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PatternHash() == h {
+		t.Fatal("extra entry did not change the pattern hash")
+	}
+	if base.SamePattern(p2) {
+		t.Fatal("SamePattern missed a structural difference")
+	}
+
+	// Same entry count, different placement.
+	shifted := tridiag(40, -1)
+	var ts2 []Triplet
+	for j := 0; j < shifted.N; j++ {
+		for p := shifted.ColPtr[j]; p < shifted.ColPtr[j+1]; p++ {
+			i := shifted.RowInd[p]
+			if i == j+1 && j == 10 {
+				i = j + 2 // move one subdiagonal entry down a row
+			}
+			ts2 = append(ts2, Triplet{Row: i, Col: j, Val: shifted.Val[p]})
+		}
+	}
+	s2, err := FromTriplets(40, ts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NNZ() != base.NNZ() {
+		t.Fatalf("fixture bug: nnz %d != %d", s2.NNZ(), base.NNZ())
+	}
+	if s2.PatternHash() == h {
+		t.Fatal("moved entry did not change the pattern hash")
+	}
+}
+
+func TestPatternHashAllocs(t *testing.T) {
+	m := tridiag(100, -1)
+	if avg := testing.AllocsPerRun(10, func() { m.PatternHash() }); avg != 0 {
+		t.Fatalf("PatternHash allocated %.1f times per call; want 0", avg)
+	}
+}
+
+func TestPermuteWithMap(t *testing.T) {
+	m := tridiag(12, -1)
+	perm := make([]int, m.N)
+	for i := range perm {
+		perm[i] = (i*5 + 3) % m.N // 5 is coprime with 12
+	}
+	pm, vmap, err := m.PermuteWithMap(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.SamePattern(ref) {
+		t.Fatal("PermuteWithMap pattern differs from Permute")
+	}
+	if len(vmap) != m.NNZ() {
+		t.Fatalf("vmap length %d, want %d", len(vmap), m.NNZ())
+	}
+	for q := range pm.Val {
+		if pm.Val[q] != m.Val[vmap[q]] {
+			t.Fatalf("vmap[%d]=%d: permuted value %g != source value %g",
+				q, vmap[q], pm.Val[q], m.Val[vmap[q]])
+		}
+		if pm.Val[q] != ref.Val[q] {
+			t.Fatalf("value mismatch vs Permute at %d", q)
+		}
+	}
+	// The map is a bijection over nonzero positions.
+	hit := make([]bool, m.NNZ())
+	for _, p := range vmap {
+		if hit[p] {
+			t.Fatalf("vmap maps position %d twice", p)
+		}
+		hit[p] = true
+	}
+}

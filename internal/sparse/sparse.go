@@ -71,6 +71,60 @@ func (m *Matrix) Validate() error {
 	return nil
 }
 
+// FNV-1a 64-bit constants (hash/fnv duplicated here to keep the hot,
+// allocation-free loop inlined over raw ints instead of byte slices).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one integer (as 8 little-endian bytes) into an FNV-1a state.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// PatternHash returns an FNV-1a hash of the matrix's sparsity structure —
+// the dimension, column pointers, and row indices. Values are deliberately
+// excluded: two matrices with the same pattern but different numeric
+// entries hash equal, which is exactly the key a plan cache wants
+// (analysis and block partitioning depend only on structure, so a cached
+// Plan can be refactored with new values). The hash allocates nothing.
+func (m *Matrix) PatternHash() uint64 {
+	h := fnvMix(uint64(fnvOffset64), uint64(m.N))
+	for _, p := range m.ColPtr {
+		h = fnvMix(h, uint64(p))
+	}
+	for _, r := range m.RowInd {
+		h = fnvMix(h, uint64(r))
+	}
+	return h
+}
+
+// SamePattern reports whether m and o have identical sparsity structure.
+// It is the exact check behind PatternHash's probabilistic one, used to
+// rule out hash collisions before reusing a cached analysis.
+func (m *Matrix) SamePattern(o *Matrix) bool {
+	if m.N != o.N || len(m.RowInd) != len(o.RowInd) {
+		return false
+	}
+	for j := 0; j <= m.N; j++ {
+		if m.ColPtr[j] != o.ColPtr[j] {
+			return false
+		}
+	}
+	for p, r := range m.RowInd {
+		if o.RowInd[p] != r {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := &Matrix{
@@ -260,15 +314,29 @@ func (s *rowValSort) Swap(i, j int) {
 // old, i.e. B(i,j) = A(perm[i], perm[j]). The result is again a sorted
 // lower-triangular CSC matrix.
 func (m *Matrix) Permute(perm []int) (*Matrix, error) {
+	b, _, err := m.permute(perm, false)
+	return b, err
+}
+
+// PermuteWithMap is Permute plus a value map: vmap[q] is the position in
+// m.Val whose entry landed at position q of the result, i.e.
+// B.Val[q] == m.Val[vmap[q]]. The map lets callers re-permute fresh numeric
+// values onto a fixed pattern without redoing the symbolic permutation —
+// the refactorization path applies it as a gather.
+func (m *Matrix) PermuteWithMap(perm []int) (*Matrix, []int, error) {
+	return m.permute(perm, true)
+}
+
+func (m *Matrix) permute(perm []int, withMap bool) (*Matrix, []int, error) {
 	n := m.N
 	if len(perm) != n {
-		return nil, fmt.Errorf("sparse: permutation length %d for n=%d", len(perm), n)
+		return nil, nil, fmt.Errorf("sparse: permutation length %d for n=%d", len(perm), n)
 	}
 	inv := make([]int, n)
 	seen := make([]bool, n)
 	for newIdx, old := range perm {
 		if old < 0 || old >= n || seen[old] {
-			return nil, fmt.Errorf("sparse: invalid permutation at position %d", newIdx)
+			return nil, nil, fmt.Errorf("sparse: invalid permutation at position %d", newIdx)
 		}
 		seen[old] = true
 		inv[old] = newIdx
@@ -293,6 +361,10 @@ func (m *Matrix) Permute(perm []int) (*Matrix, error) {
 		RowInd: make([]int, m.NNZ()),
 		Val:    make([]float64, m.NNZ()),
 	}
+	var vmap []int
+	if withMap {
+		vmap = make([]int, m.NNZ())
+	}
 	next := append([]int(nil), counts[:n]...)
 	for j := 0; j < n; j++ {
 		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
@@ -305,13 +377,35 @@ func (m *Matrix) Permute(perm []int) (*Matrix, error) {
 			next[nj]++
 			b.RowInd[q] = ni
 			b.Val[q] = m.Val[p]
+			if withMap {
+				vmap[q] = p
+			}
 		}
 	}
 	for j := 0; j < n; j++ {
 		lo, hi := b.ColPtr[j], b.ColPtr[j+1]
-		sort.Sort(&rowValSort{b.RowInd[lo:hi], b.Val[lo:hi]})
+		if withMap {
+			sort.Sort(&rowValMapSort{b.RowInd[lo:hi], b.Val[lo:hi], vmap[lo:hi]})
+		} else {
+			sort.Sort(&rowValSort{b.RowInd[lo:hi], b.Val[lo:hi]})
+		}
 	}
-	return b, nil
+	return b, vmap, nil
+}
+
+// rowValMapSort co-sorts (rows, vals, vmap) by row.
+type rowValMapSort struct {
+	rows []int
+	vals []float64
+	vmap []int
+}
+
+func (s *rowValMapSort) Len() int           { return len(s.rows) }
+func (s *rowValMapSort) Less(i, j int) bool { return s.rows[i] < s.rows[j] }
+func (s *rowValMapSort) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+	s.vmap[i], s.vmap[j] = s.vmap[j], s.vmap[i]
 }
 
 // ResidualNorm returns ‖A·x − b‖∞, a convergence check for solvers.
