@@ -171,6 +171,25 @@ func (p *Plan) FactorContext(ctx context.Context, a sched.Assignment) (*Factor, 
 	return &Factor{plan: p, nf: nf, pr: pr, ex: ex, a: p.A}, nil
 }
 
+// FactorValuesContext is FactorContext for the analyze-once/factor-many
+// serving path: it factors the plan's fixed pattern carrying values (laid
+// out like A.Val, same CSC entry order) instead of the values the plan was
+// analyzed from. A cached plan asked to factor a newly posted same-pattern
+// matrix must use this — FactorContext would silently factor the stale
+// values of whichever matrix originally built the plan.
+func (p *Plan) FactorValuesContext(ctx context.Context, a sched.Assignment, values []float64) (*Factor, error) {
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, err
+	}
+	pr := sched.Build(p.BS, a)
+	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutor(nf, pr), a: p.A}
+	if err := f.RefactorContext(ctx, values); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 // FactorSequential factors on one processor (the paper's t_seq baseline).
 func (p *Plan) FactorSequential() (*Factor, error) {
 	nf, err := numeric.New(p.BS, p.PA)

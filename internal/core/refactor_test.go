@@ -85,6 +85,57 @@ func TestRefactorMatchesFromScratch(t *testing.T) {
 	}
 }
 
+// TestFactorValuesMatchesFromScratch: a cached plan factoring a same-
+// pattern matrix via FactorValuesContext must use the supplied values, not
+// the values the plan was analyzed from, and match a from-scratch
+// NewPlan+Factor of the new matrix.
+func TestFactorValuesMatchesFromScratch(t *testing.T) {
+	plan, _, vals := refactorFixture(t)
+	asn := plan.Assign(plan.Map(mapping.Grid{Pr: 2, Pc: 2}, mapping.ID, mapping.CY), 2)
+	f, err := plan.FactorValuesContext(context.Background(), asn, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a2 := plan.A.Clone()
+	copy(a2.Val, vals)
+	plan2, err := NewPlan(a2, Options{Ordering: order.MinDegree, BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := plan2.Factor(plan2.Assign(plan2.Map(mapping.Grid{Pr: 2, Pc: 2}, mapping.ID, mapping.CY), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, nf2 := f.Numeric(), f2.Numeric()
+	for j := range nf.Data {
+		for bi := range nf.Data[j] {
+			for i, v := range nf.Data[j][bi] {
+				w := nf2.Data[j][bi][i]
+				if math.Abs(v-w) > 1e-12*(1+math.Abs(w)) {
+					t.Fatalf("block (%d,%d)[%d]: values-factor %g vs from-scratch %g", j, bi, i, v, w)
+				}
+			}
+		}
+	}
+
+	// The factor reports the matrix it actually represents (the new values).
+	if got := f.Matrix().Val[0]; got != vals[0] {
+		t.Fatalf("factor matrix carries value %g at 0; want %g", got, vals[0])
+	}
+	b := make([]float64, plan.A.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Residual(x, b); r > 1e-8 {
+		t.Fatalf("values-factor solve residual %g", r)
+	}
+}
+
 // TestRefactorZeroSymbolicAllocs asserts Refactor skips
 // ordering/symbolic/partition entirely: steady-state allocations per
 // Refactor stay a tiny constant (per-run goroutine control state only),

@@ -151,16 +151,10 @@ func (ex *Executor) Run() (Stats, error) {
 // numerically incomplete; Reload before the next Run restores it.
 func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 	ex.reset()
+	stopWatcher := func() {}
 	if done := ctx.Done(); done != nil {
 		stop := make(chan struct{})
 		watcherExit := make(chan struct{})
-		// The watcher must be fully gone before RunContext returns: a later
-		// run calls reset(), which reinstalls abortOnce, and a straggling
-		// fail() racing that reinstall would be a data race.
-		defer func() {
-			close(stop)
-			<-watcherExit
-		}()
 		go func() {
 			defer close(watcherExit)
 			select {
@@ -170,6 +164,10 @@ func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 			case <-ex.abort:
 			}
 		}()
+		stopWatcher = func() {
+			close(stop)
+			<-watcherExit
+		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(ex.procs))
@@ -181,6 +179,10 @@ func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 		}()
 	}
 	wg.Wait()
+	// Join the watcher before reading firstErr: a straggling fail() from a
+	// cancellation landing right at completion would otherwise race this
+	// read (and a later reset()'s reinstall of abortOnce).
+	stopWatcher()
 	if ex.firstErr != nil {
 		return Stats{}, ex.firstErr
 	}

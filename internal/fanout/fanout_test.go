@@ -1,6 +1,8 @@
 package fanout
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -120,6 +122,31 @@ func TestNotPositiveDefiniteAborts(t *testing.T) {
 	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(g, bs.N())})
 	if _, err := Run(f, pr); err == nil {
 		t.Fatal("expected not-positive-definite error to propagate")
+	}
+}
+
+// TestRunContextCancelCompletionRace hammers the window where cancellation
+// lands exactly as the run completes: RunContext must join its context
+// watcher before reading the error slot, so a straggling fail() can never
+// race the read (this runs under -race in CI) and every outcome is either
+// clean success or a context error.
+func TestRunContextCancelCompletionRace(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(120, 5, 3, 9), ord.MinDegree, 0, 8)
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(f, pr)
+	for i := 0; i < 50; i++ {
+		if err := f.Reload(pm.Val); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // races run completion
+		if _, err := ex.RunContext(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("run %d: unexpected error %v", i, err)
+		}
 	}
 }
 

@@ -99,6 +99,7 @@ func New(cfg Config) *Cache {
 // share the result. A failed build is not cached.
 func (c *Cache) GetOrBuild(a *sparse.Matrix, build func() (*core.Plan, sched.Assignment, error)) (e *Entry, hit bool, err error) {
 	key := a.PatternHash()
+retry:
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*Entry)
@@ -119,6 +120,12 @@ func (c *Cache) GetOrBuild(a *sparse.Matrix, build func() (*core.Plan, sched.Ass
 		<-fl.done
 		if fl.err != nil {
 			return nil, false, fl.err
+		}
+		if !fl.e.Plan.A.SamePattern(a) {
+			// The in-flight analysis was for a hash-colliding pattern, not
+			// ours; start over — the next pass evicts the impostor from the
+			// cache and builds the right plan.
+			goto retry
 		}
 		return fl.e, true, nil
 	}

@@ -99,6 +99,16 @@ func (bt *batcher) run(batch []pendingSolve) {
 	}
 	start := time.Now()
 	bt.fe.mu.RLock()
+	if bt.fe.f == nil {
+		// The factor was invalidated (failed refactor) after these requests
+		// looked it up; fail them instead of dereferencing nil — a panic
+		// here would take down the whole process.
+		bt.fe.mu.RUnlock()
+		for _, req := range batch {
+			req.res <- solveOutcome{err: errFactorInvalid}
+		}
+		return
+	}
 	xs, err := bt.fe.f.SolveMany(bs)
 	bt.fe.mu.RUnlock()
 	s.met.solveLat.observe(time.Since(start))

@@ -107,15 +107,22 @@ func (c *Config) fillDefaults() {
 }
 
 // factorEntry is one live factor. mu serializes refactorization (writer)
-// against solves (readers); f is nil only while the initial factorization
-// is still running under the write lock.
+// against solves (readers). f is nil while the initial factorization is
+// still running under the write lock, and again — permanently — after a
+// failed factorization or refactorization invalidates the entry; every
+// reader must check f under the lock before dereferencing.
 type factorEntry struct {
-	id string
-	n  int
-	mu sync.RWMutex
-	f  *core.Factor
-	bt *batcher
-	el *list.Element // position in the server's factor LRU
+	id   string
+	n    int
+	plan *core.Plan // the analysis this factor was built from (pattern guard)
+	mu   sync.RWMutex
+	f    *core.Factor
+	bt   *batcher
+	el   *list.Element // position in the server's factor LRU
+	// building is true while the creator still holds mu for the initial
+	// factorization. Guarded by the server's mu; eviction skips building
+	// entries so a freshly issued id cannot vanish before its factor lands.
+	building bool
 }
 
 // Server is the solve service. Create with New, mount via Handler.
@@ -164,7 +171,10 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 }
 
-var errBusy = errors.New("server overloaded: worker queue full")
+var (
+	errBusy          = errors.New("server overloaded: worker queue full")
+	errFactorInvalid = errors.New("factor is no longer valid: its factorization or refactorization failed; re-POST the matrix to /v1/factor")
+)
 
 // acquire takes a worker slot, respecting the queue bound and the caller's
 // deadline.
@@ -225,6 +235,8 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, errBusy):
 		return http.StatusTooManyRequests
+	case errors.Is(err, errFactorInvalid):
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:
@@ -288,37 +300,67 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := fmt.Sprintf("%016x", entry.Key)
-	fe, created := s.claimEntry(id, m.N)
 	refactored := false
-	if created {
-		// fe.mu is held for writing; publish the factor, or unregister on
-		// failure so a later request can retry.
-		f, ferr := entry.Plan.FactorContext(ctx, entry.Assign)
-		if ferr != nil {
+	for attempt := 0; ; attempt++ {
+		fe, created := s.claimEntry(id, m.N, entry.Plan)
+		if created {
+			// fe.mu is held for writing; publish the factor, or unregister
+			// (before unlocking, so waiters that see f==nil know the entry
+			// is already gone and can safely re-claim) on failure. The
+			// factorization must use the posted values, not the plan's: on a
+			// cache hit the plan carries whichever values built it.
+			f, ferr := entry.Plan.FactorValuesContext(ctx, entry.Assign, m.Val)
+			if ferr != nil {
+				s.dropEntry(fe)
+				fe.mu.Unlock()
+				s.writeErr(w, factorErrStatus(ferr), ferr)
+				return
+			}
+			fe.f = f
+			s.markReady(fe)
 			fe.mu.Unlock()
-			s.dropEntry(id)
-			s.writeErr(w, factorErrStatus(ferr), ferr)
-			return
+			s.met.factors.Add(1)
+			s.met.factorLat.observe(time.Since(start))
+			break
 		}
-		fe.f = f
-		fe.mu.Unlock()
-		s.met.factors.Add(1)
-		s.met.factorLat.observe(time.Since(start))
-	} else {
 		// Live factor for this pattern: numeric-only refactorization. The
 		// write lock serializes against in-flight solves, so a solve
 		// observes either the old values' factor or the new one, never a
 		// half-updated state.
 		fe.mu.Lock()
+		if fe.f == nil {
+			// The entry's creator failed and dropped it between our claim
+			// and this lock; retry — we will most likely become the creator.
+			fe.mu.Unlock()
+			if attempt < 4 {
+				continue
+			}
+			s.writeErr(w, http.StatusServiceUnavailable, errors.New("factorization repeatedly failing for this pattern"))
+			return
+		}
+		if !fe.plan.A.SamePattern(m) {
+			// 64-bit pattern-hash collision with a live factor: refuse
+			// rather than refactor the wrong structure.
+			fe.mu.Unlock()
+			s.writeErr(w, http.StatusConflict, fmt.Errorf("factor id %s is held by a different sparsity pattern (hash collision)", id))
+			return
+		}
 		rerr := fe.f.RefactorContext(ctx, m.Val)
-		fe.mu.Unlock()
 		if rerr != nil {
+			// A failed (or cancelled) refactor leaves the factor numerically
+			// invalid: invalidate and unregister it so it can never serve a
+			// solve again. In-flight solves holding this entry see f==nil.
+			fe.f = nil
+			s.dropEntry(fe)
+			fe.mu.Unlock()
 			s.writeErr(w, factorErrStatus(rerr), rerr)
 			return
 		}
+		fe.mu.Unlock()
 		refactored = true
 		s.met.refactors.Add(1)
 		s.met.refactorLat.observe(time.Since(start))
+		break
 	}
 
 	plan := entry.Plan
@@ -347,32 +389,49 @@ func factorErrStatus(err error) int {
 // caller must set fe.f and unlock (or dropEntry on failure). This is the
 // per-factor singleflight: a concurrent request for the same new pattern
 // blocks on fe.mu instead of factoring twice.
-func (s *Server) claimEntry(id string, n int) (fe *factorEntry, created bool) {
+func (s *Server) claimEntry(id string, n int, plan *core.Plan) (fe *factorEntry, created bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if fe, ok := s.factors[id]; ok {
 		s.lru.MoveToFront(fe.el)
 		return fe, false
 	}
-	fe = &factorEntry{id: id, n: n}
+	fe = &factorEntry{id: id, n: n, plan: plan, building: true}
 	fe.bt = &batcher{s: s, fe: fe}
 	fe.mu.Lock()
 	s.factors[id] = fe
 	fe.el = s.lru.PushFront(fe)
-	for len(s.factors) > s.cfg.MaxFactors {
-		oldest := s.lru.Back().Value.(*factorEntry)
-		s.lru.Remove(oldest.el)
-		delete(s.factors, oldest.id)
+	// Evict from the cold end, skipping entries whose initial factorization
+	// is still in flight — evicting those would 404 an id the server is
+	// about to return.
+	for el := s.lru.Back(); el != nil && len(s.factors) > s.cfg.MaxFactors; {
+		victim := el.Value.(*factorEntry)
+		el = el.Prev()
+		if victim.building {
+			continue
+		}
+		s.lru.Remove(victim.el)
+		delete(s.factors, victim.id)
 	}
 	return fe, true
 }
 
-func (s *Server) dropEntry(id string) {
+// markReady clears the eviction guard once the creator has published fe.f.
+func (s *Server) markReady(fe *factorEntry) {
+	s.mu.Lock()
+	fe.building = false
+	s.mu.Unlock()
+}
+
+// dropEntry unregisters exactly fe: the pointer comparison keeps a stale
+// drop (after a failed build) from deleting a newer entry that a concurrent
+// request re-created under the same id.
+func (s *Server) dropEntry(fe *factorEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if fe, ok := s.factors[id]; ok {
+	if cur, ok := s.factors[fe.id]; ok && cur == fe {
 		s.lru.Remove(fe.el)
-		delete(s.factors, id)
+		delete(s.factors, fe.id)
 	}
 }
 
@@ -482,6 +541,10 @@ func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, bs [][]float6
 	defer s.release()
 	start := time.Now()
 	fe.mu.RLock()
+	if fe.f == nil {
+		fe.mu.RUnlock()
+		return solveOutcome{err: errFactorInvalid}
+	}
 	xs, err := fe.f.SolveMany(bs)
 	fe.mu.RUnlock()
 	s.met.solveLat.observe(time.Since(start))

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -302,6 +304,188 @@ func TestServiceRequestValidation(t *testing.T) {
 	b, _ := io.ReadAll(get.Body)
 	get.Body.Close()
 	check("wrong method", get, b, http.StatusMethodNotAllowed, "POST")
+}
+
+// TestServiceFailedFactorConcurrent: when the initial factorization fails
+// (indefinite matrix), concurrent requests for the same new pattern must
+// all get a clean client error — never a nil-factor panic — and the dead
+// entry must not linger: a follow-up request with good values gets a fresh
+// factorization that actually solves.
+func TestServiceFailedFactorConcurrent(t *testing.T) {
+	_, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1})
+	a := gen.IrregularMesh(150, 5, 3, 21)
+	bad := a.Clone()
+	bad.Val[bad.ColPtr[a.N-1]] = -5 // indefinite: BFAC must fail
+
+	const clients = 6
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/v1/factor", toCSC(bad))
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusUnprocessableEntity && c != http.StatusServiceUnavailable {
+			t.Fatalf("client %d: status %d; want 422 (or 503 after exhausted retries)", i, c)
+		}
+	}
+
+	// Same pattern, good values: must be a fresh factorization (the failed
+	// entries were all unregistered), and it must serve solves.
+	fr := factorMatrix(t, ts.URL, a)
+	if fr.Refactored {
+		t.Fatal("factor after failures reported refactored=true; a dead entry survived")
+	}
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, B: rhs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after recovery: status %d (%s)", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if r := a.ResidualNorm(sr.X, rhs); r > 1e-8 {
+		t.Fatalf("recovered factor residual %g", r)
+	}
+}
+
+// TestServiceFailedRefactorInvalidatesFactor: a refactorization that fails
+// partway leaves the underlying numeric factor corrupted, so the server
+// must unregister it — solves on the old id get 404, never a 200 carrying
+// garbage — and a re-POST with good values must rebuild from scratch.
+func TestServiceFailedRefactorInvalidatesFactor(t *testing.T) {
+	_, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1})
+	a := gen.IrregularMesh(150, 5, 3, 22)
+	fr := factorMatrix(t, ts.URL, a)
+
+	bad := a.Clone()
+	bad.Val[bad.ColPtr[0]] = -3 // indefinite: the refactor must fail
+	resp, body := postJSON(t, ts.URL+"/v1/factor", toCSC(bad))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("indefinite refactor: status %d (%s); want 422", resp.StatusCode, body)
+	}
+
+	rhs := make([]float64, a.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, B: rhs})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("solve on invalidated factor: status %d (%s); want 404", resp.StatusCode, body)
+	}
+
+	// Recovery: same id (pattern hash), warm plan cache, fresh factor.
+	fr2 := factorMatrix(t, ts.URL, a)
+	if fr2.ID != fr.ID {
+		t.Fatalf("rebuild changed id: %s vs %s", fr2.ID, fr.ID)
+	}
+	if fr2.Refactored {
+		t.Fatal("rebuild after invalidation reported refactored=true")
+	}
+	if !fr2.CacheHit {
+		t.Fatal("rebuild after invalidation missed the plan cache")
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr2.ID, B: rhs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after rebuild: status %d (%s)", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if r := a.ResidualNorm(sr.X, rhs); r > 1e-8 {
+		t.Fatalf("rebuilt factor residual %g", r)
+	}
+}
+
+// TestSolvePathsRejectInvalidatedFactor: both solve paths (direct and
+// batched) must refuse an entry whose factor is nil — the state an
+// invalidated or still-failing entry is left in — with errFactorInvalid
+// (409), not a nil dereference.
+func TestSolvePathsRejectInvalidatedFactor(t *testing.T) {
+	s := New(Config{})
+	fe := &factorEntry{id: "dead", n: 4}
+	fe.bt = &batcher{s: s, fe: fe}
+
+	out := s.solveDirect(context.Background(), fe, [][]float64{make([]float64, 4)})
+	if !errors.Is(out.err, errFactorInvalid) {
+		t.Fatalf("solveDirect on nil factor: err=%v; want errFactorInvalid", out.err)
+	}
+	if st := errStatus(out.err); st != http.StatusConflict {
+		t.Fatalf("errFactorInvalid maps to status %d; want 409", st)
+	}
+	out = fe.bt.submit(context.Background(), make([]float64, 4))
+	if !errors.Is(out.err, errFactorInvalid) {
+		t.Fatalf("batched solve on nil factor: err=%v; want errFactorInvalid", out.err)
+	}
+}
+
+// TestFactorRegistryEvictionAndDrop pins the registry lifecycle rules:
+// LRU eviction never removes an entry whose initial factorization is still
+// in flight, and dropEntry only removes the exact entry it was given (a
+// stale drop must not delete a re-created successor under the same id).
+func TestFactorRegistryEvictionAndDrop(t *testing.T) {
+	s := New(Config{MaxFactors: 1})
+	feA, created := s.claimEntry("a", 4, nil)
+	if !created {
+		t.Fatal("claim a: want created")
+	}
+	feB, created := s.claimEntry("b", 4, nil)
+	if !created {
+		t.Fatal("claim b: want created")
+	}
+	s.mu.Lock()
+	live := len(s.factors)
+	s.mu.Unlock()
+	if live != 2 {
+		t.Fatalf("%d live entries after two in-flight claims; eviction removed a building entry", live)
+	}
+
+	// Publish a; the next claim may evict it (cold end) but never the
+	// still-building b.
+	s.markReady(feA)
+	feA.mu.Unlock()
+	feC, created := s.claimEntry("c", 4, nil)
+	if !created {
+		t.Fatal("claim c: want created")
+	}
+	s.mu.Lock()
+	_, hasA := s.factors["a"]
+	_, hasB := s.factors["b"]
+	s.mu.Unlock()
+	if hasA {
+		t.Fatal("ready entry a survived eviction while over budget")
+	}
+	if !hasB {
+		t.Fatal("building entry b was evicted")
+	}
+	s.markReady(feB)
+	feB.mu.Unlock()
+	s.markReady(feC)
+	feC.mu.Unlock()
+
+	// Stale drop: re-create c, then drop via the old pointer — the new
+	// entry must survive.
+	s.dropEntry(feC)
+	feC2, created := s.claimEntry("c", 4, nil)
+	if !created {
+		t.Fatal("re-claim c: want created")
+	}
+	s.markReady(feC2)
+	feC2.mu.Unlock()
+	s.dropEntry(feC)
+	if _, ok := s.lookup("c"); !ok {
+		t.Fatal("stale dropEntry removed the re-created entry")
+	}
 }
 
 // TestServiceMatrixMarketBody: the factor endpoint accepts MatrixMarket
