@@ -145,7 +145,7 @@ func BenchmarkSimulate64(b *testing.B) {
 	cfg := machine.Paragon()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		machine.Simulate(pr, cfg)
+		machine.MustSimulate(pr, cfg)
 	}
 }
 

@@ -164,11 +164,15 @@ func collectKernels(minTime time.Duration) []KernelRow {
 		slvFlops := int64(r) * int64(w) * int64(w)
 		slv := timeLoop(minTime, slvFlops, func() {
 			copy(work, x)
-			kernels.SolveRight(work, r, l, w)
+			if err := kernels.SolveRight(work, r, l, w); err != nil {
+				panic(err)
+			}
 		})
 		slvNaive := timeLoop(minTime, slvFlops, func() {
 			copy(work, x)
-			kernels.SolveRightNaive(work, r, l, w)
+			if err := kernels.SolveRightNaive(work, r, l, w); err != nil {
+				panic(err)
+			}
 		})
 		rows = append(rows,
 			KernelRow{Kernel: "SolveRight", Width: w, GFlops: slv, SpeedupVsNaive: slv / slvNaive},

@@ -1,0 +1,147 @@
+// Robustness benchmark: quantifies what this PR's fault tolerance costs on
+// the hot paths, and serializes BENCH_robustness.json. The contract is that
+// pivot-breakdown detection in BFAC (kernels.Cholesky vs CholeskyNoChecks)
+// and the hardened serving path (injection gate, retry wrapper, breaker
+// bookkeeping around each solve) stay within ~2% of the unchecked
+// baselines — failure detection must be effectively free when nothing
+// fails.
+package benchjson
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/kernels"
+	"blockfanout/internal/server"
+)
+
+// PivotCheckRow compares checked and check-free BFAC at one block width.
+type PivotCheckRow struct {
+	Width            int     `json:"w"`
+	CheckedGFlops    float64 `json:"checked_gflops"`
+	NoChecksGFlops   float64 `json:"nochecks_gflops"`
+	OverheadPercent  float64 `json:"overhead_pct"` // (nochecks/checked − 1) · 100
+}
+
+// RobustnessReport is the BENCH_robustness.json document.
+type RobustnessReport struct {
+	Host string `json:"host"`
+	FMA  bool   `json:"fma"`
+
+	// PivotChecks is the BFAC overhead table. MaxOverheadPercent is its
+	// worst row — the headline number the <2% criterion applies to.
+	PivotChecks        []PivotCheckRow `json:"pivot_checks"`
+	MaxOverheadPercent float64         `json:"max_overhead_pct"`
+
+	// ServerSolveMs is a single-RHS solve through the hardened HTTP path
+	// (injection gate, retry wrapper, breaker bookkeeping all in line,
+	// injection disabled), best of several rounds; N and Procs give its
+	// scale. This is the absolute number regressions are judged against.
+	N             int     `json:"n"`
+	Procs         int     `json:"procs"`
+	ServerSolveMs float64 `json:"server_solve_ms"`
+}
+
+// cholGFlops measures one Cholesky variant at width w.
+func cholGFlops(minTime time.Duration, w int, fn func([]float64, int)) float64 {
+	src := make([]float64, w*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j <= i; j++ {
+			v := 1.0 / float64(1+i-j)
+			if i == j {
+				v = float64(w) + 2
+			}
+			src[i*w+j] = v
+		}
+	}
+	dst := make([]float64, len(src))
+	flops := int64(w) * int64(w) * int64(w) / 3
+	return timeLoop(minTime, flops, func() {
+		copy(dst, src)
+		fn(dst, w)
+	})
+}
+
+// CollectRobustness measures the overhead table and the hardened serving
+// path. minTime is the per-measurement budget; rounds is how many warm
+// solve measurements the server number is the best of.
+func CollectRobustness(minTime time.Duration, rounds int) (*RobustnessReport, error) {
+	host, _ := os.Hostname()
+	rep := &RobustnessReport{Host: host, FMA: kernels.HasFMA()}
+
+	for _, w := range Widths {
+		// Interleave the two variants and keep each one's best pass: on a
+		// shared machine a single pass each can swing several percent
+		// either way, which would drown the sub-2% effect being measured.
+		var checked, nochecks float64
+		for pass := 0; pass < 3; pass++ {
+			c := cholGFlops(minTime, w, func(a []float64, n int) {
+				if err := kernels.Cholesky(a, n); err != nil {
+					panic(err) // SPD by construction; a failure is a benchmark bug
+				}
+			})
+			nc := cholGFlops(minTime, w, kernels.CholeskyNoChecks)
+			if c > checked {
+				checked = c
+			}
+			if nc > nochecks {
+				nochecks = nc
+			}
+		}
+		row := PivotCheckRow{Width: w, CheckedGFlops: checked, NoChecksGFlops: nochecks}
+		if checked > 0 {
+			row.OverheadPercent = (nochecks/checked - 1) * 100
+		}
+		rep.PivotChecks = append(rep.PivotChecks, row)
+		if row.OverheadPercent > rep.MaxOverheadPercent {
+			rep.MaxOverheadPercent = row.OverheadPercent
+		}
+	}
+
+	m := gen.IrregularMesh(3000, 7, 3, 42)
+	rep.N = m.N
+	rep.Procs = serviceProcs
+	srv := server.New(server.Config{Procs: serviceProcs, BatchWindow: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := postService(ts.URL, "/v1/factor", factorBody(m))
+	if err != nil {
+		return nil, err
+	}
+	var fr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &fr); err != nil {
+		return nil, err
+	}
+	rhs := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	best := 0.0
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if _, err := postService(ts.URL, "/v1/solve", map[string]any{"id": fr.ID, "b": rhs}); err != nil {
+			return nil, err
+		}
+		ms := time.Since(start).Seconds() * 1e3
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	rep.ServerSolveMs = best
+	return rep, nil
+}
+
+// WriteFile serializes the report.
+func (r *RobustnessReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -11,6 +11,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,6 +20,7 @@ import (
 	"blockfanout/internal/domains"
 	"blockfanout/internal/etree"
 	"blockfanout/internal/fanout"
+	"blockfanout/internal/kernels"
 	"blockfanout/internal/loadbal"
 	"blockfanout/internal/machine"
 	"blockfanout/internal/mapping"
@@ -213,8 +215,17 @@ func (p *Plan) Refactor(f *Factor, values []float64) error {
 }
 
 // Simulate runs the discrete-event multicomputer simulation of the fan-out
-// schedule under the assignment and machine model.
+// schedule under the assignment and machine model. The configuration must
+// be valid (machine.Config.Validate); experiments and examples construct
+// theirs from the fixed Paragon model, so an invalid one is a programming
+// error and panics. Use SimulateChecked for externally-supplied configs.
 func (p *Plan) Simulate(a sched.Assignment, cfg machine.Config) machine.Result {
+	return machine.MustSimulate(sched.Build(p.BS, a), cfg)
+}
+
+// SimulateChecked is Simulate with the configuration error surfaced instead
+// of panicking, for callers whose machine model comes from user input.
+func (p *Plan) SimulateChecked(a sched.Assignment, cfg machine.Config) (machine.Result, error) {
 	return machine.Simulate(sched.Build(p.BS, a), cfg)
 }
 
@@ -302,6 +313,96 @@ func (f *Factor) RefactorContext(ctx context.Context, values []float64) error {
 		return err
 	}
 	return f.nf.FactorSequential()
+}
+
+// Perturbation configures the opt-in graceful-degradation mode for
+// borderline-SPD matrices: when a factorization breaks down on a
+// non-positive pivot, the diagonal is shifted (A + αI, the Manteuffel
+// strategy) and the factorization retried with escalating α, a bounded
+// number of times. The shift trades exactness for existence — the factor
+// solves a nearby SPD problem — so callers must opt in and are told the α
+// that was applied.
+type Perturbation struct {
+	// InitialShift is the first α relative to max |A_jj| (default 1e-8).
+	InitialShift float64
+	// Growth multiplies α between attempts (default 100).
+	Growth float64
+	// MaxAttempts bounds the retries (default 8, spanning relative shifts
+	// from 1e-8 up to 1e6 under the default growth).
+	MaxAttempts int
+}
+
+func (p Perturbation) withDefaults() Perturbation {
+	if p.InitialShift <= 0 {
+		p.InitialShift = 1e-8
+	}
+	if p.Growth <= 1 {
+		p.Growth = 100
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	return p
+}
+
+// RefactorPerturbedContext is RefactorContext with the diagonal-perturbation
+// retry. It returns the absolute shift α that was applied: 0 when the
+// matrix factored unmodified, positive when a shifted A + αI was factored
+// instead. Non-breakdown errors (cancellation, malformed values) are
+// returned immediately without retrying.
+func (f *Factor) RefactorPerturbedContext(ctx context.Context, values []float64, pert Perturbation) (float64, error) {
+	err := f.RefactorContext(ctx, values)
+	if err == nil {
+		return 0, nil
+	}
+	if !errors.Is(err, kernels.ErrNotPositiveDefinite) {
+		return 0, err
+	}
+	pert = pert.withDefaults()
+	a := f.plan.A
+	scale := 0.0
+	for j := 0; j < a.N; j++ {
+		if d := math.Abs(values[a.ColPtr[j]]); d > scale {
+			scale = d
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	shifted := append([]float64(nil), values...)
+	alpha := pert.InitialShift * scale
+	for attempt := 0; attempt < pert.MaxAttempts; attempt++ {
+		for j := 0; j < a.N; j++ {
+			q := a.ColPtr[j]
+			shifted[q] = values[q] + alpha
+		}
+		if err = f.RefactorContext(ctx, shifted); err == nil {
+			return alpha, nil
+		}
+		if !errors.Is(err, kernels.ErrNotPositiveDefinite) {
+			return 0, err
+		}
+		alpha *= pert.Growth
+	}
+	return 0, fmt.Errorf("core: still not positive definite after %d diagonal perturbations (last shift %g): %w",
+		pert.MaxAttempts, alpha/pert.Growth, err)
+}
+
+// FactorValuesPerturbedContext is FactorValuesContext with the
+// diagonal-perturbation retry; it reports the applied shift alongside the
+// factor.
+func (p *Plan) FactorValuesPerturbedContext(ctx context.Context, a sched.Assignment, values []float64, pert Perturbation) (*Factor, float64, error) {
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, 0, err
+	}
+	pr := sched.Build(p.BS, a)
+	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutor(nf, pr), a: p.A}
+	shift, err := f.RefactorPerturbedContext(ctx, values, pert)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, shift, nil
 }
 
 // checkRHS validates one right-hand side: exact length and finite entries.

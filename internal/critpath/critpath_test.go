@@ -111,7 +111,7 @@ func TestCriticalPathLowerBoundsSimulation(t *testing.T) {
 	cp := Length(bs, cfg.FlopRate, cfg.OpOverhead)
 	for _, g := range []mapping.Grid{{Pr: 2, Pc: 2}, {Pr: 8, Pc: 8}} {
 		pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(g, bs.N())})
-		res := machine.Simulate(pr, cfg)
+		res := machine.MustSimulate(pr, cfg)
 		if res.Time < cp-1e-12 {
 			t.Fatalf("grid %v simulated %g below critical path %g", g, res.Time, cp)
 		}

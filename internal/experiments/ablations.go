@@ -81,7 +81,7 @@ func Domains(w io.Writer, cfg Config) error {
 	for _, beta := range []float64{0, 1, 2, 4, 8} {
 		a := plan.Assign(m, beta)
 		pr := sched.Build(plan.BS, a)
-		res := machine.Simulate(pr, cfg.Machine)
+		res := machine.MustSimulate(pr, cfg.Machine)
 		nd := 0
 		if a.Dom != nil {
 			nd = a.Dom.NDomains

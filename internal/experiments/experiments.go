@@ -155,6 +155,7 @@ func All() []Runner {
 		{"colfan", "intro: executed 1-D column fan-out vs 2-D block fan-out messages", ColfanMessages},
 		{"amalgamation", "§2.2: supernode amalgamation ablation", Amalgamation},
 		{"domains", "§2.3: domain/root split ablation (beta sweep)", Domains},
+		{"faults", "resilience: per-mapping degradation under a fail-stop + buddy recovery", Faults},
 	}
 }
 

@@ -254,7 +254,7 @@ func blockSizeVariants(w io.Writer, cfg Config, p gen.Problem, g mapping.Grid) e
 		cy := mapping.Cyclic(g, bs.N())
 		bal := loadbal.Compute(bs, cy).Overall
 		pr := sched.Build(bs, sched.Assignment{Map: cy})
-		res := machine.Simulate(pr, cfg.Machine)
+		res := machine.MustSimulate(pr, cfg.Machine)
 		fmt.Fprintf(w, "%-22s %8d %10.2f %12.0f\n",
 			v.label, bs.N(), bal, res.Mflops(plan.Exact.Flops))
 	}
@@ -364,8 +364,8 @@ func Arbitrary(w io.Writer, cfg Config) error {
 		aAR := sched.Assignment{Map: cp, Override: arb}
 		volCP := commvol.Of(plan.BS, aCP)
 		volAR := commvol.Of(plan.BS, aAR)
-		mfCP := mflops(plan, machine.Simulate(sched.Build(plan.BS, aCP), cfg.Machine))
-		mfAR := mflops(plan, machine.Simulate(sched.Build(plan.BS, aAR), cfg.Machine))
+		mfCP := mflops(plan, machine.MustSimulate(sched.Build(plan.BS, aCP), cfg.Machine))
+		mfAR := mflops(plan, machine.MustSimulate(sched.Build(plan.BS, aAR), cfg.Machine))
 		fmt.Fprintf(w, "%-12s %10.2f %10.2f %12d %12d %10.0f %10.0f\n",
 			p.Name, balCP, balAR, volCP.Bytes, volAR.Bytes, mfCP, mfAR)
 	}

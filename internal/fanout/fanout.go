@@ -22,9 +22,11 @@ package fanout
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"blockfanout/internal/kernels"
 	"blockfanout/internal/numeric"
 	"blockfanout/internal/sched"
 )
@@ -101,13 +103,49 @@ func NewExecutor(f *numeric.Factor, pr *sched.Program) *Executor {
 	return ex
 }
 
+// fail records a failure and broadcasts cancellation to the remaining
+// processors. Errors are ranked, not first-come: a numerical breakdown
+// (*kernels.PivotError) beats any infrastructure or cancellation error, and
+// among breakdowns the lowest (Block, Row) wins, so the reported pivot is
+// independent of which goroutine lost the race to report it.
 func (ex *Executor) fail(err error) {
 	ex.errMu.Lock()
-	if ex.firstErr == nil {
+	if betterErr(err, ex.firstErr) {
 		ex.firstErr = err
 	}
 	ex.errMu.Unlock()
 	ex.abortOnce.Do(func() { close(ex.abort) })
+}
+
+func betterErr(candidate, incumbent error) bool {
+	if incumbent == nil {
+		return true
+	}
+	var cp, ip *kernels.PivotError
+	cPiv := errors.As(candidate, &cp)
+	iPiv := errors.As(incumbent, &ip)
+	switch {
+	case cPiv && !iPiv:
+		return true
+	case !cPiv:
+		return false
+	case cp.Block != ip.Block:
+		return cp.Block < ip.Block
+	default:
+		return cp.Row < ip.Row
+	}
+}
+
+// aborted is the non-blocking abort poll inserted between block operations,
+// bounding both cancellation latency and wasted work after a breakdown to a
+// single block operation.
+func (ps *procState) aborted() bool {
+	select {
+	case <-ps.ex.abort:
+		return true
+	default:
+		return false
+	}
 }
 
 // reset restores the executor to its pre-run state: counters reloaded from
@@ -127,6 +165,19 @@ func (ex *Executor) reset() {
 		ps.local = ps.local[:0]
 		ps.remaining = ex.pr.OwnedCount[p]
 		ps.failed = false
+	}
+	ex.drainInboxes()
+	ex.abort = make(chan struct{})
+	ex.abortOnce = sync.Once{}
+	ex.firstErr = nil
+}
+
+// drainInboxes discards messages stranded by an aborted run. Sends never
+// block (each inbox is sized for its total remote traffic), so draining is
+// a hygiene step, not a deadlock-avoidance one: it keeps a failed run from
+// leaking stale block ids into the executor's next use.
+func (ex *Executor) drainInboxes() {
+	for p := range ex.inboxes {
 	drain:
 		for {
 			select {
@@ -136,9 +187,6 @@ func (ex *Executor) reset() {
 			}
 		}
 	}
-	ex.abort = make(chan struct{})
-	ex.abortOnce = sync.Once{}
-	ex.firstErr = nil
 }
 
 // Run executes one parallel factorization.
@@ -184,6 +232,7 @@ func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 	// read (and a later reset()'s reinstall of abortOnce).
 	stopWatcher()
 	if ex.firstErr != nil {
+		ex.drainInboxes()
 		return Stats{}, ex.firstErr
 	}
 	return Stats{Messages: ex.pr.TotalMessages, Bytes: ex.pr.TotalBytes, Procs: ex.pr.NProc}, nil
@@ -198,7 +247,11 @@ func (ps *procState) run() {
 	pr := ex.pr
 
 	// Seed: owned diagonal blocks with no pending modifications can be
-	// factored immediately.
+	// factored immediately. Deliberately no abort poll here: every
+	// processor always attempts all of its seed BFACs (stopping only at its
+	// own first failure), so a breakdown in an unmodified diagonal block is
+	// detected on every run regardless of interleaving, and the ranked
+	// fail() then reports the lowest such (Block, Row) deterministically.
 	for j := range pr.BS.Cols {
 		id := pr.BlockID(j, 0)
 		if pr.Owner[id] == ps.me && pr.NMods[id] == 0 {
@@ -210,6 +263,9 @@ func (ps *procState) run() {
 	}
 
 	for ps.remaining > 0 && !ps.failed {
+		if ps.aborted() {
+			return
+		}
 		var id int32
 		if n := len(ps.local); n > 0 {
 			id = ps.local[n-1]
@@ -259,7 +315,11 @@ func (ps *procState) finish(id int32) {
 			return
 		}
 	} else {
-		ex.f.BDIV(k, idx)
+		if err := ex.f.BDIV(k, idx); err != nil {
+			ex.fail(err)
+			ps.failed = true
+			return
+		}
 	}
 	ps.complete(id)
 }
@@ -309,7 +369,7 @@ func (ps *procState) handle(id int32) {
 			ex.diagReady[bid] = true
 			if ex.modsLeft[bid] == 0 && !ex.done[bid] {
 				ps.finish(bid)
-				if ps.failed {
+				if ps.failed || ps.aborted() {
 					return
 				}
 			}
@@ -325,7 +385,7 @@ func (ps *procState) handle(id int32) {
 		}
 		if other == id || ps.arrived[other>>6]&(1<<(uint(other)&63)) != 0 {
 			ps.execMod(k, idx, j)
-			if ps.failed {
+			if ps.failed || ps.aborted() {
 				return
 			}
 		}

@@ -1,0 +1,182 @@
+// Package faultinject is a deterministic, opt-in fault injector for
+// exercising failure handling in the serving path. Call sites name
+// injection points ("server.factor", "server.solve", ...) and call Fire at
+// request boundaries; the injector is off by default and Fire is then a
+// single atomic load, so instrumented code pays nothing in production.
+// Tests (and the chaos job built with -tags faultinject) install rules
+// with Enable to make specific sites fail, stall, or panic on a
+// deterministic schedule.
+//
+// Injected errors are marked transient by default (IsTransient reports
+// true), which is what lets the server's retry-with-backoff distinguish
+// an injected infrastructure hiccup from a real numeric failure: numeric
+// errors such as kernels.PivotError are never transient and are never
+// retried.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the base error every injected failure wraps (unless the
+// rule carries its own Err).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule describes when one injection site misbehaves. The zero value of
+// every knob is the permissive default: a Rule{Site: "x", Prob: 1} fails
+// every call to x.
+type Rule struct {
+	Site  string        // injection point name (exact match)
+	Prob  float64       // chance each eligible call fires (0 means never, 1 always)
+	After int           // skip this many calls to the site first
+	Every int           // of the eligible calls, fire every Every-th (≤1: all)
+	Count int           // stop after firing this many times (0: unlimited)
+	Err   error         // error to inject (default: a transient ErrInjected)
+	Delay time.Duration // latency to add before returning
+	Panic bool          // panic instead of returning an error
+}
+
+// ruleState is a Rule plus its runtime counters.
+type ruleState struct {
+	Rule
+	calls int // calls to the site seen by this rule
+	fired int // times this rule actually fired
+}
+
+var (
+	enabled atomic.Bool // fast-path gate; false in production
+
+	mu    sync.Mutex
+	rules []*ruleState
+	rng   uint64 // splitmix64 state; fixed seed → deterministic schedule
+	fires map[string]int
+)
+
+// Enable installs rules (replacing any previous set) and turns injection
+// on. The coin-flip stream restarts from a fixed seed so a test's
+// injection schedule is reproducible run to run; use Seed to vary it.
+func Enable(rs ...Rule) {
+	mu.Lock()
+	rules = rules[:0]
+	for _, r := range rs {
+		rules = append(rules, &ruleState{Rule: r})
+	}
+	rng = 0x9e3779b97f4a7c15
+	fires = make(map[string]int)
+	mu.Unlock()
+	enabled.Store(true)
+}
+
+// Seed reseeds the probabilistic coin stream.
+func Seed(s uint64) {
+	mu.Lock()
+	rng = s ^ 0x9e3779b97f4a7c15
+	mu.Unlock()
+}
+
+// Disable turns injection off without clearing the rule set.
+func Disable() { enabled.Store(false) }
+
+// Reset turns injection off and discards all rules and counters.
+func Reset() {
+	enabled.Store(false)
+	mu.Lock()
+	rules = nil
+	fires = nil
+	mu.Unlock()
+}
+
+// Fires reports how many faults have been injected at site since Enable.
+func Fires(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fires[site]
+}
+
+// Fire is the injection point: instrumented code calls it with its site
+// name and propagates any returned error as if the guarded operation had
+// failed. With injection disabled (the default) it is one atomic load.
+func Fire(site string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	return fire(site)
+}
+
+func fire(site string) error {
+	mu.Lock()
+	var hit *ruleState
+	for _, r := range rules {
+		if r.Site != site {
+			continue
+		}
+		r.calls++
+		if r.calls <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Every > 1 && (r.calls-r.After-1)%r.Every != 0 {
+			continue
+		}
+		if r.Prob < 1 && coin() >= r.Prob {
+			continue
+		}
+		r.fired++
+		fires[site]++
+		hit = r
+		break
+	}
+	mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	if hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	if hit.Panic {
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	}
+	if hit.Err != nil {
+		return hit.Err
+	}
+	return Transient(fmt.Errorf("%w at %s", ErrInjected, site))
+}
+
+// coin draws one uniform float64 in [0,1) from the splitmix64 stream.
+// Caller holds mu.
+func coin() float64 {
+	rng += 0x9e3779b97f4a7c15
+	z := rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// transientErr marks an error as a retryable infrastructure fault.
+type transientErr struct{ err error }
+
+func (t *transientErr) Error() string   { return t.err.Error() }
+func (t *transientErr) Unwrap() error   { return t.err }
+func (t *transientErr) Transient() bool { return true }
+
+// Transient wraps err so IsTransient reports true for it.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) is marked as a
+// retryable transient fault.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

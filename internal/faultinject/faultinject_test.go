@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDisabledFiresNothing(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Fire("anything"); err != nil {
+			t.Fatalf("disabled injector fired: %v", err)
+		}
+	}
+}
+
+func TestRuleScheduleDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable(Rule{Site: "op", After: 2, Every: 3, Count: 2, Prob: 1})
+	var got []int
+	for i := 0; i < 12; i++ {
+		if Fire("op") != nil {
+			got = append(got, i)
+		}
+	}
+	// Calls 0,1 skipped (After), then every 3rd eligible call fires, twice.
+	want := []int{2, 5}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+	if Fires("op") != 2 {
+		t.Fatalf("Fires = %d, want 2", Fires("op"))
+	}
+}
+
+func TestProbabilisticStreamReproducible(t *testing.T) {
+	t.Cleanup(Reset)
+	run := func(seed uint64) []bool {
+		Enable(Rule{Site: "op", Prob: 0.5})
+		Seed(seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire("op") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different injection schedules")
+	}
+	c := run(8)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable(Rule{Site: "op", Prob: 1, Count: 1})
+	err := Fire("op")
+	if err == nil {
+		t.Fatal("rule did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("%v does not wrap ErrInjected", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("default injected error not transient")
+	}
+	if IsTransient(errors.New("numeric breakdown")) {
+		t.Fatal("ordinary error reported transient")
+	}
+	if IsTransient(nil) || Transient(nil) != nil {
+		t.Fatal("nil handling broken")
+	}
+	wrapped := fmt.Errorf("request failed: %w", Transient(errors.New("io")))
+	if !IsTransient(wrapped) {
+		t.Fatal("transience lost through wrapping")
+	}
+}
+
+func TestCustomErrorAndDelay(t *testing.T) {
+	t.Cleanup(Reset)
+	sentinel := errors.New("boom")
+	Enable(Rule{Site: "op", Prob: 1, Err: sentinel, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	err := Fire("op")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+	if IsTransient(err) {
+		t.Fatal("custom error must not be transient unless wrapped")
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	t.Cleanup(Reset)
+	Enable(Rule{Site: "op", Prob: 1, Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic rule did not panic")
+		}
+	}()
+	Fire("op")
+}

@@ -89,7 +89,21 @@ func BenchmarkKernelCholeskyNaive(b *testing.B) {
 	}
 }
 
-func benchSolveRight(b *testing.B, w int, fn func(x []float64, r int, l []float64, w int)) {
+// BenchmarkKernelCholeskyNoChecks is the pivot-check-free baseline for the
+// BFAC overhead number in BENCH_robustness.json: the delta against
+// BenchmarkKernelCholesky is the full cost of breakdown detection.
+func BenchmarkKernelCholeskyNoChecks(b *testing.B) {
+	for _, w := range benchWidths {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			benchCholesky(b, w, func(a []float64, w int) error {
+				CholeskyNoChecks(a, w)
+				return nil
+			})
+		})
+	}
+}
+
+func benchSolveRight(b *testing.B, w int, fn func(x []float64, r int, l []float64, w int) error) {
 	r := benchRows
 	l, x, _, _, _, _, _ := benchBlocks(w, r)
 	work := make([]float64, len(x))

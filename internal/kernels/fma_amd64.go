@@ -22,9 +22,13 @@ func xgetbv0() (eax, edx uint32)
 //go:noescape
 func dot4x2fma(a0, a1, a2, a3, b0, b1 *float64, n int, out *[8]float64)
 
+// hasFMA is the single hardware-capability gate, computed once at init;
+// SetFMA can never turn the micro-kernel on without it.
+var hasFMA = detectFMA()
+
 // useFMA gates the assembly micro-kernel. It is a variable, not a constant,
 // so tests can force the portable path on hardware that has FMA.
-var useFMA = detectFMA()
+var useFMA = hasFMA
 
 func detectFMA() bool {
 	maxID, _, _, _ := cpuidex(0, 0)

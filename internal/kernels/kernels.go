@@ -28,11 +28,44 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
+
+// unsafeSlice adapts the pointer-based dot4x2fma calling convention (shared
+// with the assembly kernel) back to a bounds-checked slice.
+func unsafeSlice(p *float64, n int) []float64 { return unsafe.Slice(p, n) }
 
 // ErrNotPositiveDefinite is returned by Cholesky when a pivot is not
 // strictly positive.
 var ErrNotPositiveDefinite = errors.New("kernels: matrix is not positive definite")
+
+// PivotError is the structured form of a numerical breakdown: the
+// factorization hit a pivot that is non-positive, NaN, or infinite, so the
+// matrix is not (numerically) positive definite. The kernels fill Row with
+// the local row index within the block being factored and leave Block at
+// -1; the numeric layer rewrites both into panel/global coordinates so the
+// error that reaches a caller (or an HTTP client) names the exact failure
+// site. PivotError matches ErrNotPositiveDefinite under errors.Is, so
+// pre-existing sentinel checks keep working.
+type PivotError struct {
+	Block int     // panel (block column) index, -1 until a caller fills it in
+	Row   int     // row of the offending pivot (local in kernels, global above)
+	Pivot float64 // the offending pivot value (NaN, ±Inf, zero, or negative)
+}
+
+func (e *PivotError) Error() string {
+	if e.Block >= 0 {
+		return fmt.Sprintf("kernels: pivot breakdown at block %d, row %d (pivot %g): matrix is not positive definite", e.Block, e.Row, e.Pivot)
+	}
+	return fmt.Sprintf("kernels: pivot breakdown at row %d (pivot %g): matrix is not positive definite", e.Row, e.Pivot)
+}
+
+// Is reports PivotError as a kind of ErrNotPositiveDefinite.
+func (e *PivotError) Is(target error) bool { return target == ErrNotPositiveDefinite }
+
+// badPivot reports whether d cannot serve as a Cholesky pivot: it must be
+// strictly positive and finite. !(d > 0) also catches NaN.
+func badPivot(d float64) bool { return !(d > 0) || math.IsInf(d, 1) }
 
 // choleskyNB is the panel width of the blocked right-looking Cholesky:
 // diagonal tiles up to this size are factored with the unblocked kernel,
@@ -53,7 +86,7 @@ func Cholesky(a []float64, w int) error {
 		return fmt.Errorf("kernels: Cholesky buffer %d < %d", len(a), w*w)
 	}
 	if w <= choleskyNB {
-		return choleskyUnblockedLD(a, w, w)
+		return choleskyUnblockedLD(a, w, w, 0)
 	}
 	for k := 0; k < w; k += choleskyNB {
 		nb := choleskyNB
@@ -61,7 +94,7 @@ func Cholesky(a []float64, w int) error {
 			nb = w - k
 		}
 		diag := a[k*w+k:]
-		if err := choleskyUnblockedLD(diag, nb, w); err != nil {
+		if err := choleskyUnblockedLD(diag, nb, w, k); err != nil {
 			return err
 		}
 		rem := w - k - nb
@@ -69,6 +102,8 @@ func Cholesky(a []float64, w int) error {
 			continue
 		}
 		panel := a[(k+nb)*w+k:]
+		// The diagonal tile just factored cleanly, so its pivots are all
+		// strictly positive and the triangular solve cannot break down.
 		solveRightLD(panel, rem, w, diag, nb, w)
 		syrkLowerLD(a[(k+nb)*w+(k+nb):], rem, w, panel, nb, w)
 	}
@@ -81,20 +116,21 @@ func CholeskyNaive(a []float64, w int) error {
 	if len(a) < w*w {
 		return fmt.Errorf("kernels: Cholesky buffer %d < %d", len(a), w*w)
 	}
-	return choleskyUnblockedLD(a, w, w)
+	return choleskyUnblockedLD(a, w, w, 0)
 }
 
 // choleskyUnblockedLD factors the leading n×n lower triangle of a matrix
-// with leading dimension lda.
-func choleskyUnblockedLD(a []float64, n, lda int) error {
+// with leading dimension lda. row0 is the caller's row offset of a's first
+// row, used only to report breakdown locations in the caller's coordinates.
+func choleskyUnblockedLD(a []float64, n, lda, row0 int) error {
 	for k := 0; k < n; k++ {
 		d := a[k*lda+k]
 		ak := a[k*lda : k*lda+k]
 		for _, v := range ak {
 			d -= v * v
 		}
-		if d <= 0 {
-			return ErrNotPositiveDefinite
+		if badPivot(d) {
+			return &PivotError{Block: -1, Row: row0 + k, Pivot: d}
 		}
 		d = math.Sqrt(d)
 		a[k*lda+k] = d
@@ -158,17 +194,40 @@ func syrkLowerLD(c []float64, n, ldc int, p []float64, nb, ldp int) {
 	}
 }
 
+// checkSolvePivots validates the n diagonal entries of the triangular
+// factor l (leading dimension ldl) before a BDIV-style solve divides by
+// them: each must be strictly positive and finite. The O(n) pre-pass keeps
+// the O(r·n²) substitution loops untouched while guaranteeing the solve can
+// never emit NaN or Inf from a broken-down diagonal block.
+func checkSolvePivots(l []float64, n, ldl int) error {
+	for j := 0; j < n; j++ {
+		if d := l[j*ldl+j]; badPivot(d) {
+			return &PivotError{Block: -1, Row: j, Pivot: d}
+		}
+	}
+	return nil
+}
+
 // SolveRight performs the BDIV operation: X ← X · L⁻ᵀ where X is r×w
 // row-major and L is the w×w lower-triangular factor of the diagonal block.
 // Each row x of X is replaced by the solution y of y·Lᵀ = x. Four rows are
 // solved per pass so each L entry loaded from memory feeds four
-// substitutions.
-func SolveRight(x []float64, r int, l []float64, w int) {
+// substitutions. A non-positive, NaN, or infinite diagonal in l — the
+// signature of a diagonal block whose factorization broke down — yields a
+// PivotError before any substitution runs.
+func SolveRight(x []float64, r int, l []float64, w int) error {
+	if err := checkSolvePivots(l, w, w); err != nil {
+		return err
+	}
 	solveRightLD(x, r, w, l, w, w)
+	return nil
 }
 
 // SolveRightNaive is the one-row-at-a-time reference implementation.
-func SolveRightNaive(x []float64, r int, l []float64, w int) {
+func SolveRightNaive(x []float64, r int, l []float64, w int) error {
+	if err := checkSolvePivots(l, w, w); err != nil {
+		return err
+	}
 	for s := 0; s < r; s++ {
 		row := x[s*w : s*w+w]
 		for j := 0; j < w; j++ {
@@ -180,6 +239,7 @@ func SolveRightNaive(x []float64, r int, l []float64, w int) {
 			row[j] = v / lj[j]
 		}
 	}
+	return nil
 }
 
 // solveRightLD solves X ← X·L⁻ᵀ for an r×n block X with leading dimension
@@ -583,14 +643,82 @@ func BackSolveDiag(l []float64, w int, b []float64) {
 	}
 }
 
+// CholeskyNoChecks is the pivot-check-free twin of Cholesky, kept solely as
+// the baseline BENCH_robustness.json measures the breakdown-detection
+// overhead against. On indefinite input it silently emits NaN — exactly the
+// failure mode the checked kernels exist to prevent — so nothing outside
+// benchmark tooling may call it.
+func CholeskyNoChecks(a []float64, w int) {
+	if w <= choleskyNB {
+		choleskyUncheckedLD(a, w, w)
+		return
+	}
+	for k := 0; k < w; k += choleskyNB {
+		nb := choleskyNB
+		if w-k < nb {
+			nb = w - k
+		}
+		diag := a[k*w+k:]
+		choleskyUncheckedLD(diag, nb, w)
+		rem := w - k - nb
+		if rem == 0 {
+			continue
+		}
+		panel := a[(k+nb)*w+k:]
+		solveRightLD(panel, rem, w, diag, nb, w)
+		syrkLowerLD(a[(k+nb)*w+(k+nb):], rem, w, panel, nb, w)
+	}
+}
+
+// choleskyUncheckedLD is choleskyUnblockedLD without the pivot guard.
+func choleskyUncheckedLD(a []float64, n, lda int) {
+	for k := 0; k < n; k++ {
+		d := a[k*lda+k]
+		ak := a[k*lda : k*lda+k]
+		for _, v := range ak {
+			d -= v * v
+		}
+		d = math.Sqrt(d)
+		a[k*lda+k] = d
+		inv := 1 / d
+		for i := k + 1; i < n; i++ {
+			s := a[i*lda+k]
+			ai := a[i*lda : i*lda+k]
+			for t, v := range ai {
+				s -= v * ak[t]
+			}
+			a[i*lda+k] = s * inv
+		}
+	}
+}
+
+// dot4x2fmaGeneric is the portable implementation of the dot4x2fma
+// contract: out[2i+j] = Σₖ aᵢ[k]·bⱼ[k] over n shared elements. It backs
+// dot4x2fma on platforms without the assembly micro-kernel and is exercised
+// directly by tests on every platform, so the non-amd64 dispatch path can
+// never reach an unimplemented kernel.
+func dot4x2fmaGeneric(a0, a1, a2, a3, b0, b1 *float64, n int, out *[8]float64) {
+	s0 := unsafeSlice(a0, n)
+	s1 := unsafeSlice(a1, n)
+	s2 := unsafeSlice(a2, n)
+	s3 := unsafeSlice(a3, n)
+	t0 := unsafeSlice(b0, n)
+	t1 := unsafeSlice(b1, n)
+	v00, v01, v10, v11, v20, v21, v30, v31 := dot4x2(s0, s1, s2, s3, t0, t1)
+	out[0], out[1], out[2], out[3] = v00, v01, v10, v11
+	out[4], out[5], out[6], out[7] = v20, v21, v30, v31
+}
+
 // HasFMA reports whether the AVX2+FMA micro-kernel is active.
 func HasFMA() bool { return useFMA }
 
 // SetFMA enables or disables the FMA micro-kernel and reports the previous
-// setting. It exists for benchmark tooling that measures the portable path;
-// enabling it on hardware that was not detected as capable will crash.
+// setting. It exists for benchmark tooling that measures the portable path.
+// Dispatch is gated on the single hasFMA capability check performed at
+// init: requesting FMA on hardware (or a build) without support is a no-op
+// rather than a crash, so the pure-Go path is always safe to select.
 func SetFMA(on bool) bool {
 	prev := useFMA
-	useFMA = on
+	useFMA = on && hasFMA
 	return prev
 }

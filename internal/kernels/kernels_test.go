@@ -109,7 +109,9 @@ func TestSolveRight(t *testing.T) {
 			b[s*w+j] = sum
 		}
 	}
-	SolveRight(b, r, l, w)
+	if err := SolveRight(b, r, l, w); err != nil {
+		t.Fatal(err)
+	}
 	for i := range x {
 		if math.Abs(b[i]-x[i]) > 1e-10 {
 			t.Fatalf("X[%d]=%g, want %g", i, b[i], x[i])
@@ -205,7 +207,9 @@ func TestQuickSolveRightInverse(t *testing.T) {
 		for i := 0; i < w; i++ {
 			x[i*w+i] = 1
 		}
-		SolveRight(x, w, l, w)
+		if err := SolveRight(x, w, l, w); err != nil {
+			return false
+		}
 		for i := 0; i < w; i++ {
 			for j := 0; j < w; j++ {
 				var s float64

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -135,8 +136,16 @@ func TestCholeskyBlockedIndefinite(t *testing.T) {
 	w := choleskyNB + 8
 	a := spd(w, 1)
 	a[(w-1)*w+(w-1)] = -1
-	if err := Cholesky(a, w); err != ErrNotPositiveDefinite {
+	err := Cholesky(a, w)
+	if !errors.Is(err, ErrNotPositiveDefinite) {
 		t.Fatalf("got %v, want ErrNotPositiveDefinite", err)
+	}
+	var pe *PivotError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PivotError", err)
+	}
+	if pe.Row != w-1 || !(pe.Pivot < 0) {
+		t.Fatalf("PivotError = %+v, want Row %d with negative pivot", pe, w-1)
 	}
 }
 
@@ -150,8 +159,12 @@ func TestSolveRightMatchesNaive(t *testing.T) {
 			}
 			x := randSlice(rng, r*w)
 			xNaive := append([]float64(nil), x...)
-			SolveRight(x, r, l, w)
-			SolveRightNaive(xNaive, r, l, w)
+			if err := SolveRight(x, r, l, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := SolveRightNaive(xNaive, r, l, w); err != nil {
+				t.Fatal(err)
+			}
 			for i := range x {
 				if !closeEnough(x[i], xNaive[i]) {
 					t.Fatalf("w=%d r=%d: X[%d]=%g, naive %g", w, r, i, x[i], xNaive[i])

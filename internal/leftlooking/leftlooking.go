@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 
+	"blockfanout/internal/kernels"
 	"blockfanout/internal/refchol"
 	"blockfanout/internal/sparse"
 	"blockfanout/internal/symbolic"
@@ -130,8 +131,9 @@ func Compute(a *sparse.Matrix, st *symbolic.Structure) (*refchol.Factor, error) 
 				v := panel[k*w+t]
 				d -= v * v
 			}
-			if d <= 0 {
-				return nil, fmt.Errorf("%w (column %d)", ErrNotPositiveDefinite, sn.First+k)
+			if !(d > 0) || math.IsInf(d, 1) {
+				return nil, fmt.Errorf("%w: %w", ErrNotPositiveDefinite,
+					&kernels.PivotError{Block: s, Row: sn.First + k, Pivot: d})
 			}
 			d = math.Sqrt(d)
 			panel[k*w+k] = d

@@ -47,7 +47,7 @@ func BenchmarkSimulateFIFO64(b *testing.B) {
 	cfg := Paragon()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Simulate(pr, cfg)
+		MustSimulate(pr, cfg)
 	}
 }
 
@@ -57,7 +57,7 @@ func BenchmarkSimulateCritPath64(b *testing.B) {
 	cfg.Policy = CritPath
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Simulate(pr, cfg)
+		MustSimulate(pr, cfg)
 	}
 }
 

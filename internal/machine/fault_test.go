@@ -1,0 +1,211 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"blockfanout/internal/mapping"
+)
+
+func TestConfigValidation(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 2, Pc: 2}, false)
+	cases := []struct {
+		name string
+		mod  func(*Config)
+		want string
+	}{
+		{"zero flop rate", func(c *Config) { c.FlopRate = 0 }, "FlopRate"},
+		{"negative flop rate", func(c *Config) { c.FlopRate = -1 }, "FlopRate"},
+		{"zero bandwidth", func(c *Config) { c.Bandwidth = 0 }, "Bandwidth"},
+		{"negative latency", func(c *Config) { c.Latency = -1e-6 }, "Latency"},
+		{"negative op overhead", func(c *Config) { c.OpOverhead = -1 }, "OpOverhead"},
+		{"negative send overhead", func(c *Config) { c.SendOverhead = -1 }, "SendOverhead"},
+		{"negative recv overhead", func(c *Config) { c.RecvOverhead = -1 }, "RecvOverhead"},
+		{"negative hop latency", func(c *Config) { c.HopLatency = -1 }, "HopLatency"},
+		{"drop prob over one", func(c *Config) { c.Faults = &FaultPlan{DropProb: 1.5} }, "DropProb"},
+		{"negative dup prob", func(c *Config) { c.Faults = &FaultPlan{DupProb: -0.1} }, "DupProb"},
+		{"negative retry delay", func(c *Config) { c.Faults = &FaultPlan{RetryDelay: -1} }, "RetryDelay"},
+		{"failure out of range", func(c *Config) {
+			c.Faults = &FaultPlan{Failures: []NodeFailure{{Proc: 99, Time: 0}}}
+		}, "processor 99"},
+		{"negative failure time", func(c *Config) {
+			c.Faults = &FaultPlan{Failures: []NodeFailure{{Proc: 0, Time: -1}}}
+		}, "time -1"},
+		{"slowdown length", func(c *Config) { c.Faults = &FaultPlan{Slowdown: []float64{1}} }, "slowdown"},
+		{"slowdown zero", func(c *Config) {
+			c.Faults = &FaultPlan{Slowdown: []float64{1, 1, 0, 1}}
+		}, "slowdown[2]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Paragon()
+			tc.mod(&cfg)
+			_, err := Simulate(pr, cfg)
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := (&Config{}).Validate(0); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+}
+
+// TestFaultPlanDeterministic is the bit-for-bit reproducibility contract:
+// two simulations with the same schedule, config, and seed must agree on
+// every field of the Result, including float timings.
+func TestFaultPlanDeterministic(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, Paragon())
+	cfg.Faults = &FaultPlan{
+		Seed:          42,
+		Failures:      []NodeFailure{{Proc: 4, Time: base.Time * 0.3}},
+		DropProb:      0.05,
+		DupProb:       0.05,
+		RetryDelay:    500e-6,
+		RecoveryDelay: 1e-3,
+	}
+	a := MustSimulate(pr, cfg)
+	b := MustSimulate(pr, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault simulation not reproducible:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(a.FailedProcs) != 1 || a.FailedProcs[0] != 4 {
+		t.Fatalf("FailedProcs = %v", a.FailedProcs)
+	}
+	// A different seed must (for these probabilities and message counts)
+	// change the drop/dup realization.
+	cfg2 := cfg
+	f2 := *cfg.Faults
+	f2.Seed = 43
+	cfg2.Faults = &f2
+	c := MustSimulate(pr, cfg2)
+	if c.Dropped == a.Dropped && c.Duplicated == a.Duplicated && c.Time == a.Time {
+		t.Fatal("changing the seed changed nothing")
+	}
+}
+
+// TestNodeFailureCompletesAndDegrades: the recovery model must still finish
+// every block operation (flop conservation over surviving processors) and
+// the makespan must not improve under a mid-run failure.
+func TestNodeFailureCompletesAndDegrades(t *testing.T) {
+	pr, bs := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, cfg)
+	for _, frac := range []float64{0, 0.3, 0.7} {
+		cfg.Faults = &FaultPlan{
+			Failures:      []NodeFailure{{Proc: 2, Time: base.Time * frac}},
+			RecoveryDelay: 1e-3,
+		}
+		res := MustSimulate(pr, cfg)
+		if res.Time < base.Time {
+			t.Fatalf("failure at %.0f%%: makespan %g better than fault-free %g", frac*100, res.Time, base.Time)
+		}
+		// All of the schedule's flops execute at least once (re-executed
+		// work makes the total larger, never smaller).
+		var total int64
+		for _, f := range res.Flops {
+			total += f
+		}
+		if total < bs.TotalFlops {
+			t.Fatalf("failure at %.0f%%: executed %d flops, schedule needs %d", frac*100, total, bs.TotalFlops)
+		}
+		if res.Flops[2] > base.Flops[2] {
+			t.Fatalf("failed processor kept computing: %d flops after failure plan", res.Flops[2])
+		}
+	}
+}
+
+func TestCascadingFailures(t *testing.T) {
+	pr, bs := program(t, mapping.Grid{Pr: 2, Pc: 2}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, cfg)
+	cfg.Faults = &FaultPlan{
+		Failures: []NodeFailure{
+			{Proc: 0, Time: base.Time * 0.2},
+			{Proc: 1, Time: base.Time * 0.4},
+			{Proc: 3, Time: base.Time * 0.6},
+		},
+		RecoveryDelay: 1e-3,
+	}
+	res := MustSimulate(pr, cfg)
+	var total int64
+	for _, f := range res.Flops {
+		total += f
+	}
+	if total < bs.TotalFlops {
+		t.Fatalf("cascading failures: executed %d flops, schedule needs %d", total, bs.TotalFlops)
+	}
+	if len(res.FailedProcs) != 3 {
+		t.Fatalf("FailedProcs = %v", res.FailedProcs)
+	}
+}
+
+func TestAllProcessorsFailErrors(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 2, Pc: 1}, false)
+	cfg := Paragon()
+	cfg.Faults = &FaultPlan{Failures: []NodeFailure{{Proc: 0, Time: 0}, {Proc: 1, Time: 0}}}
+	if _, err := Simulate(pr, cfg); err == nil || !strings.Contains(err.Error(), "all 2 processors failed") {
+		t.Fatalf("got %v, want all-processors-failed error", err)
+	}
+}
+
+func TestDropAndDupAccounting(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 2, Pc: 2}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, cfg)
+	if base.Messages == 0 {
+		t.Fatal("test schedule sends no messages")
+	}
+
+	cfg.Faults = &FaultPlan{Seed: 7, DropProb: 1, RetryDelay: 1e-3}
+	dropped := MustSimulate(pr, cfg)
+	if dropped.Dropped != dropped.Messages {
+		t.Fatalf("DropProb=1: dropped %d of %d messages", dropped.Dropped, dropped.Messages)
+	}
+	if dropped.Time <= base.Time {
+		t.Fatalf("universal drops with %gs retransmit did not slow the run: %g vs %g",
+			1e-3, dropped.Time, base.Time)
+	}
+
+	cfg.Faults = &FaultPlan{Seed: 7, DupProb: 1}
+	duped := MustSimulate(pr, cfg)
+	if duped.Duplicated != duped.Messages {
+		t.Fatalf("DupProb=1: duplicated %d of %d messages", duped.Duplicated, duped.Messages)
+	}
+	// Duplicates cost receiver CPU but must not change the factorization.
+	var a, b int64
+	for p := range duped.Flops {
+		a += duped.Flops[p]
+		b += base.Flops[p]
+	}
+	if a != b {
+		t.Fatalf("duplicate deliveries changed executed flops: %d vs %d", a, b)
+	}
+}
+
+func TestSlowdownStretchesCompute(t *testing.T) {
+	pr, _ := program(t, mapping.Grid{Pr: 2, Pc: 2}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, cfg)
+	slow := make([]float64, 4)
+	for i := range slow {
+		slow[i] = 2
+	}
+	cfg.Faults = &FaultPlan{Slowdown: slow}
+	res := MustSimulate(pr, cfg)
+	if res.Time <= base.Time {
+		t.Fatalf("uniform 2x slowdown did not stretch makespan: %g vs %g", res.Time, base.Time)
+	}
+	for p := range res.CompTime {
+		ratio := res.CompTime[p] / base.CompTime[p]
+		if ratio < 1.99 || ratio > 2.01 {
+			t.Fatalf("proc %d compute time ratio %g, want 2", p, ratio)
+		}
+	}
+}

@@ -14,6 +14,7 @@ package machine
 
 import (
 	"container/heap"
+	"fmt"
 
 	"blockfanout/internal/sched"
 )
@@ -40,6 +41,133 @@ type Config struct {
 	// of the base latency. Zero dims model a distance-oblivious network.
 	MeshDims   [2]int
 	HopLatency float64
+	// Faults, when non-nil, injects deterministic failures into the run:
+	// fail-stop nodes, message drops/duplicates, per-node slowdowns. See
+	// FaultPlan.
+	Faults *FaultPlan
+}
+
+// NodeFailure schedules a fail-stop: processor Proc halts at simulated time
+// Time, taking effect at its next operation boundary.
+type NodeFailure struct {
+	Proc int32
+	Time float64 // simulated seconds
+}
+
+// FaultPlan describes deterministic, seedable faults for a simulation. The
+// recovery model is checkpoint/buddy takeover: a completed block's fan-out
+// messages are its checkpoint, so when a node fails the next surviving
+// processor (its buddy) inherits the failed node's unfinished blocks,
+// restarts every one of its own unfinished blocks from the last checkpoint,
+// and re-derives the lost work by replaying the union of both nodes'
+// delivery logs after RecoveryDelay. Simulated degradation therefore
+// includes both the re-executed block operations and the recovery pause.
+type FaultPlan struct {
+	// Seed drives the drop/duplication coin flips. The same (Seed, plan,
+	// schedule, config) is bit-for-bit reproducible.
+	Seed uint64
+	// Failures are fail-stop events, applied in time order.
+	Failures []NodeFailure
+	// DropProb is the per-remote-message probability that the first
+	// transmission is lost; the sender's retransmit timer redelivers it
+	// RetryDelay later.
+	DropProb float64
+	// DupProb is the per-remote-message probability of a duplicated
+	// delivery; the receiver pays RecvOverhead to discard the copy.
+	DupProb float64
+	// RetryDelay is the retransmit timeout charged to a dropped message.
+	RetryDelay float64
+	// RecoveryDelay is the failure-detection plus takeover time before the
+	// buddy starts replaying a failed node's work.
+	RecoveryDelay float64
+	// Slowdown, when non-nil, must have one entry per processor: a compute
+	// time multiplier (1 = nominal, 2 = half speed) modeling heterogeneous
+	// or degraded nodes.
+	Slowdown []float64
+}
+
+// Validate rejects machine models that would produce nonsensical (negative
+// or NaN) simulated times, and malformed fault plans, before any event is
+// scheduled. np is the processor count of the schedule under simulation.
+func (c *Config) Validate(np int) error {
+	if np <= 0 {
+		return fmt.Errorf("machine: config invalid: %d processors", np)
+	}
+	pos := func(name string, v float64) error {
+		if !(v > 0) { // catches NaN too
+			return fmt.Errorf("machine: config invalid: %s = %g, must be positive", name, v)
+		}
+		return nil
+	}
+	nonNeg := func(name string, v float64) error {
+		if !(v >= 0) {
+			return fmt.Errorf("machine: config invalid: %s = %g, must be non-negative", name, v)
+		}
+		return nil
+	}
+	if err := pos("FlopRate", c.FlopRate); err != nil {
+		return err
+	}
+	if err := pos("Bandwidth", c.Bandwidth); err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"OpOverhead", c.OpOverhead}, {"Latency", c.Latency},
+		{"SendOverhead", c.SendOverhead}, {"RecvOverhead", c.RecvOverhead},
+		{"HopLatency", c.HopLatency},
+	} {
+		if err := nonNeg(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.MeshDims[0] < 0 || c.MeshDims[1] < 0 {
+		return fmt.Errorf("machine: config invalid: MeshDims %v", c.MeshDims)
+	}
+	if c.Faults != nil {
+		return c.Faults.validate(np)
+	}
+	return nil
+}
+
+func (f *FaultPlan) validate(np int) error {
+	prob := func(name string, v float64) error {
+		if !(v >= 0 && v <= 1) {
+			return fmt.Errorf("machine: fault plan invalid: %s = %g, must be in [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := prob("DropProb", f.DropProb); err != nil {
+		return err
+	}
+	if err := prob("DupProb", f.DupProb); err != nil {
+		return err
+	}
+	if !(f.RetryDelay >= 0) || !(f.RecoveryDelay >= 0) {
+		return fmt.Errorf("machine: fault plan invalid: RetryDelay %g / RecoveryDelay %g must be non-negative",
+			f.RetryDelay, f.RecoveryDelay)
+	}
+	for i, nf := range f.Failures {
+		if nf.Proc < 0 || int(nf.Proc) >= np {
+			return fmt.Errorf("machine: fault plan invalid: failure %d targets processor %d of %d", i, nf.Proc, np)
+		}
+		if !(nf.Time >= 0) {
+			return fmt.Errorf("machine: fault plan invalid: failure %d at time %g", i, nf.Time)
+		}
+	}
+	if f.Slowdown != nil {
+		if len(f.Slowdown) != np {
+			return fmt.Errorf("machine: fault plan invalid: %d slowdown factors for %d processors", len(f.Slowdown), np)
+		}
+		for p, s := range f.Slowdown {
+			if !(s > 0) {
+				return fmt.Errorf("machine: fault plan invalid: slowdown[%d] = %g, must be positive", p, s)
+			}
+		}
+	}
+	return nil
 }
 
 // hopDelay returns the topology-dependent extra latency between two
@@ -94,6 +222,11 @@ type Result struct {
 	CommTime []float64 // per-processor communication CPU time
 	Flops    []int64   // per-processor executed flops
 	Spans    []Span    // busy intervals, when Config.CollectTrace is set
+
+	// Fault-injection outcomes (zero without a FaultPlan).
+	Dropped     int64   // remote messages lost and retransmitted
+	Duplicated  int64   // duplicate deliveries discarded by receivers
+	FailedProcs []int32 // processors that fail-stopped, in failure order
 }
 
 // Efficiency returns t_seq/(P·t_parallel), the paper's efficiency measure.
@@ -153,6 +286,7 @@ type event struct {
 	remote bool
 	seed   bool // initial BFAC of a leaf diagonal block
 	ready  bool // processor-became-free event (id unused)
+	fail   bool // fail-stop of proc (id unused)
 }
 
 type eventHeap []event
@@ -168,144 +302,101 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// Simulate runs the block fan-out schedule under the machine model.
-func Simulate(pr *sched.Program, cfg Config) Result {
+// splitmix64 is the drop/duplication coin-flip PRNG: tiny, seedable, and
+// consumed in deterministic event order, which makes every fault decision
+// reproducible for a fixed FaultPlan.Seed.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (r *splitmix64) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// pend is one entry of a processor's receive queue.
+type pend struct {
+	id     int32
+	seq    int64
+	remote bool
+	seed   bool
+}
+
+// simulator holds one run's mutable state. The block ownership map is
+// mutable (powner) because buddy recovery reassigns a failed node's blocks;
+// without faults it never diverges from the schedule's Owner.
+type simulator struct {
+	pr  *sched.Program
+	cfg Config
+	res Result
+
+	modsLeft  []int32
+	diagReady []bool
+	done      []bool
+	arrivedAt []map[int32]bool
+	powner    []int32   // mutable block → processor, seeded from pr.Owner
+	alive     []bool
+	log       [][]int32 // per-processor processed deliveries, in order
+
+	h       eventHeap
+	seq     int64
+	pending [][]pend
+	idle    []bool
+	prio    []float64
+	rng     splitmix64
+
+	now      float64
+	me       int32
+	makespan float64
+}
+
+// Simulate runs the block fan-out schedule under the machine model,
+// including the optional fault plan. It returns an error for an invalid
+// configuration, or when every processor has fail-stopped before the
+// factorization completes.
+func Simulate(pr *sched.Program, cfg Config) (Result, error) {
+	if err := cfg.Validate(pr.NProc); err != nil {
+		return Result{}, err
+	}
 	np := pr.NProc
-	res := Result{
-		CompTime: make([]float64, np),
-		CommTime: make([]float64, np),
-		Flops:    make([]int64, np),
+	s := &simulator{
+		pr:  pr,
+		cfg: cfg,
+		res: Result{
+			CompTime: make([]float64, np),
+			CommTime: make([]float64, np),
+			Flops:    make([]int64, np),
+		},
+		modsLeft:  append([]int32(nil), pr.NMods...),
+		diagReady: make([]bool, pr.NBlocks),
+		done:      make([]bool, pr.NBlocks),
+		arrivedAt: make([]map[int32]bool, np),
+		powner:    append([]int32(nil), pr.Owner...),
+		alive:     make([]bool, np),
+		log:       make([][]int32, np),
+		pending:   make([][]pend, np),
+		idle:      make([]bool, np),
 	}
-	res.SeqTime = float64(pr.BS.TotalFlops)/cfg.FlopRate + float64(pr.BS.TotalOps)*cfg.OpOverhead
-
-	modsLeft := append([]int32(nil), pr.NMods...)
-	diagReady := make([]bool, pr.NBlocks)
-	done := make([]bool, pr.NBlocks)
-	arrivedAt := make([]map[int32]bool, np)
-	for p := range arrivedAt {
-		arrivedAt[p] = make(map[int32]bool)
+	s.res.SeqTime = float64(pr.BS.TotalFlops)/cfg.FlopRate + float64(pr.BS.TotalOps)*cfg.OpOverhead
+	for p := 0; p < np; p++ {
+		s.arrivedAt[p] = make(map[int32]bool)
+		s.alive[p] = true
+		s.idle[p] = true
 	}
-
-	var h eventHeap
-	var seq int64
-	push := func(t float64, p, id int32, remote, seed bool) {
-		seq++
-		heap.Push(&h, event{t: t, seq: seq, proc: p, id: id, remote: remote, seed: seed})
-	}
-	pushReady := func(t float64, p int32) {
-		seq++
-		heap.Push(&h, event{t: t, seq: seq, proc: p, ready: true})
-	}
-
-	// Per-processor receive queues and the scheduling policy over them.
-	type pend struct {
-		id     int32
-		seq    int64
-		remote bool
-		seed   bool
-	}
-	pending := make([][]pend, np)
-	idle := make([]bool, np)
-	for p := range idle {
-		idle[p] = true
-	}
-	var prio []float64
 	if cfg.Policy == CritPath {
-		prio = Priorities(pr, cfg)
+		s.prio = Priorities(pr, cfg)
 	}
-	pickNext := func(p int32) pend {
-		q := pending[p]
-		best := 0
-		if prio != nil {
-			for i := 1; i < len(q); i++ {
-				if prio[q[i].id] > prio[q[best].id] {
-					best = i
-				}
-			}
-		}
-		it := q[best]
-		pending[p] = append(q[:best], q[best+1:]...)
-		return it
-	}
-
-	// now/me are the simulation cursor while a processor handles a batch.
-	var now float64
-	var me int32
-
-	span := func(start float64, comm bool) {
-		if cfg.CollectTrace && now > start {
-			res.Spans = append(res.Spans, Span{Proc: me, Start: start, End: now, Comm: comm})
-		}
-	}
-
-	charge := func(flops int64) {
-		dt := float64(flops)/cfg.FlopRate + cfg.OpOverhead
-		start := now
-		now += dt
-		res.CompTime[me] += dt
-		res.Flops[me] += flops
-		span(start, false)
-	}
-
-	complete := func(id int32) {
-		done[id] = true
-		for _, c := range pr.Consumers[id] {
-			if c == me {
-				push(now, me, id, false, false)
-				continue
-			}
-			start := now
-			res.CommTime[me] += cfg.SendOverhead
-			now += cfg.SendOverhead
-			res.Messages++
-			res.Bytes += pr.Bytes[id]
-			span(start, true)
-			push(now+cfg.Latency+cfg.hopDelay(me, c)+float64(pr.Bytes[id])/cfg.Bandwidth, c, id, true, false)
-		}
-	}
-
-	finish := func(id int32) {
-		charge(pr.OwnOpFlops[id])
-		complete(id)
-	}
-
-	var handle func(id int32)
-	handle = func(id int32) {
-		if arrivedAt[me][id] {
-			return
-		}
-		arrivedAt[me][id] = true
-		k := int(pr.ColOf[id])
-		idx := int(pr.IdxOf[id])
-		colK := &pr.BS.Cols[k]
-		if idx == 0 {
-			for j := 1; j < len(colK.Blocks); j++ {
-				bid := pr.BlockID(k, j)
-				if pr.Owner[bid] != me {
-					continue
-				}
-				diagReady[bid] = true
-				if modsLeft[bid] == 0 && !done[bid] {
-					finish(bid)
-				}
-			}
-			return
-		}
-		for j := 1; j < len(colK.Blocks); j++ {
-			other := pr.BlockID(k, j)
-			dest := pr.ModDestID(k, idx, j)
-			if pr.Owner[dest] != me {
-				continue
-			}
-			if other == id || arrivedAt[me][other] {
-				charge(pr.ModFlops(k, idx, j))
-				modsLeft[dest]--
-				if modsLeft[dest] == 0 && !done[dest] {
-					if pr.IdxOf[dest] == 0 || diagReady[dest] {
-						finish(dest)
-					}
-				}
-			}
+	if f := cfg.Faults; f != nil {
+		s.rng.s = f.Seed
+		for _, nf := range f.Failures {
+			s.seq++
+			heap.Push(&s.h, event{t: nf.Time, seq: s.seq, proc: nf.Proc, fail: true})
 		}
 	}
 
@@ -313,52 +404,289 @@ func Simulate(pr *sched.Program, cfg Config) Result {
 	for j := range pr.BS.Cols {
 		id := pr.BlockID(j, 0)
 		if pr.NMods[id] == 0 {
-			push(0, pr.Owner[id], id, false, true)
+			s.push(0, pr.Owner[id], id, false, true)
 		}
 	}
 
-	var makespan float64
-	// runOne lets processor p (free at time t) pick and process one
-	// pending block, then schedules its next wake-up.
-	runOne := func(p int32, t float64) {
-		it := pickNext(p)
-		me = p
-		now = t
-		if it.remote {
-			start := now
-			res.CommTime[me] += cfg.RecvOverhead
-			now += cfg.RecvOverhead
-			span(start, true)
-		}
-		if it.seed {
-			finish(it.id)
-		} else {
-			handle(it.id)
-		}
-		idle[p] = false
-		if now > makespan {
-			makespan = now
-		}
-		pushReady(now, p)
+	if err := s.run(); err != nil {
+		return Result{}, err
 	}
-	for h.Len() > 0 {
-		ev := heap.Pop(&h).(event)
-		if ev.ready {
-			if len(pending[ev.proc]) > 0 {
-				runOne(ev.proc, ev.t)
-			} else {
-				idle[ev.proc] = true
+	s.res.Time = s.makespan
+	return s.res, nil
+}
+
+// MustSimulate is Simulate for trusted, pre-validated configurations; it
+// panics on error. Experiments and tests over fixed machine models use it
+// to avoid plumbing impossible errors.
+func MustSimulate(pr *sched.Program, cfg Config) Result {
+	res, err := Simulate(pr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func (s *simulator) push(t float64, p, id int32, remote, seed bool) {
+	s.seq++
+	heap.Push(&s.h, event{t: t, seq: s.seq, proc: p, id: id, remote: remote, seed: seed})
+}
+
+func (s *simulator) pushReady(t float64, p int32) {
+	s.seq++
+	heap.Push(&s.h, event{t: t, seq: s.seq, proc: p, ready: true})
+}
+
+func (s *simulator) pickNext(p int32) pend {
+	q := s.pending[p]
+	best := 0
+	if s.prio != nil {
+		for i := 1; i < len(q); i++ {
+			if s.prio[q[i].id] > s.prio[q[best].id] {
+				best = i
+			}
+		}
+	}
+	it := q[best]
+	s.pending[p] = append(q[:best], q[best+1:]...)
+	return it
+}
+
+func (s *simulator) span(start float64, comm bool) {
+	if s.cfg.CollectTrace && s.now > start {
+		s.res.Spans = append(s.res.Spans, Span{Proc: s.me, Start: start, End: s.now, Comm: comm})
+	}
+}
+
+func (s *simulator) charge(flops int64) {
+	dt := float64(flops)/s.cfg.FlopRate + s.cfg.OpOverhead
+	if f := s.cfg.Faults; f != nil && f.Slowdown != nil {
+		dt *= f.Slowdown[s.me]
+	}
+	start := s.now
+	s.now += dt
+	s.res.CompTime[s.me] += dt
+	s.res.Flops[s.me] += flops
+	s.span(start, false)
+}
+
+func (s *simulator) complete(id int32) {
+	s.done[id] = true
+	for _, c := range s.pr.Consumers[id] {
+		if c == s.me {
+			s.push(s.now, s.me, id, false, false)
+			continue
+		}
+		start := s.now
+		s.res.CommTime[s.me] += s.cfg.SendOverhead
+		s.now += s.cfg.SendOverhead
+		s.res.Messages++
+		s.res.Bytes += s.pr.Bytes[id]
+		s.span(start, true)
+		delay := s.cfg.Latency + s.cfg.hopDelay(s.me, c) + float64(s.pr.Bytes[id])/s.cfg.Bandwidth
+		if f := s.cfg.Faults; f != nil {
+			// Both coins are always flipped so the decision stream depends
+			// only on (Seed, send order), not on which probabilities are
+			// non-zero.
+			if s.rng.float() < f.DropProb {
+				delay += f.RetryDelay
+				s.res.Dropped++
+			}
+			if s.rng.float() < f.DupProb {
+				s.res.Duplicated++
+				s.push(s.now+delay, c, id, true, false)
+			}
+		}
+		s.push(s.now+delay, c, id, true, false)
+	}
+}
+
+func (s *simulator) finish(id int32) {
+	s.charge(s.pr.OwnOpFlops[id])
+	s.complete(id)
+}
+
+func (s *simulator) handle(id int32) {
+	if s.arrivedAt[s.me][id] {
+		return
+	}
+	s.arrivedAt[s.me][id] = true
+	s.log[s.me] = append(s.log[s.me], id)
+	pr := s.pr
+	k := int(pr.ColOf[id])
+	idx := int(pr.IdxOf[id])
+	colK := &pr.BS.Cols[k]
+	if idx == 0 {
+		for j := 1; j < len(colK.Blocks); j++ {
+			bid := pr.BlockID(k, j)
+			if s.powner[bid] != s.me {
+				continue
+			}
+			s.diagReady[bid] = true
+			if s.modsLeft[bid] == 0 && !s.done[bid] {
+				s.finish(bid)
+			}
+		}
+		return
+	}
+	for j := 1; j < len(colK.Blocks); j++ {
+		other := pr.BlockID(k, j)
+		dest := pr.ModDestID(k, idx, j)
+		if s.powner[dest] != s.me || s.done[dest] {
+			continue
+		}
+		if other == id || s.arrivedAt[s.me][other] {
+			s.charge(pr.ModFlops(k, idx, j))
+			s.modsLeft[dest]--
+			if s.modsLeft[dest] == 0 {
+				if pr.IdxOf[dest] == 0 || s.diagReady[dest] {
+					s.finish(dest)
+				}
+			}
+		}
+	}
+}
+
+// runOne lets processor p (free at time t) pick and process one pending
+// block, then schedules its next wake-up.
+func (s *simulator) runOne(p int32, t float64) {
+	it := s.pickNext(p)
+	s.me = p
+	s.now = t
+	if it.remote {
+		start := s.now
+		s.res.CommTime[s.me] += s.cfg.RecvOverhead
+		s.now += s.cfg.RecvOverhead
+		s.span(start, true)
+	}
+	if it.seed {
+		if !s.done[it.id] {
+			s.finish(it.id)
+		}
+	} else {
+		s.handle(it.id)
+	}
+	s.idle[p] = false
+	if s.now > s.makespan {
+		s.makespan = s.now
+	}
+	s.pushReady(s.now, p)
+}
+
+// failNode applies a fail-stop of processor l at time t: the next surviving
+// processor (the buddy) inherits l's unfinished blocks, restarts its own
+// unfinished blocks from the last checkpoint (a completed block's fan-out
+// messages), and replays the union of both delivery logs after the
+// recovery delay. Lost in-flight and future messages addressed to l are
+// rerouted to the buddy at delivery time via powner; already-completed
+// blocks stay completed.
+func (s *simulator) failNode(l int32, t float64) error {
+	if !s.alive[l] {
+		return nil
+	}
+	s.alive[l] = false
+	s.res.FailedProcs = append(s.res.FailedProcs, l)
+	np := int32(len(s.alive))
+	buddy := int32(-1)
+	for d := int32(1); d < np; d++ {
+		if c := (l + d) % np; s.alive[c] {
+			buddy = c
+			break
+		}
+	}
+	if buddy < 0 {
+		return fmt.Errorf("machine: all %d processors failed before completion (last at t=%g)", np, t)
+	}
+	tr := t + s.cfg.Faults.RecoveryDelay
+
+	// Reassign ownership and reset progress of every unfinished block the
+	// buddy is now responsible for — inherited and its own alike. The
+	// replay below re-derives all of it; mods already globally visible via
+	// completed (done) blocks are not redone.
+	for id := int32(0); id < int32(s.pr.NBlocks); id++ {
+		if s.powner[id] == l {
+			s.powner[id] = buddy
+		}
+		if s.powner[id] == buddy && !s.done[id] {
+			s.modsLeft[id] = s.pr.NMods[id]
+			s.diagReady[id] = false
+		}
+	}
+
+	// Replay: the buddy's own processed deliveries in original order, then
+	// the failed node's deliveries it has not seen, then the failed node's
+	// unprocessed queue. arrivedAt[buddy] restarts empty so the standard
+	// exactly-once arrival logic drives the re-execution.
+	seenAtBuddy := s.arrivedAt[buddy]
+	s.arrivedAt[buddy] = make(map[int32]bool, len(seenAtBuddy)+len(s.log[l]))
+	replay := append([]int32(nil), s.log[buddy]...)
+	for _, id := range s.log[l] {
+		if !seenAtBuddy[id] {
+			replay = append(replay, id)
+		}
+	}
+	s.log[buddy] = s.log[buddy][:0]
+	s.log[l] = nil
+	for _, id := range replay {
+		s.push(tr, buddy, id, false, false)
+	}
+	for _, it := range s.pending[l] {
+		s.push(tr, buddy, it.id, false, it.seed)
+	}
+	s.pending[l] = nil
+	return nil
+}
+
+// run drains the event heap.
+func (s *simulator) run() error {
+	for s.h.Len() > 0 {
+		ev := heap.Pop(&s.h).(event)
+		if ev.fail {
+			if err := s.failNode(ev.proc, ev.t); err != nil {
+				return err
 			}
 			continue
 		}
-		pending[ev.proc] = append(pending[ev.proc], pend{
+		p := ev.proc
+		if !s.alive[p] {
+			if ev.ready {
+				continue
+			}
+			// A message in flight to a dead node is rerouted at delivery
+			// time to the live processor standing in for it — the same
+			// buddy that inherited its blocks.
+			p = s.reroute(p)
+			if p < 0 {
+				continue
+			}
+		}
+		if ev.ready {
+			if len(s.pending[p]) > 0 {
+				s.runOne(p, ev.t)
+			} else {
+				s.idle[p] = true
+			}
+			continue
+		}
+		s.pending[p] = append(s.pending[p], pend{
 			id: ev.id, seq: ev.seq, remote: ev.remote, seed: ev.seed,
 		})
-		if idle[ev.proc] {
-			idle[ev.proc] = false
-			runOne(ev.proc, ev.t)
+		if s.idle[p] {
+			s.idle[p] = false
+			s.runOne(p, ev.t)
 		}
 	}
-	res.Time = makespan
-	return res
+	return nil
+}
+
+// reroute finds the live processor standing in for dead processor p: the
+// next surviving id, matching failNode's buddy selection. Returns -1 when
+// none survive (run ends with an error from the final failNode instead).
+func (s *simulator) reroute(p int32) int32 {
+	np := int32(len(s.alive))
+	for d := int32(1); d < np; d++ {
+		if c := (p + d) % np; s.alive[c] {
+			return c
+		}
+	}
+	return -1
 }

@@ -53,7 +53,7 @@ func program(t *testing.T, g mapping.Grid, useDomains bool) (*sched.Program, *bl
 
 func TestSingleProcessorMatchesSeqTime(t *testing.T) {
 	pr, _ := program(t, mapping.Grid{Pr: 1, Pc: 1}, false)
-	res := Simulate(pr, Paragon())
+	res := MustSimulate(pr, Paragon())
 	// With one processor there is no communication; the makespan must be
 	// exactly the analytic sequential time.
 	if res.Messages != 0 {
@@ -70,7 +70,7 @@ func TestSingleProcessorMatchesSeqTime(t *testing.T) {
 func TestFlopConservation(t *testing.T) {
 	for _, p := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 3}, {Pr: 4, Pc: 4}} {
 		pr, bs := program(t, p, false)
-		res := Simulate(pr, Paragon())
+		res := MustSimulate(pr, Paragon())
 		var total int64
 		for _, f := range res.Flops {
 			total += f
@@ -83,9 +83,9 @@ func TestFlopConservation(t *testing.T) {
 
 func TestParallelFasterButBounded(t *testing.T) {
 	pr1, _ := program(t, mapping.Grid{Pr: 1, Pc: 1}, false)
-	seq := Simulate(pr1, Paragon()).Time
+	seq := MustSimulate(pr1, Paragon()).Time
 	pr, _ := program(t, mapping.Grid{Pr: 4, Pc: 4}, false)
-	res := Simulate(pr, Paragon())
+	res := MustSimulate(pr, Paragon())
 	if res.Time >= seq {
 		t.Fatalf("16 processors not faster than 1: %g vs %g", res.Time, seq)
 	}
@@ -100,8 +100,8 @@ func TestParallelFasterButBounded(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	pr, _ := program(t, mapping.Grid{Pr: 3, Pc: 3}, true)
-	a := Simulate(pr, Paragon())
-	b := Simulate(pr, Paragon())
+	a := MustSimulate(pr, Paragon())
+	b := MustSimulate(pr, Paragon())
 	if a.Time != b.Time || a.Messages != b.Messages || a.Bytes != b.Bytes {
 		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
 	}
@@ -109,7 +109,7 @@ func TestDeterministic(t *testing.T) {
 
 func TestMessagesMatchProgram(t *testing.T) {
 	pr, _ := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
-	res := Simulate(pr, Paragon())
+	res := MustSimulate(pr, Paragon())
 	if res.Messages != pr.TotalMessages || res.Bytes != pr.TotalBytes {
 		t.Fatalf("sim traffic %d/%d, program %d/%d",
 			res.Messages, res.Bytes, pr.TotalMessages, pr.TotalBytes)
@@ -120,8 +120,8 @@ func TestDomainsImproveRuntimeOnGrid(t *testing.T) {
 	st, bs := setup(t, gen.Grid2D(24), ord.NDGrid2D, 24, 4)
 	g := mapping.Grid{Pr: 4, Pc: 4}
 	m := mapping.Cyclic(g, bs.N())
-	plain := Simulate(sched.Build(bs, sched.Assignment{Map: m}), Paragon())
-	dom := Simulate(sched.Build(bs, sched.Assignment{
+	plain := MustSimulate(sched.Build(bs, sched.Assignment{Map: m}), Paragon())
+	dom := MustSimulate(sched.Build(bs, sched.Assignment{
 		Map: m, Dom: domains.Select(st, bs, g.P(), 2),
 	}), Paragon())
 	if dom.Time >= plain.Time*1.05 {
@@ -135,8 +135,8 @@ func TestFasterMachineRunsFaster(t *testing.T) {
 	fast := Paragon()
 	fast.FlopRate *= 4
 	fast.OpOverhead /= 4
-	rs := Simulate(pr, slow)
-	rf := Simulate(pr, fast)
+	rs := MustSimulate(pr, slow)
+	rf := MustSimulate(pr, fast)
 	if rf.Time >= rs.Time {
 		t.Fatalf("4x machine not faster: %g vs %g", rf.Time, rs.Time)
 	}
@@ -151,8 +151,8 @@ func TestZeroCommConfigBeatsExpensiveComm(t *testing.T) {
 	costly.Latency *= 100
 	costly.SendOverhead *= 100
 	costly.RecvOverhead *= 100
-	rf := Simulate(pr, free)
-	rc := Simulate(pr, costly)
+	rf := MustSimulate(pr, free)
+	rc := MustSimulate(pr, costly)
 	if rf.Time >= rc.Time {
 		t.Fatalf("free communication not faster: %g vs %g", rf.Time, rc.Time)
 	}
@@ -165,7 +165,7 @@ func TestZeroCommConfigBeatsExpensiveComm(t *testing.T) {
 
 func TestMflopsAndCommFraction(t *testing.T) {
 	pr, bs := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
-	res := Simulate(pr, Paragon())
+	res := MustSimulate(pr, Paragon())
 	mf := res.Mflops(bs.TotalFlops)
 	if mf <= 0 {
 		t.Fatal("Mflops not positive")
@@ -201,14 +201,14 @@ func TestMeshTopologySlowsDistantTraffic(t *testing.T) {
 	mesh := Paragon()
 	mesh.MeshDims = [2]int{4, 4}
 	mesh.HopLatency = 20e-6 // exaggerated per-hop cost to make it visible
-	rf := Simulate(pr, flat)
-	rm := Simulate(pr, mesh)
+	rf := MustSimulate(pr, flat)
+	rm := MustSimulate(pr, mesh)
 	if rm.Time <= rf.Time {
 		t.Fatalf("mesh with hop latency not slower: %g vs %g", rm.Time, rf.Time)
 	}
 	// Zero hop latency must be byte-identical to the flat network.
 	mesh.HopLatency = 0
-	rz := Simulate(pr, mesh)
+	rz := MustSimulate(pr, mesh)
 	if rz.Time != rf.Time {
 		t.Fatalf("zero hop latency changed result: %g vs %g", rz.Time, rf.Time)
 	}

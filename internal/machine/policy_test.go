@@ -47,7 +47,7 @@ func TestCritPathPolicyRunsAndConserves(t *testing.T) {
 	pr, bs := program(t, mapping.Grid{Pr: 3, Pc: 3}, true)
 	cfg := Paragon()
 	cfg.Policy = CritPath
-	res := Simulate(pr, cfg)
+	res := MustSimulate(pr, cfg)
 	var total int64
 	for _, f := range res.Flops {
 		total += f
@@ -59,7 +59,7 @@ func TestCritPathPolicyRunsAndConserves(t *testing.T) {
 		t.Fatal("no makespan")
 	}
 	// Deterministic.
-	if res2 := Simulate(pr, cfg); res2.Time != res.Time {
+	if res2 := MustSimulate(pr, cfg); res2.Time != res.Time {
 		t.Fatal("critpath policy not deterministic")
 	}
 }
@@ -72,8 +72,8 @@ func TestCritPathPolicyNotCatastrophic(t *testing.T) {
 	fifo := Paragon()
 	prio := Paragon()
 	prio.Policy = CritPath
-	rf := Simulate(pr, fifo)
-	rp := Simulate(pr, prio)
+	rf := MustSimulate(pr, fifo)
+	rp := MustSimulate(pr, prio)
 	if rp.Time > 1.5*rf.Time {
 		t.Fatalf("critpath policy %g much worse than FIFO %g", rp.Time, rf.Time)
 	}

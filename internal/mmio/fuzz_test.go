@@ -6,15 +6,42 @@ import (
 )
 
 // FuzzRead checks that arbitrary input never panics the Matrix Market
-// parser and that anything it accepts is a structurally valid matrix.
+// parser and that anything it accepts is a structurally valid matrix. The
+// corpus seeds every banner variant plus the adversarial shapes the size
+// caps exist for: lying entry counts, huge claimed dimensions, negative
+// sizes, duplicates, and asymmetric general files.
 func FuzzRead(f *testing.F) {
-	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 4\n2 1 -1\n")
-	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n")
-	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n")
-	f.Add("")
-	f.Add("%%MatrixMarket matrix coordinate real symmetric\n-1 -1 -1\n")
-	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 1e309\n")
+	seeds := []string{
+		// Valid inputs across the supported banner variants.
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 4\n2 1 -1\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n",
+		"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate integer symmetric\n% comment\n\n2 2 2\n1 1 9\n2 2 9\n",
+		// Malformed and adversarial inputs.
+		"",
+		"%%MatrixMarket matrix coordinate real symmetric\n",
+		"%%MatrixMarket matrix array real symmetric\n2 2 3\n",
+		"%%MatrixMarket matrix coordinate complex symmetric\n2 2 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n-1 -1 -1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 1e309\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 999999999\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n1000000000 1000000000 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n3 3 1\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 1\n1 1 2\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 nope\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1 1\n",
+		"not a matrix market file at all",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, in string) {
+		// The service bounds bodies with MaxBytesReader; mirror that here
+		// so the fuzzer explores parser states, not allocator limits.
+		if len(in) > 1<<20 {
+			return
+		}
 		m, err := Read(strings.NewReader(in))
 		if err != nil {
 			return

@@ -18,6 +18,15 @@ import (
 	"blockfanout/internal/sparse"
 )
 
+// Parsing limits: the size line is attacker-controlled input, so both
+// dimensions and the entry count are capped before anything is allocated
+// from them. MaxDim bounds n; an entry count must also fit the matrix
+// (nnz ≤ n²).
+const (
+	MaxDim = 1 << 27 // 134M rows is far beyond anything this code factors
+	MaxNNZ = 1 << 31
+)
+
 // header is the parsed MatrixMarket banner.
 type header struct {
 	object   string // "matrix"
@@ -63,11 +72,37 @@ func Read(r io.Reader) (*sparse.Matrix, error) {
 	if n != m {
 		return nil, fmt.Errorf("mmio: matrix is %d×%d, not square", n, m)
 	}
+	if n < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative size line %d %d %d", n, m, nnz)
+	}
+	if n > MaxDim {
+		return nil, fmt.Errorf("mmio: dimension %d exceeds limit %d", n, MaxDim)
+	}
+	if int64(nnz) > MaxNNZ || uint64(nnz) > uint64(n)*uint64(n) {
+		return nil, fmt.Errorf("mmio: entry count %d impossible for a %d×%d matrix", nnz, n, n)
+	}
+	// Downstream assembly allocates O(n); a size line claiming a huge n
+	// with almost no entries would let a tiny request reserve it all. Any
+	// usable matrix here carries its diagonal (pattern files at least
+	// cover their nodes with edges), so large-n files must bring entries
+	// in proportion — this bounds every allocation by the actual input
+	// size, since each claimed entry must then really be parsed.
+	if n > 4096 && nnz < n/2 {
+		return nil, fmt.Errorf("mmio: %d entries cannot describe a usable %d×%d symmetric matrix", nnz, n, n)
+	}
 
+	// Size the maps from the claimed entry count, but never preallocate
+	// more than the input stream could plausibly back: a lying size line
+	// must not be able to reserve gigabytes before the first entry fails
+	// to parse.
+	hint := nnz
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
 	type key struct{ r, c int }
-	seen := make(map[key]float64, nnz)
+	seen := make(map[key]float64, hint)
 	var ts []sparse.Triplet
-	general := make(map[key]float64, nnz)
+	general := make(map[key]float64, hint)
 	count := 0
 	for sc.Scan() && count < nnz {
 		line := strings.TrimSpace(sc.Text())

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 
+	"blockfanout/internal/kernels"
 	"blockfanout/internal/refchol"
 	"blockfanout/internal/sparse"
 	"blockfanout/internal/symbolic"
@@ -119,8 +120,9 @@ func Compute(a *sparse.Matrix, st *symbolic.Structure) (*refchol.Factor, Stats, 
 		// Partial dense factorization of the leading w columns.
 		for k := 0; k < w; k++ {
 			d := front[k*r+k]
-			if d <= 0 {
-				return nil, stats, fmt.Errorf("%w (column %d)", ErrNotPositiveDefinite, sn.First+k)
+			if !(d > 0) || math.IsInf(d, 1) {
+				return nil, stats, fmt.Errorf("%w: %w", ErrNotPositiveDefinite,
+					&kernels.PivotError{Block: s, Row: sn.First + k, Pivot: d})
 			}
 			d = math.Sqrt(d)
 			front[k*r+k] = d

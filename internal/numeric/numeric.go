@@ -5,6 +5,7 @@
 package numeric
 
 import (
+	"errors"
 	"fmt"
 
 	"blockfanout/internal/blocks"
@@ -126,21 +127,40 @@ func searchRows(rows []int, g int) int {
 	return -1
 }
 
-// BFAC factors the diagonal block of panel k in place.
+// pivotAt rewrites a kernel-level pivot breakdown into factor coordinates:
+// Block becomes the panel index and Row the global (permuted) row, so the
+// error that propagates to callers names the exact failure site. Non-pivot
+// errors are wrapped with the operation context instead.
+func pivotAt(err error, k, start int, op string) error {
+	var pe *kernels.PivotError
+	if errors.As(err, &pe) {
+		return &kernels.PivotError{Block: k, Row: start + pe.Row, Pivot: pe.Pivot}
+	}
+	return fmt.Errorf("numeric: %s: %w", op, err)
+}
+
+// BFAC factors the diagonal block of panel k in place. A numerical
+// breakdown surfaces as a *kernels.PivotError carrying the panel index and
+// global row of the offending pivot.
 func (f *Factor) BFAC(k int) error {
 	w := f.BS.Part.Width(k)
 	if err := kernels.Cholesky(f.Data[k][0], w); err != nil {
-		return fmt.Errorf("numeric: BFAC(%d): %w", k, err)
+		return pivotAt(err, k, f.BS.Part.Start[k], fmt.Sprintf("BFAC(%d)", k))
 	}
 	return nil
 }
 
 // BDIV applies the factored diagonal block of panel k to off-diagonal
-// block bi of column k: L_IK ← L_IK · L_KK⁻ᵀ.
-func (f *Factor) BDIV(k, bi int) {
+// block bi of column k: L_IK ← L_IK · L_KK⁻ᵀ. A broken-down diagonal
+// (non-positive, NaN, or Inf pivot) yields a *kernels.PivotError instead of
+// silently dividing NaN into the factor.
+func (f *Factor) BDIV(k, bi int) error {
 	w := f.BS.Part.Width(k)
 	r := len(f.BS.Cols[k].Blocks[bi].Rows)
-	kernels.SolveRight(f.Data[k][bi], r, f.Data[k][0], w)
+	if err := kernels.SolveRight(f.Data[k][bi], r, f.Data[k][0], w); err != nil {
+		return pivotAt(err, k, f.BS.Part.Start[k], fmt.Sprintf("BDIV(%d,%d)", k, bi))
+	}
+	return nil
 }
 
 // Workspace holds the per-executor scratch of BMOD: the destination index
@@ -272,7 +292,9 @@ func (f *Factor) FactorSequential() error {
 		}
 		col := &f.BS.Cols[k]
 		for bi := 1; bi < len(col.Blocks); bi++ {
-			f.BDIV(k, bi)
+			if err := f.BDIV(k, bi); err != nil {
+				return err
+			}
 		}
 		for jb := 1; jb < len(col.Blocks); jb++ {
 			for ia := jb; ia < len(col.Blocks); ia++ {

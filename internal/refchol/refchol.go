@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"blockfanout/internal/etree"
+	"blockfanout/internal/kernels"
 	"blockfanout/internal/sparse"
 )
 
@@ -102,8 +103,12 @@ func Compute(a *sparse.Matrix) (*Factor, error) {
 			f.Rows[j] = append(f.Rows[j], int32(k))
 			f.Vals[j] = append(f.Vals[j], lkj)
 		}
-		if d <= 0 {
-			return nil, fmt.Errorf("%w (column %d)", ErrNotPositiveDefinite, k)
+		if !(d > 0) || math.IsInf(d, 1) {
+			// Wrap both the package sentinel and a structured PivotError so
+			// callers can match either errors.Is(err, ErrNotPositiveDefinite)
+			// or errors.As(err, &*kernels.PivotError).
+			return nil, fmt.Errorf("%w: %w", ErrNotPositiveDefinite,
+				&kernels.PivotError{Block: -1, Row: k, Pivot: d})
 		}
 		f.Diag[k] = math.Sqrt(d)
 	}

@@ -42,6 +42,18 @@ func readMatrix(body io.Reader, contentType string) (*sparse.Matrix, error) {
 		if err := dec.Decode(&c); err != nil {
 			return nil, fmt.Errorf("bad JSON-CSC body: %w", err)
 		}
+		// Cheap shape checks before anything downstream sizes buffers from
+		// the claimed dimension: n is attacker-controlled, the arrays are
+		// backed by actual body bytes.
+		if c.N < 0 || c.N > mmio.MaxDim {
+			return nil, fmt.Errorf("JSON-CSC dimension %d out of range [0, %d]", c.N, mmio.MaxDim)
+		}
+		if len(c.ColPtr) != c.N+1 {
+			return nil, fmt.Errorf("JSON-CSC colptr has %d entries, want n+1 = %d", len(c.ColPtr), c.N+1)
+		}
+		if len(c.RowInd) != len(c.Val) {
+			return nil, fmt.Errorf("JSON-CSC rowind/val lengths differ: %d vs %d", len(c.RowInd), len(c.Val))
+		}
 		m = &sparse.Matrix{N: c.N, ColPtr: c.ColPtr, RowInd: c.RowInd, Val: c.Val}
 		if err := m.Validate(); err != nil {
 			return nil, err

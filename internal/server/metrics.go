@@ -52,6 +52,11 @@ type metrics struct {
 	rejected atomic.Int64 // 429s from a full queue
 	errors   atomic.Int64 // 4xx/5xx other than 429
 
+	panics           atomic.Int64 // handler panics converted to 500 by the middleware
+	retries          atomic.Int64 // transient-failure retries issued
+	breakerTrips     atomic.Int64 // circuit breakers tripped
+	breakerFastFails atomic.Int64 // requests failed fast by an open breaker
+
 	factors   atomic.Int64 // full factorizations (analysis or numeric-only)
 	refactors atomic.Int64 // value-only refactorizations of a live factor
 	solvedRHS atomic.Int64 // right-hand sides solved

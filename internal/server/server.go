@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"blockfanout/internal/core"
+	"blockfanout/internal/faultinject"
+	"blockfanout/internal/kernels"
 	"blockfanout/internal/mapping"
 	"blockfanout/internal/plancache"
 	"blockfanout/internal/sched"
@@ -68,6 +70,21 @@ type Config struct {
 	// BlockSize is the panel width B of new plans (default
 	// core.DefaultBlockSize).
 	BlockSize int
+	// RetryAttempts is how many times a transient infrastructure failure
+	// (see internal/faultinject) is retried with exponential backoff before
+	// the request fails (default 2; negative disables). Numeric failures —
+	// pivot breakdowns — are never transient and never retried.
+	RetryAttempts int
+	// RetryBackoff is the first retry's backoff; it doubles per attempt
+	// (default 5ms).
+	RetryBackoff time.Duration
+	// BreakerThreshold trips a per-pattern circuit breaker after this many
+	// consecutive pivot failures, after which factor requests for that
+	// pattern fail fast with 422 until BreakerCooldown elapses (default 3;
+	// negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped pattern fails fast (default 30s).
+	BreakerCooldown time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -104,6 +121,24 @@ func (c *Config) fillDefaults() {
 	if c.MaxFactors <= 0 {
 		c.MaxFactors = c.CacheEntries
 	}
+	switch {
+	case c.RetryAttempts == 0:
+		c.RetryAttempts = 2
+	case c.RetryAttempts < 0:
+		c.RetryAttempts = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 3
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
 }
 
 // factorEntry is one live factor. mu serializes refactorization (writer)
@@ -131,11 +166,12 @@ type Server struct {
 	cache *plancache.Cache
 	sem   chan struct{} // worker pool slots
 
-	mu       sync.Mutex // guards factors, lru, queued
+	mu       sync.Mutex // guards factors, lru, queued, breakers
 	factors  map[string]*factorEntry
 	lru      *list.List // front = most recently used factorEntry
 	queued   int
 	draining bool
+	breakers map[string]*breakerState
 
 	met metrics
 }
@@ -144,22 +180,42 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	return &Server{
-		cfg:     cfg,
-		cache:   plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
-		sem:     make(chan struct{}, cfg.Workers),
-		factors: make(map[string]*factorEntry),
-		lru:     list.New(),
+		cfg:      cfg,
+		cache:    plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		sem:      make(chan struct{}, cfg.Workers),
+		factors:  make(map[string]*factorEntry),
+		lru:      list.New(),
+		breakers: make(map[string]*breakerState),
 	}
 }
 
-// Handler returns the service's HTTP mux.
+// Handler returns the service's HTTP mux, wrapped in the panic-recovery
+// middleware: one request hitting a bug (or an injected panic) produces a
+// 500, not a dead process with every cached factor lost.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/factor", s.handleFactor)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics converts a handler panic into a 500 response. If the
+// handler already wrote a response the WriteHeader call is a no-op logged
+// by net/http; the connection still closes cleanly either way.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Add(1)
+				s.met.errors.Add(1)
+				writeJSON(w, http.StatusInternalServerError,
+					errorBody{Error: fmt.Sprintf("internal panic: %v", rec), Code: "panic"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Drain flips the server into shutdown mode: /healthz reports 503 so load
@@ -213,8 +269,34 @@ func (s *Server) isDraining() bool {
 
 // ---- response plumbing ----
 
+// errorBody is the JSON error envelope. Pivot breakdowns carry their
+// location so a client can see *where* its matrix lost positive
+// definiteness, not just that it did.
 type errorBody struct {
-	Error string `json:"error"`
+	Error string   `json:"error"`
+	Code  string   `json:"code,omitempty"`  // "pivot_breakdown", "breaker_open", "panic"
+	Block *int     `json:"block,omitempty"` // failing panel (pivot breakdowns only)
+	Row   *int     `json:"row,omitempty"`   // failing global row
+	Pivot *float64 `json:"pivot,omitempty"` // offending pivot value
+}
+
+// errBody builds the error envelope, extracting pivot coordinates when the
+// chain contains a kernels.PivotError.
+func errBody(err error) errorBody {
+	body := errorBody{Error: err.Error()}
+	var pe *kernels.PivotError
+	if errors.As(err, &pe) {
+		if errors.Is(err, errBreakerOpen) {
+			body.Code = "breaker_open"
+		} else {
+			body.Code = "pivot_breakdown"
+		}
+		block, row, pivot := pe.Block, pe.Row, pe.Pivot
+		body.Block, body.Row, body.Pivot = &block, &row, &pivot
+	} else if errors.Is(err, errBreakerOpen) {
+		body.Code = "breaker_open"
+	}
+	return body
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -227,7 +309,87 @@ func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
 	if code != http.StatusTooManyRequests {
 		s.met.errors.Add(1)
 	}
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	writeJSON(w, code, errBody(err))
+}
+
+// withRetry runs op, retrying transient failures (injected infrastructure
+// faults, never numeric errors) with exponential backoff. The backoff wait
+// respects the request's deadline.
+func (s *Server) withRetry(ctx context.Context, op func() error) error {
+	backoff := s.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= s.cfg.RetryAttempts || !faultinject.IsTransient(err) {
+			return err
+		}
+		s.met.retries.Add(1)
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+		backoff *= 2
+	}
+}
+
+// ---- per-pattern circuit breaker ----
+
+var errBreakerOpen = errors.New("circuit breaker open: this pattern's factorizations keep failing on a pivot; retry after the cooldown or fix the matrix")
+
+// breakerState tracks consecutive pivot failures for one pattern id.
+type breakerState struct {
+	fails     int
+	until     time.Time // while now < until, factor requests fail fast
+	lastPivot error     // most recent pivot failure, echoed by fail-fast responses
+}
+
+// breakerOpen reports whether id is tripped; the returned error wraps the
+// pattern's last pivot failure so the fail-fast 422 still carries the
+// breakdown location. A breaker whose cooldown has elapsed resets fully:
+// the next real factorization decides its fate.
+func (s *Server) breakerOpen(id string) (error, bool) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs, ok := s.breakers[id]
+	if !ok || bs.until.IsZero() {
+		return nil, false
+	}
+	if time.Now().After(bs.until) {
+		delete(s.breakers, id)
+		return nil, false
+	}
+	return fmt.Errorf("%w: %w", errBreakerOpen, bs.lastPivot), true
+}
+
+// breakerNote records a factor/refactor outcome for id. Only pivot
+// breakdowns count against the pattern; transient faults, cancellations,
+// and successes clear it.
+func (s *Server) breakerNote(id string, err error) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil || !errors.Is(err, kernels.ErrNotPositiveDefinite) {
+		delete(s.breakers, id)
+		return
+	}
+	bs, ok := s.breakers[id]
+	if !ok {
+		bs = &breakerState{}
+		s.breakers[id] = bs
+	}
+	bs.fails++
+	bs.lastPivot = err
+	if bs.fails >= s.cfg.BreakerThreshold && bs.until.IsZero() {
+		bs.until = time.Now().Add(s.cfg.BreakerCooldown)
+		s.met.breakerTrips.Add(1)
+	}
 }
 
 // errStatus maps an operational error to its HTTP status.
@@ -254,7 +416,10 @@ type factorResponse struct {
 	Flops      int64   `json:"flops"`
 	CacheHit   bool    `json:"cache_hit"`
 	Refactored bool    `json:"refactored"`
-	ElapsedMs  float64 `json:"elapsed_ms"`
+	// Shift is the diagonal perturbation α applied under ?perturb=1; zero
+	// when the matrix factored unmodified. The factor then solves A+αI.
+	Shift     float64 `json:"shift,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +440,16 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	m, err := readMatrix(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	perturb := r.URL.Query().Get("perturb") == "1" || r.URL.Query().Get("perturb") == "true"
+
+	// Fail fast on a tripped breaker before analysis or queueing: the id is
+	// the pattern hash, so it is known before any heavy work.
+	id := fmt.Sprintf("%016x", m.PatternHash())
+	if berr, open := s.breakerOpen(id); open {
+		s.met.breakerFastFails.Add(1)
+		s.writeErr(w, http.StatusUnprocessableEntity, berr)
 		return
 	}
 
@@ -299,8 +474,8 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id := fmt.Sprintf("%016x", entry.Key)
 	refactored := false
+	var shift float64
 	for attempt := 0; ; attempt++ {
 		fe, created := s.claimEntry(id, m.N, entry.Plan)
 		if created {
@@ -309,7 +484,22 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 			// is already gone and can safely re-claim) on failure. The
 			// factorization must use the posted values, not the plan's: on a
 			// cache hit the plan carries whichever values built it.
-			f, ferr := entry.Plan.FactorValuesContext(ctx, entry.Assign, m.Val)
+			var f *core.Factor
+			ferr := s.guardEntry(fe, func() error {
+				return s.withRetry(ctx, func() error {
+					if err := faultinject.Fire("server.factor"); err != nil {
+						return err
+					}
+					var err error
+					if perturb {
+						f, shift, err = entry.Plan.FactorValuesPerturbedContext(ctx, entry.Assign, m.Val, core.Perturbation{})
+					} else {
+						f, err = entry.Plan.FactorValuesContext(ctx, entry.Assign, m.Val)
+					}
+					return err
+				})
+			})
+			s.breakerNote(id, ferr)
 			if ferr != nil {
 				s.dropEntry(fe)
 				fe.mu.Unlock()
@@ -345,7 +535,21 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, http.StatusConflict, fmt.Errorf("factor id %s is held by a different sparsity pattern (hash collision)", id))
 			return
 		}
-		rerr := fe.f.RefactorContext(ctx, m.Val)
+		rerr := s.guardEntry(fe, func() error {
+			return s.withRetry(ctx, func() error {
+				if err := faultinject.Fire("server.refactor"); err != nil {
+					return err
+				}
+				var err error
+				if perturb {
+					shift, err = fe.f.RefactorPerturbedContext(ctx, m.Val, core.Perturbation{})
+				} else {
+					err = fe.f.RefactorContext(ctx, m.Val)
+				}
+				return err
+			})
+		})
+		s.breakerNote(id, rerr)
 		if rerr != nil {
 			// A failed (or cancelled) refactor leaves the factor numerically
 			// invalid: invalidate and unregister it so it can never serve a
@@ -372,16 +576,39 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 		Flops:      plan.Exact.Flops,
 		CacheHit:   hit,
 		Refactored: refactored,
+		Shift:      shift,
 		ElapsedMs:  float64(time.Since(start).Microseconds()) / 1e3,
 	})
 }
 
-// factorErrStatus: numeric failures (non-SPD input) are the client's fault.
+// factorErrStatus: numeric failures (non-SPD input) are the client's
+// fault; transient infrastructure faults that survived the retries are the
+// server's.
 func factorErrStatus(err error) int {
 	if st := errStatus(err); st != http.StatusInternalServerError {
 		return st
 	}
+	if faultinject.IsTransient(err) {
+		return http.StatusInternalServerError
+	}
 	return http.StatusUnprocessableEntity
+}
+
+// guardEntry runs op while the caller holds fe.mu for writing. If op
+// panics, the entry is invalidated, unregistered, and unlocked before the
+// panic continues to the recovery middleware — otherwise the wedged write
+// lock would deadlock every later request for this pattern (the panic test
+// in chaos_test.go found exactly that).
+func (s *Server) guardEntry(fe *factorEntry, op func() error) error {
+	defer func() {
+		if rec := recover(); rec != nil {
+			fe.f = nil
+			s.dropEntry(fe)
+			fe.mu.Unlock()
+			panic(rec)
+		}
+	}()
+	return op()
 }
 
 // claimEntry returns the factor entry for id, creating it if absent. When
@@ -540,13 +767,20 @@ func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, bs [][]float6
 	}
 	defer s.release()
 	start := time.Now()
-	fe.mu.RLock()
-	if fe.f == nil {
-		fe.mu.RUnlock()
-		return solveOutcome{err: errFactorInvalid}
-	}
-	xs, err := fe.f.SolveMany(bs)
-	fe.mu.RUnlock()
+	var xs [][]float64
+	err := s.withRetry(ctx, func() error {
+		if err := faultinject.Fire("server.solve"); err != nil {
+			return err
+		}
+		fe.mu.RLock()
+		defer fe.mu.RUnlock() // deferred so a solve panic cannot wedge the read lock
+		if fe.f == nil {
+			return errFactorInvalid
+		}
+		var serr error
+		xs, serr = fe.f.SolveMany(bs)
+		return serr
+	})
 	s.met.solveLat.observe(time.Since(start))
 	if err != nil {
 		return solveOutcome{err: err}
@@ -580,6 +814,13 @@ type metricsDoc struct {
 	InFlight  int64           `json:"in_flight"`
 	Rejected  int64           `json:"rejected"`
 	Errors    int64           `json:"errors"`
+	Panics    int64           `json:"panics"`
+	Retries   int64           `json:"retries"`
+	Breaker   struct {
+		Trips     int64 `json:"trips"`
+		FastFails int64 `json:"fast_fails"`
+		Open      int   `json:"open"` // patterns currently failing fast
+	} `json:"breaker"`
 	Factors   int64           `json:"factors"`
 	Refactors int64           `json:"refactors"`
 	SolvedRHS int64           `json:"solved_rhs"`
@@ -609,9 +850,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc.SolvedRHS = s.met.solvedRHS.Load()
 	doc.Batches = s.met.batches.Load()
 	doc.BatchedR = s.met.batched.Load()
+	doc.Panics = s.met.panics.Load()
+	doc.Retries = s.met.retries.Load()
+	doc.Breaker.Trips = s.met.breakerTrips.Load()
+	doc.Breaker.FastFails = s.met.breakerFastFails.Load()
 	doc.Cache = s.cache.Stats()
 	s.mu.Lock()
 	doc.LiveFac = len(s.factors)
+	now := time.Now()
+	for _, bs := range s.breakers {
+		if !bs.until.IsZero() && now.Before(bs.until) {
+			doc.Breaker.Open++
+		}
+	}
 	s.mu.Unlock()
 	doc.Latency.Factor = s.met.factorLat.snapshot()
 	doc.Latency.Refactor = s.met.refactorLat.snapshot()

@@ -312,7 +312,10 @@ func TestServiceRequestValidation(t *testing.T) {
 // entry must not linger: a follow-up request with good values gets a fresh
 // factorization that actually solves.
 func TestServiceFailedFactorConcurrent(t *testing.T) {
-	_, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1})
+	// The breaker is disabled: six concurrent pivot failures would trip it
+	// and fail the recovery POST fast; this test pins the entry lifecycle,
+	// the breaker has its own tests.
+	_, ts := testService(t, Config{Procs: 2, BlockSize: 16, BatchWindow: -1, BreakerThreshold: -1})
 	a := gen.IrregularMesh(150, 5, 3, 21)
 	bad := a.Clone()
 	bad.Val[bad.ColPtr[a.N-1]] = -5 // indefinite: BFAC must fail

@@ -55,6 +55,12 @@ func (m *Matrix) Validate() error {
 		if lo > hi {
 			return fmt.Errorf("sparse: column %d has negative length", j)
 		}
+		// The endpoint check above pins ColPtr[0] and ColPtr[N] only;
+		// interior pointers from untrusted input can still stray outside
+		// RowInd, which would turn the scans below into panics.
+		if lo < 0 || hi > len(m.RowInd) {
+			return fmt.Errorf("sparse: column %d pointers [%d,%d] outside nonzeros [0,%d]", j, lo, hi, len(m.RowInd))
+		}
 		if lo == hi || m.RowInd[lo] != j {
 			return fmt.Errorf("sparse: column %d missing diagonal entry", j)
 		}

@@ -35,7 +35,7 @@ func simResult(t *testing.T, collect bool) *machine.Result {
 	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
 	cfg := machine.Paragon()
 	cfg.CollectTrace = collect
-	res := machine.Simulate(pr, cfg)
+	res := machine.MustSimulate(pr, cfg)
 	return &res
 }
 
