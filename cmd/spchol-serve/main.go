@@ -51,6 +51,7 @@ func run() error {
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline for heavy work")
 		block        = flag.Int("block", 0, "panel width B of new plans (0 = default 48)")
 		drainWait    = flag.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (keep it off the public network)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,19 @@ func run() error {
 		BlockSize:      *block,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	// The debug listener carries pprof, which must stay opt-in and off the
+	// serving address; its lifetime is tied to the process, not the drain.
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{Addr: *debugAddr, Handler: s.DebugHandler()}
+		go func() {
+			log.Printf("debug listener (pprof, /metrics) on %s", *debugAddr)
+			if err := ds.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,6 +106,9 @@ func run() error {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if ds != nil {
+		_ = ds.Shutdown(shutdownCtx)
 	}
 	log.Printf("drained cleanly")
 	return <-errc

@@ -21,8 +21,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -30,16 +32,36 @@ import (
 	"blockfanout/internal/commvol"
 	"blockfanout/internal/core"
 	"blockfanout/internal/dot"
+	"blockfanout/internal/experiments"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/machine"
 	"blockfanout/internal/mapping"
 	"blockfanout/internal/mmio"
+	"blockfanout/internal/obs"
 	"blockfanout/internal/order"
 	"blockfanout/internal/sched"
 	"blockfanout/internal/sparse"
 	"blockfanout/internal/stats"
 	"blockfanout/internal/trace"
 )
+
+// writeTraceFile writes a Chrome trace-event JSON document to path via
+// write, announcing where it landed so the user knows what to load.
+func writeTraceFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace-event timeline written to %s (load in about:tracing or ui.perfetto.dev)\n", path)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -66,8 +88,42 @@ func run() error {
 		domains   = flag.Bool("domains", true, "use the domain/root split")
 		seed      = flag.Uint64("seed", 7, "generator seed for -mesh")
 		save      = flag.String("save", "", "with -action factor: write the factor bundle here")
+		exp       = flag.String("exp", "", "action alias or internal/experiments runner name; picks a default problem if none is selected")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON timeline (about:tracing / Perfetto) to this file")
 	)
 	flag.Parse()
+
+	if *exp != "" {
+		switch *exp {
+		case "stats", "balance", "simulate", "trace", "factor", "dot":
+			*action = *exp
+			// An experiment run should work standalone: default to the §5
+			// representative problem when no problem flag was given.
+			if *problem == "" && *gridK == 0 && *cubeK == 0 && *meshN == 0 && *denseN == 0 && *file == "" {
+				*problem = "BCSSTK31"
+			}
+		default:
+			r, ok := experiments.ByName(*exp)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (an action name or one of the cmd/tables runners)", *exp)
+			}
+			sc := gen.ScaleCI
+			if *scale == "paper" {
+				sc = gen.ScalePaper
+			}
+			cfg := experiments.Default(sc)
+			fmt.Printf("== %s — %s\n", r.Name, r.Desc)
+			if err := r.Run(os.Stdout, cfg); err != nil {
+				return err
+			}
+			if *traceOut != "" {
+				return writeTraceFile(*traceOut, func(w io.Writer) error {
+					return experiments.TimelineTrace(w, cfg)
+				})
+			}
+			return nil
+		}
+	}
 
 	var (
 		m       *sparse.Matrix
@@ -189,6 +245,17 @@ func run() error {
 	}
 	assign := plan.Assign(mp, beta)
 
+	// simTrace writes the simulated timeline for the current assignment.
+	simTrace := func() error {
+		cfg := machine.Paragon()
+		cfg.CollectTrace = true
+		res := plan.Simulate(assign, cfg)
+		label := fmt.Sprintf("%s %v/%v P=%d (simulated)", name, rh, ch, g.P())
+		return writeTraceFile(*traceOut, func(w io.Writer) error {
+			return obs.WriteMachineTrace(w, &res, label)
+		})
+	}
+
 	switch *action {
 	case "balance":
 		bal := plan.Balances(mp)
@@ -197,6 +264,9 @@ func run() error {
 		fmt.Printf("  row balance     %.3f\n  column balance  %.3f\n  diagonal bal.   %.3f\n  overall balance %.3f\n",
 			bal.Row, bal.Col, bal.Diag, bal.Overall)
 		fmt.Printf("  comm volume     %d messages, %d bytes\n", vol.Messages, vol.Bytes)
+		if *traceOut != "" {
+			return simTrace()
+		}
 
 	case "simulate":
 		cfg := machine.Paragon()
@@ -207,6 +277,9 @@ func run() error {
 		fmt.Printf("  performance     %.0f Mflops\n", res.Mflops(plan.Exact.Flops))
 		fmt.Printf("  communication   %d messages, %d bytes, ≤%.1f%% of runtime\n",
 			res.Messages, res.Bytes, res.CommFraction()*100)
+		if *traceOut != "" {
+			return simTrace()
+		}
 
 	case "trace":
 		cfg := machine.Paragon()
@@ -215,11 +288,27 @@ func run() error {
 		if err := trace.Gantt(os.Stdout, &res, 100); err != nil {
 			return err
 		}
-		trace.Utilization(os.Stdout, &res)
+		if err := trace.Utilization(os.Stdout, &res); err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			label := fmt.Sprintf("%s %v/%v P=%d (simulated)", name, rh, ch, g.P())
+			return writeTraceFile(*traceOut, func(w io.Writer) error {
+				return obs.WriteMachineTrace(w, &res, label)
+			})
+		}
 
 	case "factor":
 		start := time.Now()
-		f, err := plan.Factor(assign)
+		var (
+			f   *core.Factor
+			rec *obs.Recorder
+		)
+		if *traceOut != "" {
+			f, rec, err = plan.FactorTracedContext(context.Background(), assign)
+		} else {
+			f, err = plan.Factor(assign)
+		}
 		if err != nil {
 			return err
 		}
@@ -240,6 +329,12 @@ func run() error {
 				return err
 			}
 			fmt.Printf("factor bundle saved to %s\n", *save)
+		}
+		if rec != nil {
+			label := fmt.Sprintf("%s %v/%v P=%d (executed)", name, rh, ch, g.P())
+			return writeTraceFile(*traceOut, func(w io.Writer) error {
+				return rec.WriteTrace(w, label)
+			})
 		}
 
 	default:

@@ -25,6 +25,7 @@ import (
 	"blockfanout/internal/machine"
 	"blockfanout/internal/mapping"
 	"blockfanout/internal/numeric"
+	"blockfanout/internal/obs"
 	"blockfanout/internal/order"
 	"blockfanout/internal/sched"
 	"blockfanout/internal/sparse"
@@ -171,6 +172,27 @@ func (p *Plan) FactorContext(ctx context.Context, a sched.Assignment) (*Factor, 
 		return nil, err
 	}
 	return &Factor{plan: p, nf: nf, pr: pr, ex: ex, a: p.A}, nil
+}
+
+// FactorTracedContext is FactorContext with the executor's span recorder
+// attached and enabled: alongside the factor it returns the recorder
+// holding one obs.Span per BFAC/BDIV/BMOD the run performed, ready for
+// Chrome trace-event export. The instrumented run is the real execution,
+// not a replay — the recorder's gated hot path is cheap enough to time
+// production-shaped runs.
+func (p *Plan) FactorTracedContext(ctx context.Context, a sched.Assignment) (*Factor, *obs.Recorder, error) {
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr := sched.Build(p.BS, a)
+	ex := fanout.NewExecutor(nf, pr)
+	rec := ex.NewRecorder()
+	rec.Enable()
+	if _, err := ex.RunContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	return &Factor{plan: p, nf: nf, pr: pr, ex: ex, a: p.A}, rec, nil
 }
 
 // FactorValuesContext is FactorContext for the analyze-once/factor-many

@@ -156,6 +156,7 @@ func All() []Runner {
 		{"amalgamation", "§2.2: supernode amalgamation ablation", Amalgamation},
 		{"domains", "§2.3: domain/root split ablation (beta sweep)", Domains},
 		{"faults", "resilience: per-mapping degradation under a fail-stop + buddy recovery", Faults},
+		{"timeline", "§5: per-processor compute/comm/idle breakdown (trace-event exportable)", Timeline},
 	}
 }
 

@@ -39,8 +39,8 @@ func TestByNameLookup(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("bogus runner found")
 	}
-	if len(All()) != 24 {
-		t.Fatalf("runner count %d, want 24", len(All()))
+	if len(All()) != 25 {
+		t.Fatalf("runner count %d, want 25", len(All()))
 	}
 }
 

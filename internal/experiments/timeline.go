@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/obs"
+)
+
+// timelineProblem is the representative matrix the timeline experiment
+// inspects: BCSSTK31, the paper's running example for the §5 where-does-
+// the-time-go discussion.
+const timelineProblem = "BCSSTK31"
+
+// timelineRun simulates the representative problem at cfg.P2 processors
+// under the given heuristics with trace collection on.
+func timelineRun(cfg Config, rowH, colH mapping.Heuristic) (machine.Result, error) {
+	p, ok := gen.ByName(gen.Table1Suite(cfg.Scale), timelineProblem)
+	if !ok {
+		return machine.Result{}, fmt.Errorf("experiments: %s missing", timelineProblem)
+	}
+	plan, err := PlanFor(p, cfg.Scale, cfg.B)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	g := grid(cfg.P2)
+	mcfg := cfg.Machine
+	mcfg.CollectTrace = true
+	m := plan.Map(g, rowH, colH)
+	return plan.Simulate(plan.Assign(m, cfg.DomainBeta), mcfg), nil
+}
+
+// Timeline reproduces the §5 instrumentation argument at per-processor
+// resolution: for the cyclic and the ID/CY heuristic mappings of the
+// representative problem it reports each run's makespan and machine-wide
+// compute/comm/idle split, plus the busiest and idlest processor — the
+// numbers that show idle-waiting-for-data dominating once the mapping
+// heuristics land. The same simulated spans export to Chrome trace-event
+// JSON via TimelineTrace.
+func Timeline(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "%s, P=%d: per-processor time breakdown\n", timelineProblem, cfg.P2)
+	fmt.Fprintf(w, "%-10s %10s %7s %7s %7s %12s %12s %8s\n",
+		"mapping", "time (s)", "comp", "comm", "idle", "busiest", "idlest", "spans")
+	for _, row := range []struct {
+		name       string
+		rowH, colH mapping.Heuristic
+	}{
+		{"CY/CY", mapping.CY, mapping.CY},
+		{"ID/CY", mapping.ID, mapping.CY},
+	} {
+		res, err := timelineRun(cfg, row.rowH, row.colH)
+		if err != nil {
+			return err
+		}
+		comp, comm, idle := res.Breakdown()
+		loBusy, hiBusy := 1.0, 0.0
+		for p := range res.CompTime {
+			busy := (res.CompTime[p] + res.CommTime[p]) / res.Time
+			if busy > hiBusy {
+				hiBusy = busy
+			}
+			if busy < loBusy {
+				loBusy = busy
+			}
+		}
+		fmt.Fprintf(w, "%-10s %10.4f %6.0f%% %6.0f%% %6.0f%% %11.0f%% %11.0f%% %8d\n",
+			row.name, res.Time, comp*100, comm*100, idle*100, hiBusy*100, loBusy*100, len(res.Spans))
+	}
+	return nil
+}
+
+// TimelineTrace runs the heuristic-mapped timeline simulation and writes
+// its spans as a Chrome trace-event JSON document to traceW. cmd/spchol's
+// -trace flag and the CI trace artifact are built on it.
+func TimelineTrace(traceW io.Writer, cfg Config) error {
+	res, err := timelineRun(cfg, mapping.ID, mapping.CY)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s ID/CY P=%d (simulated)", timelineProblem, cfg.P2)
+	return obs.WriteMachineTrace(traceW, &res, name)
+}

@@ -28,6 +28,7 @@ import (
 
 	"blockfanout/internal/kernels"
 	"blockfanout/internal/numeric"
+	"blockfanout/internal/obs"
 	"blockfanout/internal/sched"
 )
 
@@ -57,6 +58,11 @@ type Executor struct {
 	done      []bool
 	inboxes   []chan int32
 	procs     []procState
+
+	// rec, when non-nil and enabled, records one obs.Span per block
+	// operation. A nil or disabled recorder costs one pointer check plus
+	// one atomic load per operation and never allocates.
+	rec *obs.Recorder
 
 	// Per-run control state, reset by Run.
 	abort     chan struct{}
@@ -101,6 +107,27 @@ func NewExecutor(f *numeric.Factor, pr *sched.Program) *Executor {
 		ps.ws.Reserve(maxRows)
 	}
 	return ex
+}
+
+// SetRecorder attaches (or, with nil, detaches) a span recorder. The
+// recorder needs one lane per processor; attach between runs, not during
+// one. Enabling/disabling the attached recorder is safe at any time — the
+// gate is a single atomic flag read on the hot path.
+func (ex *Executor) SetRecorder(rec *obs.Recorder) {
+	if rec != nil && rec.Procs() < ex.pr.NProc {
+		panic(fmt.Sprintf("fanout: recorder has %d lanes for %d processors", rec.Procs(), ex.pr.NProc))
+	}
+	ex.rec = rec
+}
+
+// NewRecorder creates, attaches, and returns a recorder sized for this
+// executor's schedule: one lane per processor, capacity hinted by the
+// processor's owned-block count. The recorder starts disabled.
+func (ex *Executor) NewRecorder() *obs.Recorder {
+	per := 3 * ex.pr.NBlocks / ex.pr.NProc
+	rec := obs.NewRecorder(ex.pr.NProc, per)
+	ex.SetRecorder(rec)
+	return rec
 }
 
 // fail records a failure and broadcasts cancellation to the remaining
@@ -308,18 +335,21 @@ func (ps *procState) finish(id int32) {
 	ex := ps.ex
 	k := int(ex.pr.ColOf[id])
 	idx := int(ex.pr.IdxOf[id])
+	t0 := ex.rec.Start()
 	if idx == 0 {
 		if err := ex.f.BFAC(k); err != nil {
 			ex.fail(err)
 			ps.failed = true
 			return
 		}
+		ex.rec.Record(ps.me, obs.OpBFAC, id, -1, t0)
 	} else {
 		if err := ex.f.BDIV(k, idx); err != nil {
 			ex.fail(err)
 			ps.failed = true
 			return
 		}
+		ex.rec.Record(ps.me, obs.OpBDIV, id, -1, t0)
 	}
 	ps.complete(id)
 }
@@ -333,12 +363,14 @@ func (ps *procState) execMod(k, a, b int) {
 	if a < b {
 		a, b = b, a
 	}
+	t0 := ex.rec.Start()
 	if err := ex.f.BMOD(k, a, b, &ps.ws); err != nil {
 		ex.fail(err)
 		ps.failed = true
 		return
 	}
 	dest := ex.pr.ModDestID(k, a, b)
+	ex.rec.Record(ps.me, obs.OpBMOD, dest, ex.pr.BlockID(k, a), t0)
 	ex.modsLeft[dest]--
 	if ex.modsLeft[dest] == 0 && !ex.done[dest] {
 		if ex.pr.IdxOf[dest] == 0 || ex.diagReady[dest] {

@@ -194,6 +194,11 @@ type Span struct {
 	Proc       int32
 	Start, End float64
 	Comm       bool // communication overhead rather than computation
+	// Block is the block id the interval worked on — the block being
+	// factored/divided/modified for compute spans, the block being sent or
+	// received for comm spans — or -1 when unattributed. Trace-event export
+	// (internal/obs) surfaces it as an event arg.
+	Block int32
 }
 
 // Paragon returns the Intel Paragon model of §3.1. The per-operation fixed
@@ -451,13 +456,13 @@ func (s *simulator) pickNext(p int32) pend {
 	return it
 }
 
-func (s *simulator) span(start float64, comm bool) {
+func (s *simulator) span(start float64, comm bool, block int32) {
 	if s.cfg.CollectTrace && s.now > start {
-		s.res.Spans = append(s.res.Spans, Span{Proc: s.me, Start: start, End: s.now, Comm: comm})
+		s.res.Spans = append(s.res.Spans, Span{Proc: s.me, Start: start, End: s.now, Comm: comm, Block: block})
 	}
 }
 
-func (s *simulator) charge(flops int64) {
+func (s *simulator) charge(flops int64, block int32) {
 	dt := float64(flops)/s.cfg.FlopRate + s.cfg.OpOverhead
 	if f := s.cfg.Faults; f != nil && f.Slowdown != nil {
 		dt *= f.Slowdown[s.me]
@@ -466,7 +471,7 @@ func (s *simulator) charge(flops int64) {
 	s.now += dt
 	s.res.CompTime[s.me] += dt
 	s.res.Flops[s.me] += flops
-	s.span(start, false)
+	s.span(start, false, block)
 }
 
 func (s *simulator) complete(id int32) {
@@ -481,7 +486,7 @@ func (s *simulator) complete(id int32) {
 		s.now += s.cfg.SendOverhead
 		s.res.Messages++
 		s.res.Bytes += s.pr.Bytes[id]
-		s.span(start, true)
+		s.span(start, true, id)
 		delay := s.cfg.Latency + s.cfg.hopDelay(s.me, c) + float64(s.pr.Bytes[id])/s.cfg.Bandwidth
 		if f := s.cfg.Faults; f != nil {
 			// Both coins are always flipped so the decision stream depends
@@ -501,7 +506,7 @@ func (s *simulator) complete(id int32) {
 }
 
 func (s *simulator) finish(id int32) {
-	s.charge(s.pr.OwnOpFlops[id])
+	s.charge(s.pr.OwnOpFlops[id], id)
 	s.complete(id)
 }
 
@@ -535,7 +540,7 @@ func (s *simulator) handle(id int32) {
 			continue
 		}
 		if other == id || s.arrivedAt[s.me][other] {
-			s.charge(pr.ModFlops(k, idx, j))
+			s.charge(pr.ModFlops(k, idx, j), dest)
 			s.modsLeft[dest]--
 			if s.modsLeft[dest] == 0 {
 				if pr.IdxOf[dest] == 0 || s.diagReady[dest] {
@@ -556,7 +561,7 @@ func (s *simulator) runOne(p int32, t float64) {
 		start := s.now
 		s.res.CommTime[s.me] += s.cfg.RecvOverhead
 		s.now += s.cfg.RecvOverhead
-		s.span(start, true)
+		s.span(start, true, it.id)
 	}
 	if it.seed {
 		if !s.done[it.id] {

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of Histogram: power-of-two
+// (log-spaced) microsecond buckets, bucket i covering [2^(i-1), 2^i) µs,
+// bucket 0 holding sub-microsecond observations. 41 buckets span 0 to
+// ~2^40 µs (≈12.7 days), far past any latency the service can produce.
+const HistBuckets = 41
+
+// Histogram is a fixed-bucket, log-spaced latency histogram built from
+// atomic counters: Observe is lock-free (one shift, three atomic ops) and
+// Snapshot never blocks writers. It replaces bare count/total/max
+// tracking so /metrics can report quantiles, not just a mean that hides
+// the tail.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sumµ   atomic.Int64
+	maxµ   atomic.Int64
+}
+
+// bucketOf maps a non-negative microsecond value to its bucket index:
+// the value's bit length, clamped to the last bucket.
+func bucketOf(µ int64) int {
+	b := bits.Len64(uint64(µ))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	µ := d.Microseconds()
+	if µ < 0 {
+		µ = 0
+	}
+	h.counts[bucketOf(µ)].Add(1)
+	h.sumµ.Add(µ)
+	for {
+		cur := h.maxµ.Load()
+		if µ <= cur || h.maxµ.CompareAndSwap(cur, µ) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is one read of a Histogram. The bucket counts are copied
+// first and Count is their sum, so every quantile is computed over one
+// self-consistent view; Sumµ and Maxµ are read afterwards and may include
+// a few samples the buckets do not (or vice versa), which is why Mean
+// clamps into [0, Maxµ] — under concurrent writers the derived statistics
+// are each internally sane, never mean > max.
+type HistSnapshot struct {
+	Counts [HistBuckets]int64
+	Count  int64
+	Sumµ   int64
+	Maxµ   int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sumµ = h.sumµ.Load()
+	s.Maxµ = h.maxµ.Load()
+	return s
+}
+
+// Mean returns the mean latency in microseconds, clamped to [0, Maxµ].
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	m := float64(s.Sumµ) / float64(s.Count)
+	if mx := float64(s.Maxµ); m > mx {
+		m = mx
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) in microseconds, linearly
+// interpolated inside the containing power-of-two bucket and clamped to
+// the observed maximum. Quantiles of an empty snapshot are 0.
+func (s *HistSnapshot) Quantile(p float64) float64 {
+	if s.Count <= 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, hi := bucketBounds(i)
+			frac := 0.5
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			v := lo + frac*(hi-lo)
+			if mx := float64(s.Maxµ); v > mx {
+				v = mx
+			}
+			return v
+		}
+		cum = next
+	}
+	return float64(s.Maxµ)
+}
+
+// bucketBounds returns bucket i's [lo, hi) microsecond range.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"blockfanout/internal/machine"
+)
+
+// decodeTrace parses a trace-event document and applies the schema checks
+// the acceptance criteria require: the file parses, and every event has a
+// phase, a timestamp, and pid/tid fields.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		if ph := ev["ph"].(string); ph != "X" && ph != "M" {
+			t.Fatalf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteMachineTrace(t *testing.T) {
+	res := &machine.Result{
+		Time:     1.0,
+		CompTime: []float64{0.5, 0.8},
+		CommTime: []float64{0.1, 0},
+		Spans: []machine.Span{
+			{Proc: 0, Start: 0, End: 0.5, Block: 3},
+			{Proc: 0, Start: 0.5, End: 0.6, Comm: true, Block: 3},
+			{Proc: 1, Start: 0.2, End: 1.0, Block: 7},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMachineTrace(&buf, res, "test run"); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	var xs, ms int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			xs++
+			if ev["args"].(map[string]any)["block"] == nil {
+				t.Fatalf("duration event lost its block arg: %v", ev)
+			}
+		case "M":
+			ms++
+		}
+	}
+	if xs != 3 {
+		t.Fatalf("want 3 duration events, got %d", xs)
+	}
+	if ms != 3 { // process_name + 2 thread_names
+		t.Fatalf("want 3 metadata events, got %d", ms)
+	}
+
+	var empty bytes.Buffer
+	if err := WriteMachineTrace(&empty, &machine.Result{CompTime: []float64{0}}, ""); err == nil {
+		t.Fatal("expected error for a span-less result")
+	}
+}
+
+func TestRecorderSpansAndEvents(t *testing.T) {
+	r := NewRecorder(2, 4)
+	if r.Enabled() {
+		t.Fatal("recorder must start disabled")
+	}
+	if t0 := r.Start(); t0 != 0 {
+		t.Fatalf("disabled Start = %d, want 0", t0)
+	}
+	r.Record(0, OpBFAC, 1, -1, 0) // disabled sentinel: must be dropped
+	if got := len(r.Spans()); got != 0 {
+		t.Fatalf("disabled recorder buffered %d spans", got)
+	}
+
+	r.Enable()
+	t0 := r.Start()
+	if t0 == 0 {
+		t.Fatal("enabled Start returned the disabled sentinel")
+	}
+	time.Sleep(time.Millisecond)
+	r.Record(0, OpBFAC, 5, -1, t0)
+	t1 := r.Start()
+	r.Record(1, OpBMOD, 9, 4, t1)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("want 2 spans, got %d", len(spans))
+	}
+	if spans[0].Op != OpBFAC || spans[0].Block != 5 || spans[0].Proc != 0 {
+		t.Fatalf("bad span %+v", spans[0])
+	}
+	if spans[0].End-spans[0].Start < int64(500*time.Microsecond) {
+		t.Fatalf("span did not cover the sleep: %+v", spans[0])
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev["name"].(string)] = true
+		if ev["ph"] == "X" && ev["name"] == "BMOD" {
+			args := ev["args"].(map[string]any)
+			if args["block"].(float64) != 9 || args["src"].(float64) != 4 {
+				t.Fatalf("BMOD args wrong: %v", args)
+			}
+		}
+	}
+	if !names["BFAC"] || !names["BMOD"] {
+		t.Fatalf("missing op events: %v", names)
+	}
+
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Fatal("Reset kept spans")
+	}
+}
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if r.Start() != 0 {
+		t.Fatal("nil recorder Start must return the disabled sentinel")
+	}
+	if r.Spans() != nil {
+		t.Fatal("nil recorder has spans")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	h.Observe(2 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	p50, p95, p99, p100 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), s.Quantile(1)
+	if !(p50 <= p95 && p95 <= p99 && p99 <= p100) {
+		t.Fatalf("quantiles not monotone: %g %g %g %g", p50, p95, p99, p100)
+	}
+	// p50 must land in the 100µs bucket [64,128), p95 in 10ms's [8192,16384).
+	if p50 < 64 || p50 >= 128 {
+		t.Fatalf("p50 = %gµs, want within [64,128)", p50)
+	}
+	if p95 < 8192 || p95 >= 16384 {
+		t.Fatalf("p95 = %gµs, want within [8192,16384)", p95)
+	}
+	if p100 != float64(s.Maxµ) {
+		t.Fatalf("p100 = %g, want max %d", p100, s.Maxµ)
+	}
+	if m := s.Mean(); m <= 0 || m > float64(s.Maxµ) {
+		t.Fatalf("mean %g out of (0, max]", m)
+	}
+	if got := s.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("NaN quantile = %g", got)
+	}
+
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot must report zeros")
+	}
+}
+
+// TestHistogramSnapshotCoherent is the race-enabled regression test for the
+// mean > max /metrics bug: under concurrent observers, every snapshot's
+// derived statistics must stay internally consistent (mean ≤ max, monotone
+// quantiles, quantiles ≤ max).
+func TestHistogramSnapshotCoherent(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(1+w*997) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(d)
+					d += 13 * time.Microsecond
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if m := s.Mean(); m > float64(s.Maxµ) {
+			t.Fatalf("iteration %d: mean %g > max %d", i, m, s.Maxµ)
+		}
+		p50, p99 := s.Quantile(0.5), s.Quantile(0.99)
+		if p50 > p99 || p99 > float64(s.Maxµ) {
+			t.Fatalf("iteration %d: incoherent quantiles p50=%g p99=%g max=%d", i, p50, p99, s.Maxµ)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

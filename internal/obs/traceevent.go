@@ -1,0 +1,100 @@
+// Package obs is the unified observability layer: one instrumentation
+// vocabulary shared by the discrete-event multicomputer simulator
+// (machine.Result timelines), the real parallel executor (a low-overhead
+// span recorder inside fanout.Executor), and the serving path (lock-free
+// latency histograms behind /metrics).
+//
+// Timelines from both worlds export to the Chrome trace-event JSON format
+// (the "Trace Event Format" consumed by about:tracing and Perfetto), so a
+// simulated Paragon run and a real goroutine-processor run are inspected
+// with the same tooling: one process per run, one thread per (virtual)
+// processor, one complete ("X") event per block operation or message
+// overhead interval, block ids carried in args.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"blockfanout/internal/machine"
+)
+
+// Event is one record of the Chrome trace-event format. Only the fields
+// the viewers require are modeled: every duration event carries ph, ts,
+// pid and tid; metadata events (ph "M") name processes and threads.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object flavor of the format ({"traceEvents": [...]}),
+// which viewers prefer over the bare-array flavor because it tolerates
+// trailing metadata.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// WriteEvents writes events as a complete trace-event JSON document.
+func WriteEvents(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// meta builds a ph "M" metadata event (process_name / thread_name).
+func meta(name string, pid, tid int64, value string) Event {
+	return Event{Name: name, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": value}}
+}
+
+// MachineEvents converts a simulated timeline (machine.Result.Spans,
+// collected under Config.CollectTrace) into trace events: one thread per
+// simulated processor, compute spans in the "compute" category, message
+// overhead spans in "comm", block ids in args when the simulator recorded
+// them. Simulated seconds become trace microseconds.
+func MachineEvents(res *machine.Result, processName string) []Event {
+	if processName == "" {
+		processName = "machine simulation"
+	}
+	np := len(res.CompTime)
+	events := make([]Event, 0, len(res.Spans)+np+1)
+	events = append(events, meta("process_name", 0, 0, processName))
+	for p := 0; p < np; p++ {
+		events = append(events, meta("thread_name", 0, int64(p), fmt.Sprintf("P%d", p)))
+	}
+	for _, s := range res.Spans {
+		name, cat := "compute", "compute"
+		if s.Comm {
+			name, cat = "message", "comm"
+		}
+		ev := Event{
+			Name: name,
+			Ph:   "X",
+			Cat:  cat,
+			Ts:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			Pid:  0,
+			Tid:  int64(s.Proc),
+		}
+		if s.Block >= 0 {
+			ev.Args = map[string]any{"block": s.Block}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteMachineTrace renders a simulated run as a complete trace-event JSON
+// document, loadable in about:tracing or Perfetto.
+func WriteMachineTrace(w io.Writer, res *machine.Result, processName string) error {
+	if len(res.Spans) == 0 {
+		return fmt.Errorf("obs: no spans recorded (set machine.Config.CollectTrace)")
+	}
+	return WriteEvents(w, MachineEvents(res, processName))
+}

@@ -111,7 +111,7 @@ func (bt *batcher) run(batch []pendingSolve) {
 	}
 	xs, err := bt.fe.f.SolveMany(bs)
 	bt.fe.mu.RUnlock()
-	s.met.solveLat.observe(time.Since(start))
+	s.met.solveLat.Observe(time.Since(start))
 	if err != nil {
 		for _, req := range batch {
 			req.res <- solveOutcome{err: err}

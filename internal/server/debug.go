@@ -1,0 +1,24 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the opt-in debug mux: the full net/http/pprof
+// surface (CPU/heap/goroutine/block profiles, execution traces) plus this
+// server's /metrics document, so one scrape target has both. It is
+// deliberately not part of Handler(): profiling endpoints can stall the
+// process (CPU profiles run for seconds) and leak implementation detail,
+// so cmd/spchol-serve only serves them on a separate, explicitly
+// requested listener (-debug-addr), typically bound to localhost.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}

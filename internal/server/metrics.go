@@ -2,43 +2,38 @@ package server
 
 import (
 	"sync/atomic"
-	"time"
+
+	"blockfanout/internal/obs"
 )
 
-// latencyTrack accumulates a latency distribution's cheap sufficient
-// statistics (count, total, max) without locks; /metrics derives the mean.
-type latencyTrack struct {
-	count  atomic.Int64
-	totalµ atomic.Int64
-	maxµ   atomic.Int64
-}
-
-func (l *latencyTrack) observe(d time.Duration) {
-	µ := d.Microseconds()
-	l.count.Add(1)
-	l.totalµ.Add(µ)
-	for {
-		cur := l.maxµ.Load()
-		if µ <= cur || l.maxµ.CompareAndSwap(cur, µ) {
-			return
-		}
-	}
-}
-
-// latencyJSON is the /metrics rendering of one tracked operation.
+// latencyJSON is the /metrics rendering of one tracked operation's latency
+// histogram: count, mean, max, and the tail quantiles the old
+// count/total/max tracker could not report.
 type latencyJSON struct {
 	Count  int64   `json:"count"`
 	MeanMs float64 `json:"mean_ms"`
 	MaxMs  float64 `json:"max_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
 }
 
-func (l *latencyTrack) snapshot() latencyJSON {
-	n := l.count.Load()
-	out := latencyJSON{Count: n, MaxMs: float64(l.maxµ.Load()) / 1e3}
-	if n > 0 {
-		out.MeanMs = float64(l.totalµ.Load()) / float64(n) / 1e3
+// latencySnapshot renders one histogram. All statistics derive from a
+// single obs.HistSnapshot, whose bucket counts are copied before the
+// sum/max reads and whose mean is clamped to the observed max — under
+// concurrent observers the document can lag a few samples but can never
+// report mean > max (the incoherent-read bug the old three-independent-
+// atomics tracker had).
+func latencySnapshot(h *obs.Histogram) latencyJSON {
+	s := h.Snapshot()
+	return latencyJSON{
+		Count:  s.Count,
+		MeanMs: s.Mean() / 1e3,
+		MaxMs:  float64(s.Maxµ) / 1e3,
+		P50Ms:  s.Quantile(0.50) / 1e3,
+		P95Ms:  s.Quantile(0.95) / 1e3,
+		P99Ms:  s.Quantile(0.99) / 1e3,
 	}
-	return out
 }
 
 // metrics is the server's expvar-style counter set.
@@ -63,7 +58,7 @@ type metrics struct {
 	batches   atomic.Int64 // coalesced SolveMany calls issued by the batcher
 	batched   atomic.Int64 // right-hand sides that travelled in those batches
 
-	factorLat   latencyTrack
-	refactorLat latencyTrack
-	solveLat    latencyTrack
+	factorLat   obs.Histogram
+	refactorLat obs.Histogram
+	solveLat    obs.Histogram
 }

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLatencySnapshotCoherent is the regression test for the /metrics
+// mean > max bug: the old tracker read count, total, and max as three
+// independent atomics, so a concurrent observe could produce a document
+// whose mean exceeded its max. Run under -race in the service race step.
+func TestLatencySnapshotCoherent(t *testing.T) {
+	var m metrics
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			d := time.Duration(1+997*w) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					m.solveLat.Observe(d)
+					d += 29 * time.Microsecond
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 300; i++ {
+		snap := latencySnapshot(&m.solveLat)
+		if snap.Count == 0 {
+			continue
+		}
+		if snap.MeanMs > snap.MaxMs {
+			t.Fatalf("iteration %d: mean %.6fms > max %.6fms", i, snap.MeanMs, snap.MaxMs)
+		}
+		if snap.P50Ms > snap.P95Ms || snap.P95Ms > snap.P99Ms || snap.P99Ms > snap.MaxMs {
+			t.Fatalf("iteration %d: quantiles not monotone: %+v", i, snap)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMetricsLatencyHistogram drives real factor/solve traffic and checks
+// the /metrics document carries the histogram fields.
+func TestMetricsLatencyHistogram(t *testing.T) {
+	s := New(Config{Procs: 2, Workers: 2, BatchWindow: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := postTestMatrix(t, ts)
+	for i := 0; i < 3; i++ {
+		postSolve(t, ts, id)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Latency struct {
+			Factor latencyJSON `json:"factor"`
+			Solve  latencyJSON `json:"solve"`
+		} `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	f, sv := doc.Latency.Factor, doc.Latency.Solve
+	if f.Count != 1 || sv.Count != 3 {
+		t.Fatalf("counts: factor %d solve %d", f.Count, sv.Count)
+	}
+	for name, l := range map[string]latencyJSON{"factor": f, "solve": sv} {
+		if l.P50Ms <= 0 || l.P95Ms < l.P50Ms || l.P99Ms < l.P95Ms {
+			t.Fatalf("%s latency quantiles malformed: %+v", name, l)
+		}
+		if l.MeanMs > l.MaxMs {
+			t.Fatalf("%s latency mean %.6f > max %.6f", name, l.MeanMs, l.MaxMs)
+		}
+	}
+}
+
+// TestDebugHandlerPprof checks the opt-in debug mux serves the pprof index
+// and profiles, and that the main handler does NOT (profiling stays off
+// the production surface unless explicitly mounted).
+func TestDebugHandlerPprof(t *testing.T) {
+	s := New(Config{Procs: 1, Workers: 1})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/metrics"} {
+		resp, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s on debug mux: %d", path, resp.StatusCode)
+		}
+	}
+
+	main := httptest.NewServer(s.Handler())
+	defer main.Close()
+	resp, err := http.Get(main.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("production handler must not expose pprof")
+	}
+}
+
+// postTestMatrix posts a small SPD MatrixMarket matrix and returns its id.
+func postTestMatrix(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	mm := `%%MatrixMarket matrix coordinate real symmetric
+3 3 5
+1 1 4.0
+2 2 4.0
+3 3 4.0
+2 1 1.0
+3 2 1.0
+`
+	resp, err := http.Post(ts.URL+"/v1/factor", "text/matrix-market", strings.NewReader(mm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("factor: %d", resp.StatusCode)
+	}
+	var fr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr.ID
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, id string) {
+	t.Helper()
+	body := `{"id":"` + id + `","b":[1,2,3]}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d", resp.StatusCode)
+	}
+}

@@ -510,7 +510,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 			s.markReady(fe)
 			fe.mu.Unlock()
 			s.met.factors.Add(1)
-			s.met.factorLat.observe(time.Since(start))
+			s.met.factorLat.Observe(time.Since(start))
 			break
 		}
 		// Live factor for this pattern: numeric-only refactorization. The
@@ -563,7 +563,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 		fe.mu.Unlock()
 		refactored = true
 		s.met.refactors.Add(1)
-		s.met.refactorLat.observe(time.Since(start))
+		s.met.refactorLat.Observe(time.Since(start))
 		break
 	}
 
@@ -781,7 +781,7 @@ func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, bs [][]float6
 		xs, serr = fe.f.SolveMany(bs)
 		return serr
 	})
-	s.met.solveLat.observe(time.Since(start))
+	s.met.solveLat.Observe(time.Since(start))
 	if err != nil {
 		return solveOutcome{err: err}
 	}
@@ -864,9 +864,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	doc.Latency.Factor = s.met.factorLat.snapshot()
-	doc.Latency.Refactor = s.met.refactorLat.snapshot()
-	doc.Latency.Solve = s.met.solveLat.snapshot()
+	doc.Latency.Factor = latencySnapshot(&s.met.factorLat)
+	doc.Latency.Refactor = latencySnapshot(&s.met.refactorLat)
+	doc.Latency.Solve = latencySnapshot(&s.met.solveLat)
 	writeJSON(w, http.StatusOK, doc)
 }
 

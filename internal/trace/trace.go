@@ -36,16 +36,33 @@ func Gantt(w io.Writer, res *machine.Result, width int) error {
 		comm[p] = make([]float64, width)
 	}
 	bucket := res.Time / float64(width)
-	for _, s := range res.Spans {
+	for i, s := range res.Spans {
+		if int(s.Proc) < 0 || int(s.Proc) >= np {
+			return fmt.Errorf("trace: span %d has processor %d outside [0,%d)", i, s.Proc, np)
+		}
+		if s.End < s.Start {
+			return fmt.Errorf("trace: span %d runs backwards (%g..%g)", i, s.Start, s.End)
+		}
 		dst := comp[s.Proc]
 		if s.Comm {
 			dst = comm[s.Proc]
 		}
-		// Spread the span over the buckets it overlaps.
+		// Spread the span over the buckets it overlaps. Both indices are
+		// clamped: a span touching t == res.Time would otherwise compute
+		// b0 == width and index past the row.
 		b0 := int(s.Start / bucket)
 		b1 := int(s.End / bucket)
+		if b0 < 0 {
+			b0 = 0
+		}
+		if b0 >= width {
+			b0 = width - 1
+		}
 		if b1 >= width {
 			b1 = width - 1
+		}
+		if b1 < b0 {
+			b1 = b0
 		}
 		for b := b0; b <= b1; b++ {
 			lo := float64(b) * bucket
@@ -81,8 +98,16 @@ func Gantt(w io.Writer, res *machine.Result, width int) error {
 }
 
 // Utilization writes a histogram of per-processor busy fractions and the
-// machine-wide compute/communicate/idle breakdown.
-func Utilization(w io.Writer, res *machine.Result) {
+// machine-wide compute/communicate/idle breakdown. Like Gantt, it rejects
+// an empty result: dividing by a zero makespan would render every busy
+// fraction as NaN.
+func Utilization(w io.Writer, res *machine.Result) error {
+	if res.Time <= 0 {
+		return fmt.Errorf("trace: empty result")
+	}
+	if len(res.CompTime) == 0 {
+		return fmt.Errorf("trace: result has no processors")
+	}
 	comp, comm, idle := res.Breakdown()
 	fmt.Fprintf(w, "machine-wide: compute %.0f%%  comm %.0f%%  idle %.0f%%\n",
 		comp*100, comm*100, idle*100)
@@ -100,4 +125,5 @@ func Utilization(w io.Writer, res *machine.Result) {
 	}
 	fmt.Fprintf(w, "per-proc busy fraction: min %.0f%%  p25 %.0f%%  median %.0f%%  p75 %.0f%%  max %.0f%%\n",
 		q(0)*100, q(0.25)*100, q(0.5)*100, q(0.75)*100, q(1)*100)
+	return nil
 }

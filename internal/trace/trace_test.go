@@ -94,9 +94,86 @@ func TestSpanAccountingMatchesTotals(t *testing.T) {
 func TestUtilization(t *testing.T) {
 	res := simResult(t, true)
 	var sb strings.Builder
-	Utilization(&sb, res)
+	if err := Utilization(&sb, res); err != nil {
+		t.Fatal(err)
+	}
 	out := sb.String()
 	if !strings.Contains(out, "idle") || !strings.Contains(out, "median") {
 		t.Fatalf("unexpected output %q", out)
+	}
+}
+
+// goldenResult is a hand-built two-processor timeline with exactly known
+// spans: P0 computes [0,0.5) then communicates [0.5,0.6); P1 computes
+// [0.2,1.0). The trailing zero-length span starting exactly at res.Time
+// exercises the b0 == width boundary that used to index past the row.
+func goldenResult() *machine.Result {
+	return &machine.Result{
+		Time:     1.0,
+		CompTime: []float64{0.5, 0.8},
+		CommTime: []float64{0.1, 0.0},
+		Spans: []machine.Span{
+			{Proc: 0, Start: 0.0, End: 0.5, Block: 3},
+			{Proc: 0, Start: 0.5, End: 0.6, Comm: true, Block: 3},
+			{Proc: 1, Start: 0.2, End: 1.0, Block: 7},
+			{Proc: 1, Start: 1.0, End: 1.0, Block: 8},
+		},
+	}
+}
+
+func TestGanttGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := Gantt(&sb, goldenResult(), 10); err != nil {
+		t.Fatal(err)
+	}
+	want := "timeline 0 .. 1.0000s  ('#' compute, '~' comm, '.' idle)\n" +
+		"P0    |#####~....| busy   60%\n" +
+		"P1    |..########| busy   80%\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestUtilizationGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := Utilization(&sb, goldenResult()); err != nil {
+		t.Fatal(err)
+	}
+	want := "machine-wide: compute 65%  comm 5%  idle 30%\n" +
+		"per-proc busy fraction: min 60%  p25 60%  median 60%  p75 60%  max 80%\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestUtilizationEmptyResult pins the NaN bugfix: a zero-time result must
+// produce an error, not busy fractions of NaN%.
+func TestUtilizationEmptyResult(t *testing.T) {
+	var sb strings.Builder
+	if err := Utilization(&sb, &machine.Result{CompTime: make([]float64, 2)}); err == nil {
+		t.Fatalf("expected error for zero-time result, got output %q", sb.String())
+	}
+	if err := Utilization(&sb, &machine.Result{Time: 1}); err == nil {
+		t.Fatal("expected error for processor-less result")
+	}
+}
+
+func TestGanttRejectsMalformedSpans(t *testing.T) {
+	base := goldenResult()
+	backwards := *base
+	backwards.Spans = []machine.Span{{Proc: 0, Start: 0.6, End: 0.5}}
+	var sb strings.Builder
+	if err := Gantt(&sb, &backwards, 10); err == nil {
+		t.Fatal("expected error for a Start > End span")
+	}
+	badProc := *base
+	badProc.Spans = []machine.Span{{Proc: 9, Start: 0.1, End: 0.2}}
+	if err := Gantt(&sb, &badProc, 10); err == nil {
+		t.Fatal("expected error for an out-of-range processor")
+	}
+	negStart := *base
+	negStart.Spans = []machine.Span{{Proc: 0, Start: -0.3, End: 0.1}}
+	if err := Gantt(&sb, &negStart, 10); err != nil {
+		t.Fatalf("negative-start span should clamp, not fail: %v", err)
 	}
 }
