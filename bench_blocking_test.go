@@ -1,0 +1,123 @@
+package blockfanout
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/experiments"
+	"blockfanout/internal/fanout"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	"blockfanout/internal/sched"
+)
+
+// blockingDelta is one row of bench-blocking.json, the CI artifact
+// comparing the irregular blocking against uniform at equal processor
+// count.
+type blockingDelta struct {
+	Problem      string  `json:"problem"`
+	Procs        int     `json:"procs"`
+	UniformSec   float64 `json:"uniform_seconds"`
+	IrregularSec float64 `json:"irregular_seconds"`
+	// Ratio is irregular/uniform wall time: <1 means the irregular
+	// blocking is faster end-to-end.
+	Ratio float64 `json:"ratio"`
+}
+
+// TestBlockingRegressionGate is the CI gate for the structure-aware
+// irregular blocking: on the BCSSTK31-class generator it measures
+// end-to-end factorization wall time under the work-stealing executor with
+// uniform and irregular partitions at 8 and 16 processors, writes the
+// deltas to bench-blocking.json (uploaded as a CI artifact), and fails if
+// irregular regresses by more than 5%. Timing runs are meaningless on a
+// loaded machine, so the gate is opt-in:
+//
+//	BENCH_BLOCKING_CHECK=1 go test -run BlockingRegressionGate -count=1 .
+//
+// Measurement is interleaved best-of: alternating short measurements of the
+// two variants with per-variant minima cancels slow clock/load drift that
+// back-to-back blocks cannot.
+func TestBlockingRegressionGate(t *testing.T) {
+	if os.Getenv("BENCH_BLOCKING_CHECK") == "" {
+		t.Skip("set BENCH_BLOCKING_CHECK=1 to run the blocking regression gate")
+	}
+	const problem = "BCSSTK31"
+	p, ok := gen.ByName(gen.Table1Suite(gen.ScaleCI), problem)
+	if !ok {
+		t.Fatal("suite problem missing: " + problem)
+	}
+	uni, err := experiments.PlanForBlocking(p, gen.ScaleCI, 16, blocks.StrategyUniform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irr, err := experiments.PlanForBlocking(p, gen.ScaleCI, 16, blocks.StrategyIrregular, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	makeCycle := func(pr *sched.Program, f *numeric.Factor, vals []float64) func() float64 {
+		ex := fanout.NewExecutor(f, pr)
+		return func() float64 {
+			if err := f.Reload(vals); err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			if _, err := ex.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return time.Since(start).Seconds()
+		}
+	}
+
+	var deltas []blockingDelta
+	for _, g := range []mapping.Grid{{Pr: 2, Pc: 4}, {Pr: 4, Pc: 4}} {
+		uniF, err := numeric.New(uni.BS, uni.PA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irrF, err := numeric.New(irr.BS, irr.PA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners := []func() float64{
+			makeCycle(sched.Build(uni.BS, uni.Assign(uni.Map(g, mapping.ID, mapping.CY), 2)), uniF, uni.PA.Val),
+			makeCycle(sched.Build(irr.BS, irr.Assign(irr.Map(g, mapping.ID, mapping.CY), 2)), irrF, irr.PA.Val),
+		}
+
+		best := []float64{0, 0}
+		const rounds = 12
+		for round := 0; round < rounds; round++ {
+			for i, run := range runners {
+				sec := run()
+				if best[i] == 0 || sec < best[i] {
+					best[i] = sec
+				}
+			}
+		}
+		deltas = append(deltas, blockingDelta{
+			Problem:      problem,
+			Procs:        g.P(),
+			UniformSec:   best[0],
+			IrregularSec: best[1],
+			Ratio:        best[1] / best[0],
+		})
+	}
+
+	data, err := json.MarshalIndent(deltas, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("bench-blocking.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deltas {
+		t.Logf("P=%d: uniform %.4fs, irregular %.4fs, ratio %.3f", d.Procs, d.UniformSec, d.IrregularSec, d.Ratio)
+		if d.Ratio > 1.05 {
+			t.Fatalf("irregular blocking regresses %.1f%% vs uniform at P=%d (budget 5%%)", (d.Ratio-1)*100, d.Procs)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"blockfanout/internal/blocks"
 	"blockfanout/internal/bundle"
 	"blockfanout/internal/commvol"
 	"blockfanout/internal/core"
@@ -80,7 +81,9 @@ func run() error {
 		denseN    = flag.Int("dense", 0, "generate a dense N×N problem")
 		file      = flag.String("file", "", "read a Matrix Market file")
 		action    = flag.String("action", "stats", "stats | balance | simulate | trace | factor | dot")
-		blockSize = flag.Int("block", core.DefaultBlockSize, "block size B")
+		blockSize = flag.Int("block", core.DefaultBlockSize, "block size B (panel-width cap for -blocking irregular)")
+		blocking  = flag.String("blocking", "uniform", "partitioning strategy: uniform | staged | cycled | irregular")
+		amalg     = flag.Float64("amalg", 0, "relative-fill amalgamation threshold for -blocking irregular (0 = default)")
 		ordering  = flag.String("order", "auto", "ordering: auto | natural | mmd | amd | ndgraph | hybrid | rcm")
 		procs     = flag.Int("procs", 16, "number of processors")
 		rowH      = flag.String("row", "ID", "row mapping heuristic: CY DW IN DN ID")
@@ -198,6 +201,11 @@ func run() error {
 		return fmt.Errorf("unknown ordering %q", *ordering)
 	}
 
+	strat, err := blocks.ParseStrategy(*blocking)
+	if err != nil {
+		return err
+	}
+
 	rh, err := mapping.ParseHeuristic(*rowH)
 	if err != nil {
 		return err
@@ -210,6 +218,7 @@ func run() error {
 	t0 := time.Now()
 	plan, err := core.NewPlan(m, core.Options{
 		Ordering: method, GridDim: gridDim, BlockSize: *blockSize,
+		Blocking: strat, AmalgThreshold: *amalg,
 	})
 	if err != nil {
 		return err
@@ -223,8 +232,8 @@ func run() error {
 	fmt.Fprintf(banner, "%s: n=%d nnz(A)=%d → nnz(L)=%d ops=%.1fM  [analyze %v]\n",
 		name, m.N, m.NNZ(), plan.Exact.NZinL, float64(plan.Exact.Flops)/1e6,
 		time.Since(t0).Round(time.Millisecond))
-	fmt.Fprintf(banner, "ordering=%v B=%d supernodes=%d panels=%d\n",
-		method, *blockSize, len(plan.Sym.Snodes), plan.BS.N())
+	fmt.Fprintf(banner, "ordering=%v B=%d blocking=%v supernodes=%d panels=%d\n",
+		method, *blockSize, strat, len(plan.Sym.Snodes), plan.BS.N())
 
 	if *action == "dot" {
 		return dot.SupernodeForest(os.Stdout, plan.Sym)

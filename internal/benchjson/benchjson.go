@@ -9,9 +9,13 @@ package benchjson
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"os"
 	"time"
 
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/core"
 	"blockfanout/internal/experiments"
 	"blockfanout/internal/fanout"
 	"blockfanout/internal/gen"
@@ -33,10 +37,15 @@ type KernelRow struct {
 
 // FanoutRow is one end-to-end parallel factorization measurement.
 type FanoutRow struct {
-	Problem string  `json:"problem"`
-	Procs   int     `json:"procs"`
-	Seconds float64 `json:"seconds"`
-	GFlops  float64 `json:"gflops"`
+	Problem string `json:"problem"`
+	Procs   int    `json:"procs"`
+	// Exec is the parallel engine: "spmd" (the paper's one-goroutine-per-
+	// virtual-processor loop) or "steal" (the work-stealing executor).
+	Exec string `json:"exec"`
+	// Blocking is the partitioning strategy the plan was built with.
+	Blocking string  `json:"blocking"`
+	Seconds  float64 `json:"seconds"`
+	GFlops   float64 `json:"gflops"`
 }
 
 // Report is the full BENCH_kernels.json document.
@@ -182,42 +191,101 @@ func collectKernels(minTime time.Duration) []KernelRow {
 	return rows
 }
 
+// verifyAgainstSequential factors the plan once with the given engine and
+// checks every stored entry against the sequential reference to 1e-12
+// relative — the refactorization acceptance tolerance. The benchmark rows
+// only mean something if the measured runs compute the right factor.
+func verifyAgainstSequential(plan *core.Plan, pr *sched.Program, mode fanout.Mode) error {
+	seq, err := numeric.New(plan.BS, plan.PA)
+	if err != nil {
+		return err
+	}
+	if err := seq.FactorSequential(); err != nil {
+		return err
+	}
+	par, err := numeric.New(plan.BS, plan.PA)
+	if err != nil {
+		return err
+	}
+	if _, err := fanout.NewExecutorMode(par, pr, mode).Run(); err != nil {
+		return err
+	}
+	for j := range seq.Data {
+		for bi := range seq.Data[j] {
+			for k, v := range seq.Data[j][bi] {
+				if w := par.Data[j][bi][k]; math.Abs(v-w) > 1e-12*(1+math.Abs(v)) {
+					return fmt.Errorf("benchjson: parallel factor diverges from reference at column %d block %d entry %d: %g vs %g", j, bi, k, w, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FanoutVariants are the engine × blocking configurations the end-to-end
+// rows cover: the paper's baseline (uniform panels, SPMD loop), the
+// work-stealing executor on the same blocks, and the structure-aware
+// irregular blocking it was built for.
+var FanoutVariants = []struct {
+	Exec     string
+	Mode     fanout.Mode
+	Blocking blocks.Strategy
+	Amalg    float64
+}{
+	{Exec: "spmd", Mode: fanout.ModeSPMD, Blocking: blocks.StrategyUniform},
+	{Exec: "steal", Mode: fanout.ModeWorkStealing, Blocking: blocks.StrategyUniform},
+	{Exec: "steal", Mode: fanout.ModeWorkStealing, Blocking: blocks.StrategyIrregular, Amalg: 0.125},
+}
+
 // collectFanout times complete parallel factorizations of the CI-scale
-// BCSSTK31 stand-in across processor grids.
+// BCSSTK31 stand-in across processor grids for every executor × blocking
+// variant, verifying each variant's factor against the sequential
+// reference before timing it.
 func collectFanout(minRuns int) ([]FanoutRow, error) {
 	const problem = "BCSSTK31"
 	p, ok := gen.ByName(gen.Table1Suite(gen.ScaleCI), problem)
 	if !ok {
 		panic("suite problem missing: " + problem)
 	}
-	plan, err := experiments.PlanFor(p, gen.ScaleCI, 16)
-	if err != nil {
-		return nil, err
-	}
 	var rows []FanoutRow
-	for _, g := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 2}, {Pr: 4, Pc: 4}} {
-		pr := sched.Build(plan.BS, plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2))
-		best := 0.0
-		for run := 0; run < minRuns; run++ {
+	for _, v := range FanoutVariants {
+		plan, err := experiments.PlanForBlocking(p, gen.ScaleCI, 16, v.Blocking, v.Amalg)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range []mapping.Grid{{Pr: 1, Pc: 1}, {Pr: 2, Pc: 2}, {Pr: 2, Pc: 4}, {Pr: 4, Pc: 4}} {
+			pr := sched.Build(plan.BS, plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2))
+			if err := verifyAgainstSequential(plan, pr, v.Mode); err != nil {
+				return nil, err
+			}
 			f, err := numeric.New(plan.BS, plan.PA)
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
-			if _, err := fanout.Run(f, pr); err != nil {
-				return nil, err
+			ex := fanout.NewExecutorMode(f, pr, v.Mode)
+			best := 0.0
+			for run := 0; run < minRuns; run++ {
+				if err := f.Reload(plan.PA.Val); err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if _, err := ex.Run(); err != nil {
+					return nil, err
+				}
+				sec := time.Since(start).Seconds()
+				if best == 0 || sec < best {
+					best = sec
+				}
 			}
-			sec := time.Since(start).Seconds()
-			if best == 0 || sec < best {
-				best = sec
-			}
+			rows = append(rows, FanoutRow{
+				Problem:  problem,
+				Procs:    g.P(),
+				Exec:     v.Exec,
+				Blocking: v.Blocking.String(),
+				Seconds:  best,
+				GFlops:   float64(plan.BS.TotalFlops) / best / 1e9,
+			})
 		}
-		rows = append(rows, FanoutRow{
-			Problem: problem,
-			Procs:   g.P(),
-			Seconds: best,
-			GFlops:  float64(plan.BS.TotalFlops) / best / 1e9,
-		})
 	}
 	return rows, nil
 }

@@ -1,0 +1,191 @@
+package blocks
+
+import (
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sparse"
+	"blockfanout/internal/symbolic"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"uniform": StrategyUniform, "": StrategyUniform, " Uniform ": StrategyUniform,
+		"staged": StrategyStaged, "cycled": StrategyCycled,
+		"irregular": StrategyIrregular, "IRREGULAR": StrategyIrregular,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy(bogus) succeeded, want error")
+	}
+	for _, s := range []Strategy{StrategyUniform, StrategyStaged, StrategyCycled, StrategyIrregular} {
+		rt, err := ParseStrategy(s.String())
+		if err != nil || rt != s {
+			t.Errorf("round-trip of %v failed: %v, %v", s, rt, err)
+		}
+	}
+}
+
+// irregularProblems is the random-generator suite the property tests sweep.
+func irregularProblems() []*sparse.Matrix {
+	return []*sparse.Matrix{
+		gen.IrregularMesh(300, 5, 3, 7),
+		gen.IrregularMesh(450, 6, 2, 23),
+		gen.IrregularMesh(200, 4, 3, 101),
+		gen.Grid2D(15),
+		gen.Cube3D(6),
+		gen.Dense(40),
+	}
+}
+
+// TestIrregularPartitionProperties checks, over random generators and
+// several configs, that every column lands in exactly one panel, that no
+// panel spans an amalgamated-supernode boundary, and that panel widths
+// respect the cap.
+func TestIrregularPartitionProperties(t *testing.T) {
+	configs := []IrregularConfig{
+		{},                           // defaults: MaxPanel 48, Quantum 8, root rule off
+		{MaxPanel: 16, Quantum: 8},   // CI-scale cap
+		{MaxPanel: 7, Quantum: 4},    // cap not a quantum multiple
+		{MaxPanel: 3, Quantum: 8},    // quantum larger than cap
+		{MaxPanel: 24, RootDepth: 2}, // root rule enabled
+		{MaxPanel: 1, Quantum: 1},    // every panel a single column
+	}
+	for mi, m := range irregularProblems() {
+		for _, frac := range []float64{0.05, 0.125, 0.4} {
+			st, _ := analyzed(t, m, order.MinDegree, 0, symbolic.RelativeAmalgamation(frac))
+			for ci, cfg := range configs {
+				part, err := NewPartitionIrregular(st, cfg)
+				if err != nil {
+					t.Fatalf("matrix %d cfg %d: %v", mi, ci, err)
+				}
+				maxW := cfg.withDefaults().MaxPanel
+				checkPartition(t, st, part, maxW)
+				// Every column in exactly one panel: Start is strictly
+				// increasing and covers [0, N) (checkPartition verifies
+				// cover + PanelOf consistency; verify monotonicity here).
+				for p := 0; p < part.N(); p++ {
+					if part.Start[p+1] <= part.Start[p] {
+						t.Fatalf("matrix %d cfg %d: empty panel %d", mi, ci, p)
+					}
+				}
+				// A supernode at or under the cap must stay a single panel.
+				panelsOf := make(map[int]int)
+				for p := 0; p < part.N(); p++ {
+					panelsOf[part.SnodeOf[p]]++
+				}
+				for s, sn := range st.Snodes {
+					if sn.Width <= maxW && panelsOf[s] != 1 {
+						t.Fatalf("matrix %d cfg %d: supernode %d (width %d ≤ %d) split into %d panels",
+							mi, ci, s, sn.Width, maxW, panelsOf[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIrregularBuildInvariants builds the block structure over irregular
+// partitions and checks Build's invariants plus conservation of the work
+// model: the blocked flop formulas tile each supernode trapezoid exactly,
+// so TotalFlops depends only on the (amalgamated) structure — it must agree
+// exactly with a uniform partition of the same structure — while the
+// WorkI/WorkJ aggregates must sum to TotalWork on both.
+func TestIrregularBuildInvariants(t *testing.T) {
+	for mi, m := range irregularProblems() {
+		st, _ := analyzed(t, m, order.MinDegree, 0, symbolic.RelativeAmalgamation(0.125))
+		part, err := NewPartitionIrregular(st, IrregularConfig{MaxPanel: 16, Quantum: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs, err := Build(st, part)
+		if err != nil {
+			t.Fatalf("matrix %d: Build failed: %v", mi, err)
+		}
+		uni, err := Build(st, NewPartition(st, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Work model identity and WorkI/WorkJ totals.
+		checkWorkTotals(t, bs)
+		checkWorkTotals(t, uni)
+
+		if bs.TotalFlops != uni.TotalFlops {
+			t.Fatalf("matrix %d: irregular flops %d != uniform flops %d on the same structure",
+				mi, bs.TotalFlops, uni.TotalFlops)
+		}
+	}
+}
+
+// checkWorkTotals asserts Build's tallies are internally consistent and the
+// WorkI/WorkJ aggregates both sum to TotalWork.
+func checkWorkTotals(t *testing.T, bs *Structure) {
+	t.Helper()
+	var work, flops, ops int64
+	for j := range bs.Cols {
+		if bs.Cols[j].Blocks[0].I != j {
+			t.Fatalf("column %d: diagonal block missing", j)
+		}
+		for bi := range bs.Cols[j].Blocks {
+			b := &bs.Cols[j].Blocks[bi]
+			if bi > 0 && b.I <= bs.Cols[j].Blocks[bi-1].I {
+				t.Fatalf("column %d: block rows not increasing", j)
+			}
+			work += b.Work
+			flops += b.Flops
+			ops += int64(b.NOps)
+		}
+	}
+	if work != bs.TotalWork || flops != bs.TotalFlops || ops != bs.TotalOps {
+		t.Fatalf("totals inconsistent: %d/%d %d/%d %d/%d",
+			work, bs.TotalWork, flops, bs.TotalFlops, ops, bs.TotalOps)
+	}
+	if work != flops+FixedOpCost*ops {
+		t.Fatalf("work identity violated: %d != %d + 1000·%d", work, flops, ops)
+	}
+	wi, wj := bs.WorkI(), bs.WorkJ()
+	var si, sj int64
+	for i := range wi {
+		si += wi[i]
+		sj += wj[i]
+	}
+	if si != bs.TotalWork || sj != bs.TotalWork {
+		t.Fatalf("WorkI/WorkJ sums %d/%d != TotalWork %d", si, sj, bs.TotalWork)
+	}
+}
+
+// TestIrregularAmalgamationCoarsens checks the amalgamation half of the
+// strategy: a stronger relative threshold can only reduce the supernode
+// count, and the irregular partition of the amalgamated structure has no
+// more panels than the uniform partition of the exact one.
+func TestIrregularAmalgamationCoarsens(t *testing.T) {
+	m := gen.IrregularMesh(400, 5, 3, 13)
+	exact, _ := analyzed(t, m, order.MinDegree, 0, symbolic.NoAmalgamation())
+	prev := len(exact.Snodes) + 1
+	for _, frac := range []float64{0.02, 0.10, 0.30} {
+		st, _ := analyzed(t, m, order.MinDegree, 0, symbolic.RelativeAmalgamation(frac))
+		if len(st.Snodes) > len(exact.Snodes) {
+			t.Fatalf("frac %.2f: amalgamation increased supernode count", frac)
+		}
+		if len(st.Snodes) > prev {
+			t.Fatalf("frac %.2f: stronger threshold increased supernode count", frac)
+		}
+		prev = len(st.Snodes)
+	}
+	st, _ := analyzed(t, m, order.MinDegree, 0, symbolic.RelativeAmalgamation(0.125))
+	part, err := NewPartitionIrregular(st, IrregularConfig{MaxPanel: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniExact := NewPartition(exact, 16)
+	if part.N() > uniExact.N() {
+		t.Fatalf("irregular produced %d panels vs %d uniform-on-exact", part.N(), uniExact.N())
+	}
+}

@@ -1,6 +1,10 @@
 package blocks
 
-import "blockfanout/internal/symbolic"
+import (
+	"fmt"
+
+	"blockfanout/internal/symbolic"
+)
 
 // The paper's §5 explores two non-uniform block-size policies:
 //
@@ -16,13 +20,15 @@ import "blockfanout/internal/symbolic"
 // downstream (block structure, mappings, executors) is unchanged.
 
 // NewPartitionStaged splits supernodes into panels of width ≤ bEarly for
-// columns before boundary and ≤ bLate for columns at or after it.
-func NewPartitionStaged(st *symbolic.Structure, bEarly, bLate, boundary int) *Partition {
-	if bEarly < 1 {
-		bEarly = 1
+// columns before boundary and ≤ bLate for columns at or after it. The
+// boundary must lie strictly inside (0, N): a boundary at 0 or ≥ N would
+// silently degenerate to a uniform partition, so it is rejected instead.
+func NewPartitionStaged(st *symbolic.Structure, bEarly, bLate, boundary int) (*Partition, error) {
+	if bEarly < 1 || bLate < 1 {
+		return nil, fmt.Errorf("blocks: staged block sizes %d/%d must be ≥ 1", bEarly, bLate)
 	}
-	if bLate < 1 {
-		bLate = 1
+	if boundary <= 0 || boundary >= st.N {
+		return nil, fmt.Errorf("blocks: staged boundary %d outside (0, %d)", boundary, st.N)
 	}
 	pick := func(col int) int {
 		if col < boundary {
@@ -50,22 +56,23 @@ func NewPartitionStaged(st *symbolic.Structure, bEarly, bLate, boundary int) *Pa
 			part.PanelOf[j] = p
 		}
 	}
-	return part
+	return part, nil
 }
 
 // NewPartitionCycled splits supernodes into panels whose widths cycle
 // through the given sequence as the global panel index advances — the §5
 // "block size chosen by the processor row/column it is mapped to" policy
 // for a cyclic mapping, where panel index mod Pc determines the processor
-// column (pass len(widths) == Pc).
-func NewPartitionCycled(st *symbolic.Structure, widths []int) *Partition {
+// column (pass len(widths) == Pc). The width list must be non-empty and
+// all-positive; it is not modified.
+func NewPartitionCycled(st *symbolic.Structure, widths []int) (*Partition, error) {
 	if len(widths) == 0 {
-		widths = []int{48}
+		return nil, fmt.Errorf("blocks: cycled width list is empty")
 	}
 	maxW := 1
 	for i, w := range widths {
 		if w < 1 {
-			widths[i] = 1
+			return nil, fmt.Errorf("blocks: cycled width %d at index %d must be ≥ 1", w, i)
 		}
 		if w > maxW {
 			maxW = w
@@ -93,5 +100,5 @@ func NewPartitionCycled(st *symbolic.Structure, widths []int) *Partition {
 			part.PanelOf[j] = p
 		}
 	}
-	return part
+	return part, nil
 }

@@ -41,7 +41,10 @@ func checkPartition(t *testing.T, st *symbolic.Structure, part *Partition, maxW 
 
 func TestNewPartitionStaged(t *testing.T) {
 	st := symFor(t)
-	part := NewPartitionStaged(st, 16, 4, st.N/2)
+	part, err := NewPartitionStaged(st, 16, 4, st.N/2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkPartition(t, st, part, 16)
 	// Early panels must be allowed to reach width 16; late panels must
 	// not exceed 4 (when their supernodes allow it).
@@ -60,16 +63,42 @@ func TestNewPartitionStaged(t *testing.T) {
 	}
 }
 
-func TestNewPartitionStagedClamps(t *testing.T) {
+// Regression: degenerate staged parameters used to be silently clamped;
+// they must be rejected instead.
+func TestNewPartitionStagedRejectsDegenerate(t *testing.T) {
 	st := symFor(t)
-	part := NewPartitionStaged(st, 0, -3, 10)
+	cases := []struct {
+		name                    string
+		bEarly, bLate, boundary int
+	}{
+		{"zero early width", 0, 4, 10},
+		{"negative late width", 16, -3, 10},
+		{"boundary at 0", 16, 4, 0},
+		{"negative boundary", 16, 4, -5},
+		{"boundary at N", 16, 4, st.N},
+		{"boundary past N", 16, 4, st.N + 7},
+	}
+	for _, tc := range cases {
+		if _, err := NewPartitionStaged(st, tc.bEarly, tc.bLate, tc.boundary); err == nil {
+			t.Errorf("%s: NewPartitionStaged(%d, %d, %d) succeeded, want error",
+				tc.name, tc.bEarly, tc.bLate, tc.boundary)
+		}
+	}
+	// Minimal valid parameters still work.
+	part, err := NewPartitionStaged(st, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkPartition(t, st, part, 1)
 }
 
 func TestNewPartitionCycled(t *testing.T) {
 	st := symFor(t)
 	widths := []int{3, 5, 9}
-	part := NewPartitionCycled(st, widths)
+	part, err := NewPartitionCycled(st, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
 	checkPartition(t, st, part, 9)
 	if _, err := Build(st, part); err != nil {
 		t.Fatal(err)
@@ -85,10 +114,28 @@ func TestNewPartitionCycled(t *testing.T) {
 	}
 }
 
-func TestNewPartitionCycledDefaults(t *testing.T) {
+// Regression: empty or zero-containing width lists used to be silently
+// patched up (mutating the caller's slice); they must be rejected, and
+// valid inputs must be left unmodified.
+func TestNewPartitionCycledRejectsDegenerate(t *testing.T) {
 	st := symFor(t)
-	part := NewPartitionCycled(st, nil)
-	checkPartition(t, st, part, 48)
-	part2 := NewPartitionCycled(st, []int{0, -1, 2})
-	checkPartition(t, st, part2, 2)
+	if _, err := NewPartitionCycled(st, nil); err == nil {
+		t.Error("NewPartitionCycled(nil) succeeded, want error")
+	}
+	if _, err := NewPartitionCycled(st, []int{}); err == nil {
+		t.Error("NewPartitionCycled(empty) succeeded, want error")
+	}
+	if _, err := NewPartitionCycled(st, []int{4, 0, 2}); err == nil {
+		t.Error("NewPartitionCycled with zero width succeeded, want error")
+	}
+	if _, err := NewPartitionCycled(st, []int{4, -1}); err == nil {
+		t.Error("NewPartitionCycled with negative width succeeded, want error")
+	}
+	widths := []int{4, 2}
+	if _, err := NewPartitionCycled(st, widths); err != nil {
+		t.Fatal(err)
+	}
+	if widths[0] != 4 || widths[1] != 2 {
+		t.Errorf("NewPartitionCycled mutated caller's widths: %v", widths)
+	}
 }

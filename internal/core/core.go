@@ -37,7 +37,8 @@ const DefaultBlockSize = 48
 
 // Options configure plan construction.
 type Options struct {
-	// BlockSize is the target panel width B (default 48).
+	// BlockSize is the target panel width B (default 48). For the irregular
+	// strategy it caps the panel width (blocks.IrregularConfig.MaxPanel).
 	BlockSize int
 	// Ordering selects the fill-reducing ordering (default MinDegree for
 	// general matrices; use NDGrid2D/NDCube3D with GridDim for model
@@ -46,8 +47,48 @@ type Options struct {
 	// GridDim is the grid side length for the geometric orderings.
 	GridDim int
 	// Amalgamation controls relaxed supernode merging; zero value means
-	// symbolic.DefaultAmalgamation().
+	// symbolic.DefaultAmalgamation() (or the relative-fill config derived
+	// from AmalgThreshold under the irregular strategy).
 	Amalgamation *symbolic.AmalgamationConfig
+	// Blocking selects the partitioning strategy (default StrategyUniform,
+	// the paper's fixed-width panels).
+	Blocking blocks.Strategy
+	// AmalgThreshold is the relative-fill amalgamation threshold used by the
+	// irregular strategy when Amalgamation is nil: merging a child into its
+	// parent supernode is accepted while the introduced explicit zeros stay
+	// under this fraction of the merged trapezoid. ≤0 means the default
+	// (symbolic.DefaultAmalgamation().MaxZeroFrac).
+	AmalgThreshold float64
+}
+
+// ConfigKey returns a 64-bit FNV-1a digest of every option that changes the
+// analyzed plan. The plan cache mixes it into the pattern key so plans built
+// with different blocking strategies, block sizes, orderings, or
+// amalgamation settings never collide on the same matrix pattern.
+func (o Options) ConfigKey() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(o.BlockSize))
+	mix(uint64(o.Ordering))
+	mix(uint64(o.GridDim))
+	mix(uint64(o.Blocking))
+	mix(math.Float64bits(o.AmalgThreshold))
+	if o.Amalgamation != nil {
+		mix(1)
+		mix(uint64(o.Amalgamation.MaxZeros))
+		mix(math.Float64bits(o.Amalgamation.MaxZeroFrac))
+	}
+	return h
 }
 
 // Plan is the analyzed, partitioned problem, ready to be mapped and
@@ -100,6 +141,11 @@ func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	amalg := symbolic.DefaultAmalgamation()
+	if opts.Blocking == blocks.StrategyIrregular {
+		// The irregular strategy's coarsening knob is the relative-fill
+		// threshold; the panel widths then follow the merged supernodes.
+		amalg = symbolic.RelativeAmalgamation(opts.AmalgThreshold)
+	}
 	if opts.Amalgamation != nil {
 		amalg = *opts.Amalgamation
 	}
@@ -107,7 +153,10 @@ func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	part := blocks.NewPartition(sym, opts.BlockSize)
+	part, err := newPartition(sym, opts)
+	if err != nil {
+		return nil, err
+	}
 	bs, err := blocks.Build(sym, part)
 	if err != nil {
 		return nil, err
@@ -126,6 +175,33 @@ func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
 		Exact:      etree.FactorStats(sym.ColCounts),
 		ValMap:     vmap,
 	}, nil
+}
+
+// newPartition dispatches on the blocking strategy. The staged and cycled
+// variants exist for the paper's §5 variable-block-size experiments; their
+// parameters are derived from BlockSize the way the experiment suite sets
+// them (second width B/2, stage boundary at the matrix midpoint).
+func newPartition(sym *symbolic.Structure, opts Options) (*blocks.Partition, error) {
+	b := opts.BlockSize
+	half := b / 2
+	if half < 1 {
+		half = 1
+	}
+	switch opts.Blocking {
+	case blocks.StrategyUniform:
+		return blocks.NewPartition(sym, b), nil
+	case blocks.StrategyStaged:
+		if sym.N < 2 {
+			return blocks.NewPartition(sym, b), nil
+		}
+		return blocks.NewPartitionStaged(sym, b, half, sym.N/2)
+	case blocks.StrategyCycled:
+		return blocks.NewPartitionCycled(sym, []int{b, half})
+	case blocks.StrategyIrregular:
+		return blocks.NewPartitionIrregular(sym, blocks.IrregularConfig{MaxPanel: b})
+	default:
+		return nil, fmt.Errorf("core: unknown blocking strategy %d", opts.Blocking)
+	}
 }
 
 // Map builds a Cartesian-product block mapping with the given row/column

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sync"
 
+	"blockfanout/internal/blocks"
 	"blockfanout/internal/core"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/machine"
@@ -53,24 +54,33 @@ func Default(s gen.Scale) Config {
 	return cfg
 }
 
-// planCache memoizes analyzed plans per (problem, scale, blocksize): the
-// tables reuse the same matrices many times and plans are immutable.
+// planCache memoizes analyzed plans per (problem, scale, blocksize,
+// blocking): the tables reuse the same matrices many times and plans are
+// immutable.
 var planCache sync.Map // key planKey → *core.Plan
 
 type planKey struct {
 	name  string
 	scale gen.Scale
 	b     int
+	strat blocks.Strategy
+	amalg float64
 }
 
 // PlanFor analyzes a benchmark problem with the ordering the paper used
-// for it.
+// for it, under the paper's uniform fixed-width blocking.
 func PlanFor(p gen.Problem, scale gen.Scale, b int) (*core.Plan, error) {
-	key := planKey{p.Name, scale, b}
+	return PlanForBlocking(p, scale, b, blocks.StrategyUniform, 0)
+}
+
+// PlanForBlocking is PlanFor with an explicit partitioning strategy and
+// (for the irregular strategy) relative-fill amalgamation threshold.
+func PlanForBlocking(p gen.Problem, scale gen.Scale, b int, strat blocks.Strategy, amalg float64) (*core.Plan, error) {
+	key := planKey{p.Name, scale, b, strat, amalg}
 	if v, ok := planCache.Load(key); ok {
 		return v.(*core.Plan), nil
 	}
-	opts := core.Options{BlockSize: b, GridDim: p.GridDim}
+	opts := core.Options{BlockSize: b, GridDim: p.GridDim, Blocking: strat, AmalgThreshold: amalg}
 	switch p.Hint {
 	case gen.HintNone:
 		opts.Ordering = order.Natural
@@ -147,6 +157,7 @@ func All() []Runner {
 		{"concurrency", "§5: available-parallelism (DAG width) profile", Concurrency},
 		{"subcube", "§5: subtree-to-subcube column mapping", Subcube},
 		{"blocksize", "§5: block-size ablation", BlockSize},
+		{"irrblocking", "§5 revisited: structure-aware irregular blocking under the mapping heuristics", IrregularBlocking},
 		{"priosched", "§5: priority-driven scheduling vs data-driven FIFO", PrioSched},
 		{"commscaling", "intro: 1-D vs 2-D communication volume scaling", CommScaling},
 		{"onedim", "intro: 1-D vs 2-D mapping runtime scaling", OneDim},

@@ -235,14 +235,26 @@ func blockSizeVariants(w io.Writer, cfg Config, p gen.Problem, g mapping.Grid) e
 		// Widths ramp across the processor columns around the target B.
 		cycled[c] = small + (big-small)*c/maxInt(1, g.Pc-1) + small/2
 	}
+	stagedDown, err := blocks.NewPartitionStaged(plan.Sym, big, small, n/2)
+	if err != nil {
+		return err
+	}
+	stagedUp, err := blocks.NewPartitionStaged(plan.Sym, small, big, n/2)
+	if err != nil {
+		return err
+	}
+	cycledPart, err := blocks.NewPartitionCycled(plan.Sym, cycled)
+	if err != nil {
+		return err
+	}
 	variants := []struct {
 		label string
 		part  *blocks.Partition
 	}{
 		{fmt.Sprintf("uniform B=%d", cfg.B), blocks.NewPartition(plan.Sym, cfg.B)},
-		{fmt.Sprintf("staged %d→%d", big, small), blocks.NewPartitionStaged(plan.Sym, big, small, n/2)},
-		{fmt.Sprintf("staged %d→%d", small, big), blocks.NewPartitionStaged(plan.Sym, small, big, n/2)},
-		{"cycled by proc col", blocks.NewPartitionCycled(plan.Sym, cycled)},
+		{fmt.Sprintf("staged %d→%d", big, small), stagedDown},
+		{fmt.Sprintf("staged %d→%d", small, big), stagedUp},
+		{"cycled by proc col", cycledPart},
 	}
 	fmt.Fprintf(w, "%s: non-uniform block-size policies (cyclic mapping, P=%d)\n", p.Name, g.P())
 	fmt.Fprintf(w, "%-22s %8s %10s %12s\n", "policy", "panels", "bal(CY)", "Mf(CY)")
@@ -257,6 +269,49 @@ func blockSizeVariants(w io.Writer, cfg Config, p gen.Problem, g mapping.Grid) e
 		res := machine.MustSimulate(pr, cfg.Machine)
 		fmt.Fprintf(w, "%-22s %8d %10.2f %12.0f\n",
 			v.label, bs.N(), bal, res.Mflops(plan.Exact.Flops))
+	}
+	return nil
+}
+
+// IrregularBlocking re-runs the paper's mapping comparison on the
+// structure-aware irregular partition (supernode amalgamation + supernode-
+// aligned variable-width panels). The paper's §5 negative result was that
+// varying block sizes against a structure-blind stride gains little; the
+// question here is whether the load-balance story — heuristic mappings
+// beating cyclic — survives when the matrix structure drives the panel
+// widths instead. Balances are computed on each strategy's own block
+// structure; simulated Mflops use the shared exact operation count, so the
+// columns are directly comparable.
+func IrregularBlocking(w io.Writer, cfg Config) error {
+	p, ok := gen.ByName(gen.Table1Suite(cfg.Scale), "BCSSTK31")
+	if !ok {
+		return fmt.Errorf("experiments: BCSSTK31 missing from suite")
+	}
+	uni, err := PlanFor(p, cfg.Scale, cfg.B)
+	if err != nil {
+		return err
+	}
+	irr, err := PlanForBlocking(p, cfg.Scale, cfg.B, blocks.StrategyIrregular, 0.125)
+	if err != nil {
+		return err
+	}
+	g := grid(cfg.P1)
+	fmt.Fprintf(w, "%s, P=%d: uniform %d panels (%d supernodes) vs irregular %d panels (%d supernodes)\n",
+		p.Name, g.P(), uni.BS.N(), len(uni.Sym.Snodes), irr.BS.N(), len(irr.Sym.Snodes))
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n",
+		"Heuristic", "bal(unif)", "bal(irreg)", "Mf(unif)", "Mf(irreg)")
+	for _, h := range mapping.AllHeuristics() {
+		mu := heuristicMap(uni, g, h, h)
+		mi := heuristicMap(irr, g, h, h)
+		balU := loadbal.Compute(uni.BS, mu).Overall
+		balI := loadbal.Compute(irr.BS, mi).Overall
+		mfU := mflops(uni, uni.Simulate(uni.Assign(mu, cfg.DomainBeta), cfg.Machine))
+		mfI := mflops(irr, irr.Simulate(irr.Assign(mi, cfg.DomainBeta), cfg.Machine))
+		name := h.String()
+		if h == mapping.CY {
+			name = "Cyclic"
+		}
+		fmt.Fprintf(w, "%-12s %12.2f %12.2f %12.0f %12.0f\n", name, balU, balI, mfU, mfI)
 	}
 	return nil
 }

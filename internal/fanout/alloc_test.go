@@ -55,6 +55,49 @@ func TestExecutorSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestExecutorSteadyStateAllocsModes extends the zero-steady-state-
+// allocation guarantee to the interesting multi-worker configurations: the
+// work-stealing engine with 16 workers stealing from each other's deques
+// (every steal, park, and wake must reuse the preallocated deques, counters,
+// and park channel) and the SPMD engine that serves as the benchmark
+// baseline. The budget scales only with the worker count — goroutine
+// startup and the per-run channels — never with the block count.
+func TestExecutorSteadyStateAllocsModes(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(250, 5, 3, 31), ord.MinDegree, 0, 8)
+	for _, tc := range []struct {
+		name string
+		mode Mode
+		grid mapping.Grid
+	}{
+		{"steal-16", ModeWorkStealing, mapping.Grid{Pr: 4, Pc: 4}},
+		{"spmd-4", ModeSPMD, mapping.Grid{Pr: 2, Pc: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(tc.grid, bs.N())})
+			f, err := numeric.New(bs, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex := NewExecutorMode(f, pr, tc.mode)
+			avg := testing.AllocsPerRun(5, func() {
+				if err := f.Reload(pm.Val); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ex.Run(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			// Per-run control state: abort/done channels plus ~2 allocations
+			// per worker goroutine (stack + closure).
+			budget := float64(16 + 3*pr.NProc)
+			if avg > budget {
+				t.Fatalf("%s averaged %.1f allocations over %d blocks; want ≤ %.0f",
+					tc.name, avg, pr.NBlocks, budget)
+			}
+		})
+	}
+}
+
 // TestExecutorReuse checks that one Executor run repeatedly over reloaded
 // values produces the same factors as one-shot Run calls on fresh state.
 func TestExecutorReuse(t *testing.T) {

@@ -1,10 +1,17 @@
 // Package fanout executes the parallel block fan-out method (§2.3) for
-// real: one goroutine per (virtual) processor, SPMD style, with buffered
-// channels as the message fabric. The method is entirely data-driven, as in
-// the paper: a processor acts on received blocks in arrival order, performs
-// every block operation whose destination it owns as soon as the operands
-// are available, and fans a completed block out to the processors that need
-// it.
+// real, with two engines sharing one precomputed schedule:
+//
+//   - ModeWorkStealing (default): per-worker LIFO deques of ready block
+//     operations with randomized stealing, driven by atomic ready counters
+//     derived from the same dependence structure. Ownership stops pinning
+//     work to goroutines, so an oversized block (irregular partitions
+//     produce them on purpose) never starves a worker. See steal.go.
+//   - ModeSPMD: the paper-faithful engine — one goroutine per (virtual)
+//     processor with buffered channels as the message fabric. The method is
+//     entirely data-driven, as in the paper: a processor acts on received
+//     blocks in arrival order, performs every block operation whose
+//     destination it owns as soon as the operands are available, and fans a
+//     completed block out to the processors that need it.
 //
 // Within this shared-memory emulation a "message" carries only the block
 // id; the numeric payload lives in the shared numeric.Factor, which is safe
@@ -25,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"blockfanout/internal/kernels"
 	"blockfanout/internal/numeric"
@@ -46,18 +54,55 @@ func Run(f *numeric.Factor, pr *sched.Program) (Stats, error) {
 	return NewExecutor(f, pr).Run()
 }
 
+// Mode selects the execution engine.
+type Mode uint8
+
+const (
+	// ModeWorkStealing (the default) runs the schedule on per-worker LIFO
+	// deques with randomized stealing: any worker may execute any ready
+	// block op, so an oversized block never starves a processor. See
+	// steal.go.
+	ModeWorkStealing Mode = iota
+	// ModeSPMD is the paper-faithful engine: one goroutine per virtual
+	// processor, each executing exactly the ops of the blocks it owns,
+	// with channels as the message fabric. It remains selectable as the
+	// baseline the benchmarks compare work stealing against (and as the
+	// engine whose message counts the simulator mirrors exactly).
+	ModeSPMD
+)
+
 // Executor is a reusable parallel factorization engine bound to one factor
 // and one schedule. It is not safe for concurrent use; a Run must finish
 // before the next begins.
 type Executor struct {
-	f  *numeric.Factor
-	pr *sched.Program
+	f    *numeric.Factor
+	pr   *sched.Program
+	mode Mode
 
+	// SPMD state (nil in work-stealing mode).
 	modsLeft  []int32
 	diagReady []bool
 	done      []bool
 	inboxes   []chan int32
 	procs     []procState
+
+	// Work-stealing state (nil in SPMD mode); see steal.go.
+	pairs      *sched.PairTable
+	srcInit    []int32 // pairing → initial source count (2, or 1 when A==B)
+	srcLeft    []int32 // pairing → remaining sources (atomic)
+	finInit    []int32 // block → initial NMods (+1 diag arrival if off-diag)
+	finLeft    []int32 // block → remaining prerequisites (atomic)
+	slots      []int32 // ready-pairing queue slots, segmented by DestBase
+	slotHead   []int32 // block → published ready pairings (atomic)
+	slotDone   []int32 // block → executed pairings (claim-holder private)
+	active     []int32 // block → activation claim flag (atomic CAS)
+	seeds      [][]int32
+	workers    []wsWorker
+	blocksLeft atomic.Int32
+	doneCh     chan struct{}
+	doneOnce   sync.Once
+	sleepers   atomic.Int32
+	parkCh     chan struct{}
 
 	// rec, when non-nil and enabled, records one obs.Span per block
 	// operation. A nil or disabled recorder costs one pointer check plus
@@ -82,21 +127,33 @@ type procState struct {
 	failed    bool
 }
 
-// NewExecutor preallocates all run state for factoring f under pr. The
-// factor may be reloaded with new values (numeric.Factor.Reload) between
-// runs; the schedule is fixed.
+// NewExecutor preallocates all run state for factoring f under pr in the
+// default work-stealing mode. The factor may be reloaded with new values
+// (numeric.Factor.Reload) between runs; the schedule is fixed.
 func NewExecutor(f *numeric.Factor, pr *sched.Program) *Executor {
-	np := pr.NProc
-	ex := &Executor{
-		f:         f,
-		pr:        pr,
-		modsLeft:  make([]int32, pr.NBlocks),
-		diagReady: make([]bool, pr.NBlocks),
-		done:      make([]bool, pr.NBlocks),
-		inboxes:   make([]chan int32, np),
-		procs:     make([]procState, np),
+	return NewExecutorMode(f, pr, ModeWorkStealing)
+}
+
+// NewExecutorMode preallocates all run state for the chosen engine.
+func NewExecutorMode(f *numeric.Factor, pr *sched.Program, mode Mode) *Executor {
+	ex := &Executor{f: f, pr: pr, mode: mode}
+	if mode == ModeSPMD {
+		ex.initSPMD()
+	} else {
+		ex.initSteal()
 	}
-	maxRows := f.MaxBlockRows()
+	return ex
+}
+
+func (ex *Executor) initSPMD() {
+	pr := ex.pr
+	np := pr.NProc
+	ex.modsLeft = make([]int32, pr.NBlocks)
+	ex.diagReady = make([]bool, pr.NBlocks)
+	ex.done = make([]bool, pr.NBlocks)
+	ex.inboxes = make([]chan int32, np)
+	ex.procs = make([]procState, np)
+	maxRows := ex.f.MaxBlockRows()
 	for p := 0; p < np; p++ {
 		ex.inboxes[p] = make(chan int32, pr.IncomingRemote[p]+1)
 		ps := &ex.procs[p]
@@ -106,7 +163,6 @@ func NewExecutor(f *numeric.Factor, pr *sched.Program) *Executor {
 		ps.local = make([]int32, 0, pr.OwnedCount[p])
 		ps.ws.Reserve(maxRows)
 	}
-	return ex
 }
 
 // SetRecorder attaches (or, with nil, detaches) a span recorder. The
@@ -179,21 +235,25 @@ func (ps *procState) aborted() bool {
 // the schedule, bitsets and stacks cleared, channels drained of any
 // messages stranded by an aborted previous run.
 func (ex *Executor) reset() {
-	copy(ex.modsLeft, ex.pr.NMods)
-	for i := range ex.done {
-		ex.done[i] = false
-		ex.diagReady[i] = false
-	}
-	for p := range ex.procs {
-		ps := &ex.procs[p]
-		for i := range ps.arrived {
-			ps.arrived[i] = 0
+	if ex.mode == ModeSPMD {
+		copy(ex.modsLeft, ex.pr.NMods)
+		for i := range ex.done {
+			ex.done[i] = false
+			ex.diagReady[i] = false
 		}
-		ps.local = ps.local[:0]
-		ps.remaining = ex.pr.OwnedCount[p]
-		ps.failed = false
+		for p := range ex.procs {
+			ps := &ex.procs[p]
+			for i := range ps.arrived {
+				ps.arrived[i] = 0
+			}
+			ps.local = ps.local[:0]
+			ps.remaining = ex.pr.OwnedCount[p]
+			ps.failed = false
+		}
+		ex.drainInboxes()
+	} else {
+		ex.resetSteal()
 	}
-	ex.drainInboxes()
 	ex.abort = make(chan struct{})
 	ex.abortOnce = sync.Once{}
 	ex.firstErr = nil
@@ -245,13 +305,24 @@ func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 		}
 	}
 	var wg sync.WaitGroup
-	wg.Add(len(ex.procs))
-	for p := range ex.procs {
-		ps := &ex.procs[p]
-		go func() {
-			defer wg.Done()
-			ps.run()
-		}()
+	if ex.mode == ModeSPMD {
+		wg.Add(len(ex.procs))
+		for p := range ex.procs {
+			ps := &ex.procs[p]
+			go func() {
+				defer wg.Done()
+				ps.run()
+			}()
+		}
+	} else {
+		wg.Add(len(ex.workers))
+		for p := range ex.workers {
+			w := &ex.workers[p]
+			go func() {
+				defer wg.Done()
+				w.run()
+			}()
+		}
 	}
 	wg.Wait()
 	// Join the watcher before reading firstErr: a straggling fail() from a

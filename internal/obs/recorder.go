@@ -15,6 +15,12 @@ const (
 	OpBFAC Op = iota // factor a diagonal block
 	OpBDIV           // divide an off-diagonal block by its diagonal
 	OpBMOD           // modify a destination block by a source pair
+	// OpSteal marks a successful steal by the work-stealing executor:
+	// Block is the stolen task's destination block, Src the victim worker.
+	OpSteal
+	// OpIdle covers an interval a work-stealing worker spent parked with
+	// no runnable task (Block and Src are -1).
+	OpIdle
 )
 
 func (o Op) String() string {
@@ -25,6 +31,10 @@ func (o Op) String() string {
 		return "BDIV"
 	case OpBMOD:
 		return "BMOD"
+	case OpSteal:
+		return "STEAL"
+	case OpIdle:
+		return "IDLE"
 	}
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
@@ -168,7 +178,7 @@ func (r *Recorder) Events(processName string) []Event {
 	}
 	for _, s := range spans {
 		args := map[string]any{"block": s.Block}
-		if s.Op == OpBMOD && s.Src >= 0 {
+		if (s.Op == OpBMOD || s.Op == OpSteal) && s.Src >= 0 {
 			args["src"] = s.Src
 		}
 		events = append(events, Event{

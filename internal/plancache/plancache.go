@@ -7,8 +7,11 @@
 // exactly once per pattern. The cache provides:
 //
 //   - pattern keying via sparse.Matrix.PatternHash (FNV-1a over n, colptr,
-//     rowind; value-independent), with an exact SamePattern verification on
-//     hit so a hash collision can never serve the wrong analysis;
+//     rowind; value-independent) mixed with the caller's configuration key
+//     (core.Options.ConfigKey), so the same pattern analyzed under different
+//     blocking strategies, block sizes, or orderings occupies distinct
+//     entries; an exact SamePattern + config-key verification on hit means
+//     a hash collision can never serve the wrong analysis;
 //   - an LRU bounded by both entry count and an approximate byte budget;
 //   - hit/miss/eviction/coalesce counters for the /metrics endpoint;
 //   - singleflight-style deduplication: concurrent requests for the same
@@ -40,10 +43,28 @@ const (
 
 // Entry is one cached analysis.
 type Entry struct {
-	Key    uint64
-	Plan   *core.Plan
-	Assign sched.Assignment
-	Bytes  int64
+	Key uint64 // combined pattern ∘ configuration cache key
+	// ConfigKey is the plan-configuration digest the entry was built under
+	// (core.Options.ConfigKey); hits verify it exactly so plans built with
+	// different blocking strategies or block sizes never alias.
+	ConfigKey uint64
+	Plan      *core.Plan
+	Assign    sched.Assignment
+	Bytes     int64
+}
+
+// combineKey folds the configuration digest into the pattern hash with an
+// extra FNV-1a round so (pattern, config) pairs spread over the full key
+// space instead of XOR-cancelling.
+func combineKey(pattern, cfg uint64) uint64 {
+	const prime64 = 1099511628211
+	h := pattern
+	for i := 0; i < 8; i++ {
+		h ^= cfg & 0xff
+		h *= prime64
+		cfg >>= 8
+	}
+	return h
 }
 
 // Stats is a snapshot of the cache counters.
@@ -92,18 +113,19 @@ func New(cfg Config) *Cache {
 	}
 }
 
-// GetOrBuild returns the cached analysis for a's pattern, building it with
-// build on a miss. hit reports whether a cached (or coalesced-in-flight)
-// analysis was reused — i.e. whether this call avoided symbolic work.
-// Concurrent calls for the same pattern run build once; the rest wait and
+// GetOrBuild returns the cached analysis for a's pattern under the given
+// plan-configuration key (core.Options.ConfigKey), building it with build
+// on a miss. hit reports whether a cached (or coalesced-in-flight) analysis
+// was reused — i.e. whether this call avoided symbolic work. Concurrent
+// calls for the same (pattern, config) run build once; the rest wait and
 // share the result. A failed build is not cached.
-func (c *Cache) GetOrBuild(a *sparse.Matrix, build func() (*core.Plan, sched.Assignment, error)) (e *Entry, hit bool, err error) {
-	key := a.PatternHash()
+func (c *Cache) GetOrBuild(a *sparse.Matrix, cfgKey uint64, build func() (*core.Plan, sched.Assignment, error)) (e *Entry, hit bool, err error) {
+	key := combineKey(a.PatternHash(), cfgKey)
 retry:
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		ent := el.Value.(*Entry)
-		if ent.Plan.A.SamePattern(a) {
+		if ent.ConfigKey == cfgKey && ent.Plan.A.SamePattern(a) {
 			c.ll.MoveToFront(el)
 			c.hits++
 			c.mu.Unlock()
@@ -121,7 +143,7 @@ retry:
 		if fl.err != nil {
 			return nil, false, fl.err
 		}
-		if !fl.e.Plan.A.SamePattern(a) {
+		if fl.e.ConfigKey != cfgKey || !fl.e.Plan.A.SamePattern(a) {
 			// The in-flight analysis was for a hash-colliding pattern, not
 			// ours; start over — the next pass evicts the impostor from the
 			// cache and builds the right plan.
@@ -136,7 +158,7 @@ retry:
 
 	plan, assign, err := build()
 	if err == nil {
-		fl.e = &Entry{Key: key, Plan: plan, Assign: assign, Bytes: PlanBytes(plan)}
+		fl.e = &Entry{Key: key, ConfigKey: cfgKey, Plan: plan, Assign: assign, Bytes: PlanBytes(plan)}
 	} else {
 		fl.err = err
 	}
@@ -155,13 +177,17 @@ retry:
 	return fl.e, false, nil
 }
 
-// Get returns the cached entry for a's pattern without building.
-func (c *Cache) Get(a *sparse.Matrix) (*Entry, bool) {
-	key := a.PatternHash()
+// Get returns the cached entry for a's pattern and configuration key
+// without building.
+func (c *Cache) Get(a *sparse.Matrix, cfgKey uint64) (*Entry, bool) {
+	key := combineKey(a.PatternHash(), cfgKey)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
-	if !ok || !el.Value.(*Entry).Plan.A.SamePattern(a) {
+	if !ok {
+		return nil, false
+	}
+	if e := el.Value.(*Entry); e.ConfigKey != cfgKey || !e.Plan.A.SamePattern(a) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"blockfanout/internal/blocks"
 	"blockfanout/internal/core"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/mapping"
@@ -13,6 +14,10 @@ import (
 	"blockfanout/internal/sched"
 	"blockfanout/internal/sparse"
 )
+
+// testKey is the configuration digest the test builds run under; the
+// config-key separation itself is covered by TestConfigKeySeparatesEntries.
+var testKey = core.Options{Ordering: order.MinDegree, BlockSize: 16}.ConfigKey()
 
 func buildFor(m *sparse.Matrix) func() (*core.Plan, sched.Assignment, error) {
 	return func() (*core.Plan, sched.Assignment, error) {
@@ -29,7 +34,7 @@ func TestHitMissAndValueIndependence(t *testing.T) {
 	c := New(Config{})
 	a := gen.IrregularMesh(150, 5, 3, 7)
 
-	e1, hit, err := c.GetOrBuild(a, buildFor(a))
+	e1, hit, err := c.GetOrBuild(a, testKey, buildFor(a))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +47,7 @@ func TestHitMissAndValueIndependence(t *testing.T) {
 	for i := range a2.Val {
 		a2.Val[i] *= 2.5
 	}
-	e2, hit, err := c.GetOrBuild(a2, buildFor(a2))
+	e2, hit, err := c.GetOrBuild(a2, testKey, buildFor(a2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +57,7 @@ func TestHitMissAndValueIndependence(t *testing.T) {
 
 	// Different structure: miss.
 	b := gen.IrregularMesh(150, 5, 3, 8)
-	_, hit, err = c.GetOrBuild(b, buildFor(b))
+	_, hit, err = c.GetOrBuild(b, testKey, buildFor(b))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +82,7 @@ func TestEntryBudgetEviction(t *testing.T) {
 		gen.IrregularMesh(100, 5, 3, 3),
 	}
 	for _, m := range ms {
-		if _, _, err := c.GetOrBuild(m, buildFor(m)); err != nil {
+		if _, _, err := c.GetOrBuild(m, testKey, buildFor(m)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -86,10 +91,10 @@ func TestEntryBudgetEviction(t *testing.T) {
 		t.Fatalf("stats = %+v; want 2 entries, 1 eviction", st)
 	}
 	// The oldest (ms[0]) was evicted; ms[1] and ms[2] remain.
-	if _, ok := c.Get(ms[0]); ok {
+	if _, ok := c.Get(ms[0], testKey); ok {
 		t.Fatal("LRU kept the oldest entry")
 	}
-	if _, ok := c.Get(ms[2]); !ok {
+	if _, ok := c.Get(ms[2], testKey); !ok {
 		t.Fatal("LRU dropped the newest entry")
 	}
 }
@@ -102,11 +107,11 @@ func TestByteBudgetEviction(t *testing.T) {
 	}
 	// Budget fits one plan of this size but not two.
 	c := New(Config{MaxBytes: PlanBytes(plan) + PlanBytes(plan)/2})
-	if _, _, err := c.GetOrBuild(m1, buildFor(m1)); err != nil {
+	if _, _, err := c.GetOrBuild(m1, testKey, buildFor(m1)); err != nil {
 		t.Fatal(err)
 	}
 	m2 := gen.IrregularMesh(120, 5, 3, 5)
-	if _, _, err := c.GetOrBuild(m2, buildFor(m2)); err != nil {
+	if _, _, err := c.GetOrBuild(m2, testKey, buildFor(m2)); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
@@ -117,7 +122,7 @@ func TestByteBudgetEviction(t *testing.T) {
 		t.Fatalf("retained %d bytes over budget %d", st.Bytes, c.cfg.MaxBytes)
 	}
 	// The newest entry always stays, even if alone over budget.
-	if _, ok := c.Get(m2); !ok {
+	if _, ok := c.Get(m2, testKey); !ok {
 		t.Fatal("newest entry was evicted")
 	}
 }
@@ -142,7 +147,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e, hit, err := c.GetOrBuild(a, build)
+			e, hit, err := c.GetOrBuild(a, testKey, build)
 			if err != nil {
 				t.Error(err)
 				return
@@ -182,20 +187,68 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 }
 
+// TestConfigKeySeparatesEntries checks the blocking-aware keying: the same
+// matrix pattern analyzed under different Options (blocking strategy, block
+// size) must occupy distinct cache entries, and a Get with the wrong config
+// key must miss even when the pattern matches.
+func TestConfigKeySeparatesEntries(t *testing.T) {
+	c := New(Config{})
+	a := gen.IrregularMesh(150, 5, 3, 7)
+
+	variants := []core.Options{
+		{Ordering: order.MinDegree, BlockSize: 16},
+		{Ordering: order.MinDegree, BlockSize: 16, Blocking: blocks.StrategyIrregular},
+		{Ordering: order.MinDegree, BlockSize: 16, Blocking: blocks.StrategyIrregular, AmalgThreshold: 0.25},
+		{Ordering: order.MinDegree, BlockSize: 32},
+	}
+	plans := make([]*core.Plan, len(variants))
+	for i, opt := range variants {
+		opt := opt
+		e, hit, err := c.GetOrBuild(a, opt.ConfigKey(), func() (*core.Plan, sched.Assignment, error) {
+			plan, err := core.NewPlan(a, opt)
+			if err != nil {
+				return nil, sched.Assignment{}, err
+			}
+			mp := plan.Map(mapping.Grid{Pr: 2, Pc: 2}, mapping.ID, mapping.CY)
+			return plan, plan.Assign(mp, 2), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			t.Fatalf("variant %d aliased an earlier configuration", i)
+		}
+		plans[i] = e.Plan
+	}
+	st := c.Stats()
+	if st.Entries != len(variants) || st.Misses != int64(len(variants)) {
+		t.Fatalf("stats = %+v; want %d separate entries", st, len(variants))
+	}
+	for i, opt := range variants {
+		e, ok := c.Get(a, opt.ConfigKey())
+		if !ok || e.Plan != plans[i] {
+			t.Fatalf("variant %d did not round-trip through Get", i)
+		}
+	}
+	if _, ok := c.Get(a, core.Options{Ordering: order.MinDegree, BlockSize: 48}.ConfigKey()); ok {
+		t.Fatal("unbuilt configuration reported a hit")
+	}
+}
+
 func TestBuildErrorNotCached(t *testing.T) {
 	c := New(Config{})
 	a := gen.IrregularMesh(80, 5, 3, 10)
 	boom := errors.New("boom")
 	fail := func() (*core.Plan, sched.Assignment, error) { return nil, sched.Assignment{}, boom }
 
-	if _, _, err := c.GetOrBuild(a, fail); !errors.Is(err, boom) {
+	if _, _, err := c.GetOrBuild(a, testKey, fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v; want boom", err)
 	}
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatal("failed build was cached")
 	}
 	// A later successful build proceeds normally.
-	if _, hit, err := c.GetOrBuild(a, buildFor(a)); err != nil || hit {
+	if _, hit, err := c.GetOrBuild(a, testKey, buildFor(a)); err != nil || hit {
 		t.Fatalf("rebuild after failure: hit=%v err=%v", hit, err)
 	}
 }

@@ -8,6 +8,8 @@
 package sched
 
 import (
+	"sync"
+
 	"blockfanout/internal/blocks"
 	"blockfanout/internal/domains"
 	"blockfanout/internal/mapping"
@@ -88,6 +90,57 @@ type Program struct {
 	TotalMessages int64
 	// TotalBytes is the total remote communication volume.
 	TotalBytes int64
+
+	pairsOnce sync.Once
+	pairs     *PairTable
+}
+
+// PairTable is the inverse view of the BMOD destination table: one entry
+// per source pairing, flat-indexed in the same order as ModDest, plus a
+// grouping of pairings by destination block. The work-stealing executor
+// drives its ready counters and per-destination operation queues with it;
+// the SPMD executor never needs it, so it is built lazily and memoized.
+type PairTable struct {
+	Col  []int32 // pairing → column k of the sources
+	A    []int32 // pairing → source block index ia (≥ jb) within column k
+	B    []int32 // pairing → source block index jb ≥ 1
+	Dest []int32 // pairing → destination block id (== ModDest)
+
+	// DestBase[id] .. DestBase[id+1] delimits block id's segment in a
+	// shared per-destination slot array of length len(ModDest); segment
+	// sizes equal NMods.
+	DestBase []int32
+}
+
+// Pairs returns the program's pairing table, building it on first use.
+func (pr *Program) Pairs() *PairTable {
+	pr.pairsOnce.Do(func() {
+		total := len(pr.ModDest)
+		pt := &PairTable{
+			Col:      make([]int32, total),
+			A:        make([]int32, total),
+			B:        make([]int32, total),
+			Dest:     pr.ModDest,
+			DestBase: make([]int32, pr.NBlocks+1),
+		}
+		for k := 0; k < pr.BS.N(); k++ {
+			base := pr.ModBase[k]
+			m := len(pr.BS.Cols[k].Blocks) - 1
+			for ia := 1; ia <= m; ia++ {
+				for jb := 1; jb <= ia; jb++ {
+					p := base + (ia-1)*ia/2 + jb - 1
+					pt.Col[p] = int32(k)
+					pt.A[p] = int32(ia)
+					pt.B[p] = int32(jb)
+				}
+			}
+		}
+		for id := 0; id < pr.NBlocks; id++ {
+			pt.DestBase[id+1] = pt.DestBase[id] + pr.NMods[id]
+		}
+		pr.pairs = pt
+	})
+	return pr.pairs
 }
 
 // BlockID returns the block id of column j, index idx.

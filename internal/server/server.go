@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"blockfanout/internal/blocks"
 	"blockfanout/internal/core"
 	"blockfanout/internal/faultinject"
 	"blockfanout/internal/kernels"
@@ -70,6 +71,14 @@ type Config struct {
 	// BlockSize is the panel width B of new plans (default
 	// core.DefaultBlockSize).
 	BlockSize int
+	// Blocking selects the partitioning strategy for new plans (default
+	// blocks.StrategyUniform); AmalgThreshold is the relative-fill
+	// amalgamation threshold for the irregular strategy (0 = default).
+	// Both are part of the plan-cache key, so servers configured
+	// differently never share cached analyses even across restarts of the
+	// same process.
+	Blocking       blocks.Strategy
+	AmalgThreshold float64
 	// RetryAttempts is how many times a transient infrastructure failure
 	// (see internal/faultinject) is retried with exponential backoff before
 	// the request fails (default 2; negative disables). Numeric failures —
@@ -166,6 +175,11 @@ type Server struct {
 	cache *plancache.Cache
 	sem   chan struct{} // worker pool slots
 
+	// planOpts/planKey are the fixed plan-construction options and their
+	// cache-key digest, computed once from cfg.
+	planOpts core.Options
+	planKey  uint64
+
 	mu       sync.Mutex // guards factors, lru, queued, breakers
 	factors  map[string]*factorEntry
 	lru      *list.List // front = most recently used factorEntry
@@ -179,8 +193,11 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
+	opts := core.Options{BlockSize: cfg.BlockSize, Blocking: cfg.Blocking, AmalgThreshold: cfg.AmalgThreshold}
 	return &Server{
 		cfg:      cfg,
+		planOpts: opts,
+		planKey:  opts.ConfigKey(),
 		cache:    plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
 		sem:      make(chan struct{}, cfg.Workers),
 		factors:  make(map[string]*factorEntry),
@@ -460,8 +477,8 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	start := time.Now()
-	entry, hit, err := s.cache.GetOrBuild(m, func() (*core.Plan, sched.Assignment, error) {
-		plan, err := core.NewPlan(m, core.Options{BlockSize: s.cfg.BlockSize})
+	entry, hit, err := s.cache.GetOrBuild(m, s.planKey, func() (*core.Plan, sched.Assignment, error) {
+		plan, err := core.NewPlan(m, s.planOpts)
 		if err != nil {
 			return nil, sched.Assignment{}, err
 		}

@@ -54,6 +54,19 @@ func NoAmalgamation() AmalgamationConfig {
 	return AmalgamationConfig{MaxZeros: 0, MaxZeroFrac: 0}
 }
 
+// RelativeAmalgamation builds the config the structure-aware irregular
+// blocking strategy drives its merging with: a pure relative-fill threshold
+// (explicit zeros may make up at most frac of the merged supernode's
+// entries) plus the small absolute floor of DefaultAmalgamation, so tiny
+// supernodes near the leaves still merge when the fraction alone would
+// round to nothing. frac outside (0, 1) falls back to the default 0.10.
+func RelativeAmalgamation(frac float64) AmalgamationConfig {
+	if frac <= 0 || frac >= 1 {
+		frac = DefaultAmalgamation().MaxZeroFrac
+	}
+	return AmalgamationConfig{MaxZeros: DefaultAmalgamation().MaxZeros, MaxZeroFrac: frac}
+}
+
 // Structure is the result of the symbolic phase.
 type Structure struct {
 	N       int
