@@ -1,0 +1,216 @@
+// Command spchol-clusterbench measures what heterogeneous-aware
+// partitioning buys on a real (localhost) cluster: it brings up a gateway
+// plus three nodes where one node runs at half speed, factors a
+// BCSSTK31-class mesh twice — once with the slow node advertising its true
+// speed (the gateway's GreedyWeighted partitioner shifts flops off it) and
+// once advertising full speed (speed-oblivious splitting) — and reports
+// both wall-clock times as JSON.
+//
+// Usage:
+//
+//	spchol-clusterbench            # human-readable + JSON to stdout
+//	spchol-clusterbench -o BENCH_cluster.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"blockfanout/internal/cluster"
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sparse"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write the JSON report here instead of stdout")
+		meshN   = flag.Int("mesh", 2200, "mesh vertex count (BCSSTK31 CI analogue at 2200)")
+		seconds = flag.Float64("seconds", 2.0, "target cluster compute time per run")
+	)
+	flag.Parse()
+	if err := run(*out, *meshN, *seconds); err != nil {
+		fmt.Fprintln(os.Stderr, "spchol-clusterbench:", err)
+		os.Exit(1)
+	}
+}
+
+type report struct {
+	Problem      string    `json:"problem"`
+	N            int       `json:"n"`
+	Flops        int64     `json:"flops"`
+	Nodes        int       `json:"nodes"`
+	Speeds       []float64 `json:"speeds"`
+	AwareMs      float64   `json:"speed_aware_ms"`
+	ObliviousMs  float64   `json:"speed_oblivious_ms"`
+	Improvement  float64   `json:"improvement_pct"`
+	AwareSlowPct float64   `json:"aware_slow_node_flop_share_pct"`
+	OblSlowPct   float64   `json:"oblivious_slow_node_flop_share_pct"`
+}
+
+func run(out string, meshN int, seconds float64) error {
+	m := gen.IrregularMesh(meshN, 9, 3, 31)
+	plan, err := core.NewPlan(m, core.Options{Ordering: order.MinDegree, BlockSize: core.DefaultBlockSize})
+	if err != nil {
+		return err
+	}
+	// Per-worker flop throttle such that three full-speed nodes (2 workers
+	// each) would finish the factorization in roughly the target time.
+	rate := float64(plan.Exact.Flops) / 6 / seconds
+
+	speeds := []float64{1, 1, 0.5}
+	fmt.Printf("mesh n=%d: %d flops, 3 nodes (speeds %v), ~%.1fs per run\n",
+		m.N, plan.Exact.Flops, speeds, seconds)
+
+	awareMs, awareSlow, err := runOnce(m, rate, speeds, true)
+	if err != nil {
+		return fmt.Errorf("speed-aware run: %w", err)
+	}
+	oblMs, oblSlow, err := runOnce(m, rate, speeds, false)
+	if err != nil {
+		return fmt.Errorf("oblivious run: %w", err)
+	}
+
+	r := report{
+		Problem: fmt.Sprintf("IrregularMesh(%d,9,3,31)", meshN), N: m.N,
+		Flops: plan.Exact.Flops, Nodes: 3, Speeds: speeds,
+		AwareMs: awareMs, ObliviousMs: oblMs,
+		Improvement:  100 * (1 - awareMs/oblMs),
+		AwareSlowPct: awareSlow, OblSlowPct: oblSlow,
+	}
+	fmt.Printf("speed-aware %.0f ms (slow node %.1f%% of flops) vs oblivious %.0f ms (%.1f%%): %.1f%% faster\n",
+		r.AwareMs, r.AwareSlowPct, r.ObliviousMs, r.OblSlowPct, r.Improvement)
+
+	doc, _ := json.MarshalIndent(r, "", "  ")
+	doc = append(doc, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(out, doc, 0o644)
+}
+
+// runOnce builds a fresh 3-node cluster, factors m once, and returns the
+// factor wall-clock plus the slow node's share of the executed flops. With
+// aware=false the half-speed node lies to the partitioner, so it receives
+// a full-speed node's share and becomes the straggler.
+func runOnce(m *sparse.Matrix, rate float64, speeds []float64, aware bool) (ms, slowSharePct float64, err error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+	if lerr != nil {
+		return 0, 0, lerr
+	}
+	quiet := func(string, ...any) {}
+	gw := cluster.NewGateway(cluster.GatewayConfig{
+		Procs: 6, HeartbeatTimeout: 5 * time.Second, Logf: quiet,
+	})
+	go gw.Serve(ctx, ln)
+
+	for i, sp := range speeds {
+		adv := sp
+		if !aware {
+			adv = 1
+		}
+		n := cluster.NewNode(cluster.NodeConfig{
+			ID:      fmt.Sprintf("n%d", i),
+			Gateway: ln.Addr().String(),
+			Speed:   adv,
+			// The real execution rate always honors the true speed.
+			FlopsPerSec: rate * sp,
+			Workers:     2,
+			Logf:        quiet,
+		})
+		go n.Run(ctx)
+	}
+
+	ts := httptest.NewServer(gw.Handler())
+	defer ts.Close()
+	if err := waitAlive(ts.URL, len(speeds)); err != nil {
+		return 0, 0, err
+	}
+
+	body, _ := json.Marshal(map[string]any{
+		"n": m.N, "colptr": m.ColPtr, "rowind": m.RowInd, "val": m.Val,
+	})
+	t0 := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/factor", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return 0, 0, fmt.Errorf("factor: %d %s", resp.StatusCode, e.Error)
+	}
+	ms = float64(time.Since(t0).Microseconds()) / 1000
+
+	// The slow node is the last configured one; its flop share comes from
+	// the per-node stats the gateway aggregates in /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer mresp.Body.Close()
+	var doc struct {
+		Nodes []struct {
+			ID    string `json:"id"`
+			Flops uint64 `json:"flops"`
+		} `json:"nodes"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&doc); err != nil {
+		return 0, 0, err
+	}
+	var total, slow uint64
+	slowID := fmt.Sprintf("n%d", len(speeds)-1)
+	for _, nd := range doc.Nodes {
+		total += nd.Flops
+		if nd.ID == slowID {
+			slow = nd.Flops
+		}
+	}
+	if total > 0 {
+		slowSharePct = 100 * float64(slow) / float64(total)
+	}
+	return ms, slowSharePct, nil
+}
+
+func waitAlive(url string, want int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			var h struct {
+				Nodes []struct {
+					Alive bool `json:"alive"`
+				} `json:"nodes"`
+			}
+			json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			alive := 0
+			for _, nd := range h.Nodes {
+				if nd.Alive {
+					alive++
+				}
+			}
+			if alive >= want {
+				return nil
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster never reached %d nodes", want)
+}

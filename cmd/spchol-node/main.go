@@ -1,0 +1,65 @@
+// Command spchol-node runs one worker node of a spchol cluster. It dials
+// the gateway's control listener (spchol-serve -gateway -control ...),
+// advertises its identity and relative speed, and then factors whatever
+// slice of each job's block→processor mapping the gateway assigns it,
+// exchanging completed block columns with peer nodes over TCP.
+//
+// Usage:
+//
+//	spchol-node -id n0 -gateway 127.0.0.1:9000 -data 127.0.0.1:9100
+//	spchol-node -id slow -gateway 127.0.0.1:9000 -speed 0.5
+//
+// The node reconnects-by-restart: if the gateway is unreachable the
+// process exits nonzero and a supervisor (systemd, a shell loop) is
+// expected to relaunch it; on rejoin the gateway reuses the node's slot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blockfanout/internal/cluster"
+)
+
+func main() {
+	var (
+		id       = flag.String("id", "", "stable node identity (required)")
+		gateway  = flag.String("gateway", "127.0.0.1:9000", "gateway control address to dial")
+		dataAddr = flag.String("data", "127.0.0.1:0", "listen address for peer block traffic")
+		speed    = flag.Float64("speed", 1.0, "relative speed advertised to the gateway's partitioner")
+		flops    = flag.Float64("flops-per-sec", 0, "throttle each worker to this flop rate (0 = unthrottled)")
+		workers  = flag.Int("workers", 0, "worker goroutines per factorization (0 = GOMAXPROCS)")
+		beat     = flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
+		traceDir = flag.String("trace-dir", "", "write per-epoch trace-event JSON files here")
+	)
+	flag.Parse()
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "spchol-node: -id is required")
+		os.Exit(2)
+	}
+
+	n := cluster.NewNode(cluster.NodeConfig{
+		ID:             *id,
+		Gateway:        *gateway,
+		DataAddr:       *dataAddr,
+		Speed:          *speed,
+		FlopsPerSec:    *flops,
+		Workers:        *workers,
+		HeartbeatEvery: *beat,
+		TraceDir:       *traceDir,
+		Logf:           log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := n.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "spchol-node:", err)
+		os.Exit(1)
+	}
+}

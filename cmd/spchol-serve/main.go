@@ -14,6 +14,13 @@
 // SIGINT/SIGTERM drain the server: health checks start failing (so load
 // balancers stop routing), in-flight requests finish, then the process
 // exits.
+//
+// With -gateway the process instead fronts a multi-node cluster: it opens
+// a second listener (-control) that spchol-node workers dial, shards
+// factorizations across them, and serves the same /v1/* API backed by the
+// cluster (see internal/cluster).
+//
+//	spchol-serve -gateway -addr :8080 -control :9000 -replicas 1
 package main
 
 import (
@@ -22,12 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"blockfanout/internal/cluster"
+	"blockfanout/internal/fanout"
 	"blockfanout/internal/server"
 )
 
@@ -50,10 +60,32 @@ func run() error {
 		batchLimit   = flag.Int("batch-limit", 64, "flush a batch early at this many right-hand sides")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline for heavy work")
 		block        = flag.Int("block", 0, "panel width B of new plans (0 = default 48)")
+		execMode     = flag.String("exec", "steal", "parallel execution engine: steal | spmd")
 		drainWait    = flag.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
 		debugAddr    = flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (keep it off the public network)")
+
+		gateway   = flag.Bool("gateway", false, "run as a cluster gateway instead of a single-process server")
+		control   = flag.String("control", ":9000", "gateway: listen address for spchol-node control connections")
+		replicas  = flag.Int("replicas", 1, "gateway: factor replicas besides the primary assembly node")
+		minNodes  = flag.Int("min-nodes", 1, "gateway: refuse factor requests below this many live nodes")
+		beatLimit = flag.Duration("heartbeat-timeout", 2*time.Second, "gateway: declare a silent node dead after this long")
 	)
 	flag.Parse()
+
+	mode, err := fanout.ParseMode(*execMode)
+	if err != nil {
+		return err
+	}
+
+	if *gateway {
+		return runGateway(gatewayFlags{
+			addr: *addr, control: *control, procs: *procs,
+			block: *block, exec: mode, replicas: *replicas,
+			minNodes: *minNodes, heartbeatTimeout: *beatLimit,
+			cacheEntries: *cacheEntries, cacheBytes: *cacheBytes,
+			timeout: *timeout, drainWait: *drainWait,
+		})
+	}
 
 	s := server.New(server.Config{
 		Procs:          *procs,
@@ -65,6 +97,7 @@ func run() error {
 		BatchLimit:     *batchLimit,
 		RequestTimeout: *timeout,
 		BlockSize:      *block,
+		Exec:           mode,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -111,5 +144,73 @@ func run() error {
 		_ = ds.Shutdown(shutdownCtx)
 	}
 	log.Printf("drained cleanly")
+	return <-errc
+}
+
+// gatewayFlags carries the -gateway subset of the command line.
+type gatewayFlags struct {
+	addr, control    string
+	procs, block     int
+	exec             fanout.Mode
+	replicas         int
+	minNodes         int
+	heartbeatTimeout time.Duration
+	cacheEntries     int
+	cacheBytes       int64
+	timeout          time.Duration
+	drainWait        time.Duration
+}
+
+// runGateway serves the /v1/* API backed by a node cluster instead of the
+// in-process worker pool.
+func runGateway(gf gatewayFlags) error {
+	gw := cluster.NewGateway(cluster.GatewayConfig{
+		Procs:            gf.procs,
+		BlockSize:        gf.block,
+		Exec:             gf.exec,
+		Replicas:         gf.replicas,
+		MinNodes:         gf.minNodes,
+		HeartbeatTimeout: gf.heartbeatTimeout,
+		RequestTimeout:   gf.timeout,
+		CacheEntries:     gf.cacheEntries,
+		CacheBytes:       gf.cacheBytes,
+		Logf:             log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", gf.control)
+	if err != nil {
+		return fmt.Errorf("control listener: %w", err)
+	}
+	go func() {
+		log.Printf("gateway control listener on %s", ln.Addr())
+		if err := gw.Serve(ctx, ln); err != nil {
+			log.Printf("gateway control: %v", err)
+		}
+	}()
+
+	hs := &http.Server{Addr: gf.addr, Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gateway API listening on %s", gf.addr)
+		if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), gf.drainWait)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
 	return <-errc
 }

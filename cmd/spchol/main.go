@@ -34,6 +34,7 @@ import (
 	"blockfanout/internal/core"
 	"blockfanout/internal/dot"
 	"blockfanout/internal/experiments"
+	"blockfanout/internal/fanout"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/machine"
 	"blockfanout/internal/mapping"
@@ -91,6 +92,7 @@ func run() error {
 		domains   = flag.Bool("domains", true, "use the domain/root split")
 		seed      = flag.Uint64("seed", 7, "generator seed for -mesh")
 		save      = flag.String("save", "", "with -action factor: write the factor bundle here")
+		execMode  = flag.String("exec", "steal", "parallel execution engine for -action factor: steal | spmd")
 		exp       = flag.String("exp", "", "action alias or internal/experiments runner name; picks a default problem if none is selected")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON timeline (about:tracing / Perfetto) to this file")
 	)
@@ -215,10 +217,15 @@ func run() error {
 		return err
 	}
 
+	emode, err := fanout.ParseMode(*execMode)
+	if err != nil {
+		return err
+	}
+
 	t0 := time.Now()
 	plan, err := core.NewPlan(m, core.Options{
 		Ordering: method, GridDim: gridDim, BlockSize: *blockSize,
-		Blocking: strat, AmalgThreshold: *amalg,
+		Blocking: strat, AmalgThreshold: *amalg, Exec: emode,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sparse"
+)
+
+// testCluster is an in-process gateway + N real TCP nodes on localhost.
+type testCluster struct {
+	gw      *Gateway
+	ts      *httptest.Server
+	nodes   []*Node
+	cancels []context.CancelFunc
+	cancel  context.CancelFunc
+}
+
+func quietLog(string, ...any) {}
+
+func startCluster(t *testing.T, gcfg GatewayConfig, nodeCfgs []NodeConfig) *testCluster {
+	t.Helper()
+	if gcfg.Logf == nil {
+		gcfg.Logf = quietLog
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewGateway(gcfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	go gw.Serve(ctx, ln)
+
+	tc := &testCluster{gw: gw, cancel: cancel}
+	for i := range nodeCfgs {
+		nodeCfgs[i].Gateway = ln.Addr().String()
+		if nodeCfgs[i].Logf == nil {
+			nodeCfgs[i].Logf = quietLog
+		}
+		// CI points this at an artifact directory to collect per-epoch
+		// trace-event timelines from every node.
+		if dir := os.Getenv("CLUSTER_TRACE_DIR"); dir != "" {
+			nodeCfgs[i].TraceDir = dir
+		}
+		n := NewNode(nodeCfgs[i])
+		nctx, ncancel := context.WithCancel(ctx)
+		go n.Run(nctx)
+		tc.nodes = append(tc.nodes, n)
+		tc.cancels = append(tc.cancels, ncancel)
+	}
+	tc.ts = httptest.NewServer(gw.Handler())
+	t.Cleanup(func() {
+		tc.ts.Close()
+		cancel()
+	})
+	tc.waitNodes(t, len(nodeCfgs))
+	return tc
+}
+
+// waitNodes polls /healthz until n nodes report alive.
+func (tc *testCluster) waitNodes(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var h gwHealth
+		resp, err := http.Get(tc.ts.URL + "/healthz")
+		if err == nil {
+			json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			alive := 0
+			for _, nd := range h.Nodes {
+				if nd.Alive {
+					alive++
+				}
+			}
+			if alive >= n {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("cluster never reached %d alive nodes", n)
+}
+
+func matrixBody(m *sparse.Matrix) []byte {
+	b, _ := json.Marshal(map[string]any{
+		"n": m.N, "colptr": m.ColPtr, "rowind": m.RowInd, "val": m.Val,
+	})
+	return b
+}
+
+func (tc *testCluster) factor(t *testing.T, m *sparse.Matrix) gwFactorResponse {
+	t.Helper()
+	resp, err := http.Post(tc.ts.URL+"/v1/factor", "application/json", bytes.NewReader(matrixBody(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e gwError
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("factor returned %d: %s", resp.StatusCode, e.Error)
+	}
+	var fr gwFactorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func (tc *testCluster) solve(t *testing.T, id string, b []float64) []float64 {
+	t.Helper()
+	body, _ := json.Marshal(gwSolveRequest{ID: id, B: b})
+	resp, err := http.Post(tc.ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e gwError
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("solve returned %d: %s", resp.StatusCode, e.Error)
+	}
+	var sr gwSolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr.X
+}
+
+// verifyAssembled compares an assembly node's factor against a sequential
+// factorization of the same plan, entry by entry.
+func (tc *testCluster) verifyAssembled(t *testing.T, jobID, primary string, m *sparse.Matrix, opts core.Options, tol float64) {
+	t.Helper()
+	plan, err := core.NewPlan(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqF, err := plan.FactorSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := seqF.Numeric()
+
+	var node *Node
+	for _, n := range tc.nodes {
+		if n.cfg.ID == primary {
+			node = n
+		}
+	}
+	if node == nil {
+		t.Fatalf("primary %q is not one of the test nodes", primary)
+	}
+	node.mu.Lock()
+	job := node.jobs[jobID]
+	node.mu.Unlock()
+	if job == nil {
+		t.Fatalf("primary %s holds no job %s", primary, jobID)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.nHave != job.pr.NBlocks {
+		t.Fatalf("primary holds %d/%d blocks", job.nHave, job.pr.NBlocks)
+	}
+	worst := 0.0
+	for j := range seq.Data {
+		for bi := range seq.Data[j] {
+			sd, cd := seq.Data[j][bi], job.nf.Data[j][bi]
+			for k := range sd {
+				if d := math.Abs(sd[k]-cd[k]) / (1 + math.Abs(sd[k])); d > worst {
+					worst = d
+					if d > tol {
+						t.Fatalf("block (%d,%d) entry %d: sequential %g cluster %g (rel %g > %g)",
+							j, bi, k, sd[k], cd[k], d, tol)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("assembled factor matches sequential; worst relative deviation %.3g", worst)
+}
+
+func testOpts(g GatewayConfig) core.Options {
+	o := core.Options{
+		BlockSize: g.BlockSize, Blocking: g.Blocking,
+		AmalgThreshold: g.AmalgThreshold, Exec: g.Exec,
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = core.DefaultBlockSize
+	}
+	o.Ordering = g.Ordering
+	if o.Ordering == 0 {
+		o.Ordering = order.MinDegree
+	}
+	return o
+}
+
+// TestClusterEndToEnd factors a BCSSTK31-class mesh on a gateway plus
+// three localhost nodes, verifies the assembled factor against a
+// sequential factorization to 1e-12, and solves through the gateway.
+func TestClusterEndToEnd(t *testing.T) {
+	gcfg := GatewayConfig{Procs: 6, HeartbeatTimeout: 3 * time.Second}
+	tc := startCluster(t, gcfg, []NodeConfig{
+		{ID: "n0", Workers: 2},
+		{ID: "n1", Workers: 2},
+		{ID: "n2", Workers: 2},
+	})
+	m := gen.IrregularMesh(2200, 9, 3, 31)
+	fr := tc.factor(t, m)
+	if fr.Nodes != 3 {
+		t.Fatalf("factored on %d nodes, want 3", fr.Nodes)
+	}
+	if fr.Epochs != 0 {
+		t.Fatalf("clean run took %d failover epochs", fr.Epochs)
+	}
+	tc.verifyAssembled(t, fr.ID, fr.Primary, m, testOpts(gcfg), 1e-12)
+
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	x := tc.solve(t, fr.ID, b)
+	if r := m.ResidualNorm(x, b); r > 1e-6 {
+		t.Fatalf("cluster solve residual %g", r)
+	}
+
+	// Per-node stats surface in /metrics: every node owns a slice of the
+	// blocks and at least one moved bytes across the data plane.
+	resp, err := http.Get(tc.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc gwMetricsDoc
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if len(doc.Nodes) != 3 {
+		t.Fatalf("metrics list %d nodes", len(doc.Nodes))
+	}
+	var sent uint64
+	for _, nd := range doc.Nodes {
+		sent += nd.BytesSent
+		if nd.BlocksOwned == 0 {
+			t.Errorf("node %s owns no blocks", nd.ID)
+		}
+	}
+	if sent == 0 {
+		t.Fatal("no data-plane traffic recorded")
+	}
+	if doc.FactorRequests != 1 {
+		t.Fatalf("metrics factor_requests=%d", doc.FactorRequests)
+	}
+}
+
+// TestClusterKillNodeMidFlight is the failover e2e: four throttled nodes
+// factor a BCSSTK31-class mesh, one is killed mid-factorization, the
+// gateway reassigns its blocks to the buddy and restarts the epoch, and
+// the final factor still matches the sequential one to 1e-12.
+func TestClusterKillNodeMidFlight(t *testing.T) {
+	gcfg := GatewayConfig{Procs: 8, HeartbeatTimeout: 3 * time.Second}
+	m := gen.IrregularMesh(2200, 9, 3, 31)
+	// Throttle so the clean run would take ~2.5s of cluster time: enough
+	// room to kill a node while blocks are genuinely in flight.
+	plan, err := core.NewPlan(m, testOpts(gcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(plan.Exact.Flops) / 4 / 2.5
+	mk := func(id string) NodeConfig {
+		return NodeConfig{ID: id, Workers: 2, FlopsPerSec: rate, HeartbeatEvery: 200 * time.Millisecond}
+	}
+	tc := startCluster(t, gcfg, []NodeConfig{mk("n0"), mk("n1"), mk("n2"), mk("n3")})
+
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(700 * time.Millisecond)
+		tc.cancels[3]() // fail-stop n3 mid-factorization
+		close(killed)
+	}()
+	fr := tc.factor(t, m)
+	<-killed
+	if fr.Epochs == 0 {
+		t.Fatal("node kill produced no failover epoch — the kill missed the factorization window")
+	}
+	if fr.Primary == "n3" {
+		t.Fatalf("dead node %s still primary", fr.Primary)
+	}
+	tc.verifyAssembled(t, fr.ID, fr.Primary, m, testOpts(gcfg), 1e-12)
+
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(1 + i%5)
+	}
+	x := tc.solve(t, fr.ID, b)
+	if r := m.ResidualNorm(x, b); r > 1e-6 {
+		t.Fatalf("post-failover solve residual %g", r)
+	}
+
+	var doc gwMetricsDoc
+	resp, err := http.Get(tc.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if doc.Failovers == 0 {
+		t.Fatal("metrics report no failovers")
+	}
+
+	// /healthz degrades with the dead node.
+	hresp, err := http.Get(tc.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h gwHealth
+	json.NewDecoder(hresp.Body).Decode(&h)
+	hresp.Body.Close()
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status %q after node death, want degraded", h.Status)
+	}
+}
+
+// TestClusterSpeedAwarePartition: a node advertising half speed must
+// receive measurably fewer flops, and the speed-aware makespan must beat
+// the speed-oblivious greedy split of the same loads.
+func TestClusterSpeedAwarePartition(t *testing.T) {
+	gcfg := GatewayConfig{Procs: 8, HeartbeatTimeout: 3 * time.Second}
+	tc := startCluster(t, gcfg, []NodeConfig{
+		{ID: "fast", Workers: 2, Speed: 1.0},
+		{ID: "slow", Workers: 2, Speed: 0.5},
+	})
+	m := gen.IrregularMesh(900, 9, 3, 15)
+	fr := tc.factor(t, m)
+	tc.verifyAssembled(t, fr.ID, fr.Primary, m, testOpts(gcfg), 1e-12)
+
+	nodeOf, ids := tc.gw.NodeOfSnapshot(fr.ID)
+	loads := tc.gw.Loads(fr.ID)
+	if nodeOf == nil || loads == nil {
+		t.Fatal("gateway kept no partition snapshot")
+	}
+	speed := map[string]float64{"fast": 1.0, "slow": 0.5}
+	nodeLoad := make([]float64, len(ids))
+	for p, nd := range nodeOf {
+		nodeLoad[nd] += float64(loads[p])
+	}
+	var fastL, slowL float64
+	for i, id := range ids {
+		if id == "fast" {
+			fastL = nodeLoad[i]
+		} else {
+			slowL = nodeLoad[i]
+		}
+	}
+	if slowL >= fastL {
+		t.Fatalf("half-speed node got %.3g flops, fast node %.3g — speed ignored", slowL, fastL)
+	}
+
+	// Speed-aware vs oblivious makespan on the same loads.
+	ord := make([]int, len(loads))
+	for i := range ord {
+		ord[i] = i
+	}
+	for i := 1; i < len(ord); i++ {
+		for k := i; k > 0 && loads[ord[k]] > loads[ord[k-1]]; k-- {
+			ord[k], ord[k-1] = ord[k-1], ord[k]
+		}
+	}
+	obl := mapping.Greedy(ord, loads, len(ids))
+	oblLoad := make([]float64, len(ids))
+	for p, nd := range obl {
+		oblLoad[nd] += float64(loads[p])
+	}
+	mk := func(l []float64) float64 {
+		worst := 0.0
+		for i, id := range ids {
+			if ft := l[i] / speed[id]; ft > worst {
+				worst = ft
+			}
+		}
+		return worst
+	}
+	if aware, oblivious := mk(nodeLoad), mk(oblLoad); aware >= oblivious {
+		t.Fatalf("speed-aware makespan %.3g not better than oblivious %.3g", aware, oblivious)
+	} else {
+		t.Logf("makespan: speed-aware %.4g vs oblivious %.4g (%.1f%% better)",
+			aware, oblivious, 100*(1-aware/oblivious))
+	}
+}
+
+// TestClusterRefactorSamePattern: a second factor request with the same
+// pattern but new values reuses the cached plan (cache_hit) and solves
+// against the new values.
+func TestClusterRefactorSamePattern(t *testing.T) {
+	gcfg := GatewayConfig{Procs: 4, HeartbeatTimeout: 3 * time.Second}
+	tc := startCluster(t, gcfg, []NodeConfig{
+		{ID: "a", Workers: 2},
+		{ID: "b", Workers: 2},
+	})
+	m := gen.IrregularMesh(400, 7, 3, 9)
+	fr1 := tc.factor(t, m)
+	if fr1.CacheHit {
+		t.Fatal("first factor reported a cache hit")
+	}
+
+	m2 := &sparse.Matrix{N: m.N, ColPtr: m.ColPtr, RowInd: m.RowInd, Val: append([]float64(nil), m.Val...)}
+	for j := 0; j < m2.N; j++ {
+		m2.Val[m2.ColPtr[j]] *= 2 // same pattern, scaled diagonal
+	}
+	fr2 := tc.factor(t, m2)
+	if !fr2.CacheHit {
+		t.Fatal("same-pattern refactor missed the plan cache")
+	}
+	if fr2.ID != fr1.ID {
+		t.Fatalf("pattern id changed: %s vs %s", fr1.ID, fr2.ID)
+	}
+	b := make([]float64, m2.N)
+	for i := range b {
+		b[i] = float64(i%3 + 1)
+	}
+	x := tc.solve(t, fr2.ID, b)
+	if r := m2.ResidualNorm(x, b); r > 1e-6 {
+		t.Fatalf("refactor solve residual %g against new values", r)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debug helpers

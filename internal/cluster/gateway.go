@@ -1,0 +1,959 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockfanout/internal/blocks"
+	"blockfanout/internal/cluster/wire"
+	"blockfanout/internal/core"
+	"blockfanout/internal/fanout"
+	"blockfanout/internal/kernels"
+	"blockfanout/internal/machine"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/order"
+	"blockfanout/internal/plancache"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/server"
+	"blockfanout/internal/sparse"
+)
+
+// GatewayConfig configures the cluster gateway.
+type GatewayConfig struct {
+	// Procs is the virtual processor count of every job's block mapping
+	// (default 8); the speed-aware partition spreads these over the nodes.
+	Procs int
+	// Plan-construction options, shared with every node (default: uniform
+	// blocking, MinDegree ordering, work-stealing engine).
+	BlockSize      int
+	Blocking       blocks.Strategy
+	Ordering       order.Method
+	Exec           fanout.Mode
+	AmalgThreshold float64
+	// Replicas is how many assembly targets hold the factor beyond the
+	// primary (default 1), for solve failover.
+	Replicas int
+	// MinNodes gates factor requests until this many nodes joined
+	// (default 1).
+	MinNodes int
+	// HeartbeatTimeout declares a silent node dead (default 2s).
+	HeartbeatTimeout time.Duration
+	// RequestTimeout bounds each HTTP request's work (default 120s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 512 MiB).
+	MaxBodyBytes int64
+	// CacheEntries/CacheBytes budget the gateway's plan cache.
+	CacheEntries int
+	CacheBytes   int64
+	// Logf receives progress lines; default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *GatewayConfig) fillDefaults() {
+	if c.Procs <= 0 {
+		c.Procs = 8
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = core.DefaultBlockSize
+	}
+	if c.Ordering == 0 {
+		c.Ordering = order.MinDegree
+	}
+	if c.Replicas < 0 {
+		c.Replicas = 0
+	} else if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.MinNodes <= 0 {
+		c.MinNodes = 1
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 120 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 512 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// member is one joined node.
+type member struct {
+	idx      int
+	id       string
+	dataAddr string
+	speed    float64
+
+	sendMu sync.Mutex
+	conn   net.Conn
+
+	mu       sync.Mutex
+	alive    bool
+	lastBeat time.Time
+	stats    wire.NodeStats
+	pending  map[uint64]chan *wire.SolveResp // in-flight solves by seq
+}
+
+func (m *member) send(f wire.Frame) error {
+	m.sendMu.Lock()
+	defer m.sendMu.Unlock()
+	if m.conn == nil {
+		return fmt.Errorf("cluster: node %s disconnected", m.id)
+	}
+	return wire.WriteFrame(m.conn, f)
+}
+
+func (m *member) isAlive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.alive
+}
+
+// gwJob is one pattern's distributed factorization state on the gateway.
+type gwJob struct {
+	id string
+
+	// reqMu serializes factor requests per pattern (a run must finish or
+	// fail before the next re-shards the same job).
+	reqMu sync.Mutex
+
+	plan  *core.Plan
+	pr    *sched.Program
+	loads []int64 // per-virtual-processor flops
+
+	mu       sync.Mutex
+	runID    uint64
+	epoch    uint32
+	members  []*member // participant index → member (fixed per run)
+	nodeOf   []uint16
+	primary  int
+	replicas []int
+	doneOK   map[int]bool
+	failures []*wire.Done
+	ready    map[int]bool
+	frontier uint32
+	notify   chan struct{}
+	solvable bool
+	val      []float64 // current run's matrix values (for failover restarts)
+}
+
+func (j *gwJob) wake() {
+	select {
+	case j.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Gateway shards factor ownership across worker nodes and fails running
+// factorizations over to buddies when a node dies. Mount Handler behind
+// HTTP; Serve accepts node control connections.
+type Gateway struct {
+	cfg   GatewayConfig
+	cache *plancache.Cache
+
+	planOpts core.Options
+	planKey  uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	ln     net.Listener
+
+	mu      sync.Mutex
+	members []*member
+	byID    map[string]int
+	jobs    map[string]*gwJob
+
+	runSeq   atomic.Uint64
+	solveSeq atomic.Uint64
+
+	metFactorReqs atomic.Uint64
+	metSolveReqs  atomic.Uint64
+	metFailovers  atomic.Uint64
+	metEpochs     atomic.Uint64
+}
+
+// NewGateway builds a gateway; call Serve with a listener for the node
+// control plane.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	cfg.fillDefaults()
+	opts := core.Options{
+		BlockSize:      cfg.BlockSize,
+		Ordering:       cfg.Ordering,
+		Blocking:       cfg.Blocking,
+		AmalgThreshold: cfg.AmalgThreshold,
+		Exec:           cfg.Exec,
+	}
+	return &Gateway{
+		cfg:      cfg,
+		cache:    plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		planOpts: opts,
+		planKey:  opts.ConfigKey(),
+		byID:     make(map[string]int),
+		jobs:     make(map[string]*gwJob),
+	}
+}
+
+// Serve accepts node control connections on ln until ctx is cancelled.
+func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
+	g.ctx, g.cancel = context.WithCancel(ctx)
+	defer g.cancel()
+	g.ln = ln
+	stop := context.AfterFunc(g.ctx, func() { ln.Close() })
+	defer stop()
+	g.wg.Add(1)
+	go g.watchdog()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			g.cancel()
+			g.wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		g.wg.Add(1)
+		go g.nodeConn(conn)
+	}
+}
+
+// nodeConn handles one node's control connection: Hello registers it, then
+// heartbeats, Done, FactorReady, and SolveResp frames flow until the
+// connection drops — which declares the node dead immediately.
+func (g *Gateway) nodeConn(conn net.Conn) {
+	defer g.wg.Done()
+	defer conn.Close()
+	stop := context.AfterFunc(g.ctx, func() { conn.Close() })
+	defer stop()
+
+	f, err := wire.ReadFrame(conn)
+	if err != nil || f.Type != wire.THello {
+		g.cfg.Logf("cluster gateway: connection from %v did not Hello", conn.RemoteAddr())
+		return
+	}
+	m := g.register(f.Hello, conn)
+	g.cfg.Logf("cluster gateway: node %s joined (data %s, speed %.2f)", m.id, m.dataAddr, m.speed)
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			g.markDead(m, fmt.Sprintf("control connection lost: %v", err))
+			return
+		}
+		switch f.Type {
+		case wire.THeartbeat:
+			m.mu.Lock()
+			m.lastBeat = time.Now()
+			m.stats = f.Heartbeat.Stats
+			m.mu.Unlock()
+		case wire.TDone:
+			g.handleDone(m, f.Done)
+		case wire.TFactorReady:
+			g.handleReady(m, f.FactorReady)
+		case wire.TSolveResp:
+			m.mu.Lock()
+			ch := m.pending[f.SolveResp.Seq]
+			delete(m.pending, f.SolveResp.Seq)
+			m.mu.Unlock()
+			if ch != nil {
+				ch <- f.SolveResp
+			}
+		default:
+			g.cfg.Logf("cluster gateway: unexpected frame %v from node %s", f.Type, m.id)
+		}
+	}
+}
+
+func (g *Gateway) register(h *wire.Hello, conn net.Conn) *member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i, ok := g.byID[h.ID]; ok {
+		// Rejoin: reuse the slot so participant indices stay stable.
+		m := g.members[i]
+		m.sendMu.Lock()
+		m.conn = conn
+		m.sendMu.Unlock()
+		m.mu.Lock()
+		m.dataAddr, m.speed = h.DataAddr, h.Speed
+		m.alive, m.lastBeat = true, time.Now()
+		m.mu.Unlock()
+		return m
+	}
+	m := &member{
+		idx: len(g.members), id: h.ID, dataAddr: h.DataAddr, speed: h.Speed,
+		conn: conn, alive: true, lastBeat: time.Now(),
+		pending: make(map[uint64]chan *wire.SolveResp),
+	}
+	g.members = append(g.members, m)
+	g.byID[h.ID] = m.idx
+	return m
+}
+
+func (g *Gateway) watchdog() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HeartbeatTimeout / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-t.C:
+			g.mu.Lock()
+			members := append([]*member(nil), g.members...)
+			g.mu.Unlock()
+			for _, m := range members {
+				m.mu.Lock()
+				silent := m.alive && time.Since(m.lastBeat) > g.cfg.HeartbeatTimeout
+				m.mu.Unlock()
+				if silent {
+					g.markDead(m, "heartbeat timeout")
+				}
+			}
+		}
+	}
+}
+
+// markDead declares a node dead and fails over every job it participates
+// in: its virtual processors move to the buddy, assembly targets are
+// re-picked if needed, and the epoch restarts on the survivors.
+func (g *Gateway) markDead(m *member, reason string) {
+	m.mu.Lock()
+	was := m.alive
+	m.alive = false
+	m.mu.Unlock()
+	if !was {
+		return
+	}
+	g.cfg.Logf("cluster gateway: node %s dead (%s)", m.id, reason)
+	g.mu.Lock()
+	jobs := make([]*gwJob, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		jobs = append(jobs, j)
+	}
+	g.mu.Unlock()
+	for _, j := range jobs {
+		g.failover(j, m)
+	}
+}
+
+// failover restarts j's current run without dead, if dead participates.
+func (g *Gateway) failover(j *gwJob, dead *member) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	deadIdx := -1
+	alive := make([]bool, len(j.members))
+	for i, m := range j.members {
+		alive[i] = m.isAlive()
+		if m == dead {
+			deadIdx = i
+		}
+	}
+	if deadIdx < 0 || j.runID == 0 || j.solvable || len(j.failures) > 0 {
+		// Node not in this run, run already completed (solve routing
+		// handles assembly-target death separately), or run already
+		// failed — nothing to restart.
+		j.wake()
+		return
+	}
+	anyAlive := false
+	for _, a := range alive {
+		anyAlive = anyAlive || a
+	}
+	if !anyAlive {
+		j.failures = append(j.failures, &wire.Done{
+			JobID: j.id, RunID: j.runID, Epoch: j.epoch, Err: "all nodes dead",
+		})
+		j.wake()
+		return
+	}
+
+	// Buddy recovery over participant indices, shared with the simulator's
+	// fault plan: every processor of a dead node moves to the next
+	// survivor. Cascading failures compose (buddy-of-a-buddy).
+	for p, nd := range j.nodeOf {
+		if !alive[nd] {
+			j.nodeOf[p] = uint16(machine.Buddy(int32(nd), alive))
+		}
+	}
+	// Re-pick assembly targets among survivors, keyed by the same ring so
+	// surviving targets stay targets.
+	ids := make([]string, len(j.members))
+	for i, m := range j.members {
+		ids[i] = m.id
+	}
+	asm := buildRing(ids).pick(fnv1a(j.id), 1+g.cfg.Replicas, func(i int) bool { return alive[i] })
+	j.primary, j.replicas = asm[0], asm[1:]
+
+	// Frontier: the minimum completed-column watermark reported by the
+	// last epoch's Done frames (observability; restart granularity is the
+	// per-block predone set each node keeps).
+	j.epoch++
+	g.metFailovers.Add(1)
+	g.metEpochs.Add(1)
+	j.doneOK = make(map[int]bool)
+	for i := range j.ready {
+		if !alive[i] {
+			delete(j.ready, i)
+		}
+	}
+	g.cfg.Logf("cluster gateway: job %s failing over to epoch %d (primary %s)", j.id, j.epoch, j.members[j.primary].id)
+	g.broadcastStartLocked(j)
+	j.wake()
+}
+
+func (j *gwJob) allDoneLocked() bool {
+	for i, m := range j.members {
+		if m.isAlive() && !j.doneOK[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastStartLocked sends the current epoch's StartJob to every alive
+// participant. Caller holds j.mu.
+func (g *Gateway) broadcastStartLocked(j *gwJob) {
+	colptr, rowind := matrixToWire(j.plan.A)
+	parts := make([]wire.Participant, len(j.members))
+	for i, m := range j.members {
+		m.mu.Lock()
+		parts[i] = wire.Participant{ID: m.id, DataAddr: m.dataAddr, Alive: m.alive}
+		m.mu.Unlock()
+	}
+	reps := make([]uint16, len(j.replicas))
+	for i, r := range j.replicas {
+		reps[i] = uint16(r)
+	}
+	sj := &wire.StartJob{
+		JobID: j.id, RunID: j.runID, Epoch: j.epoch,
+		N: uint32(j.plan.A.N), ColPtr: colptr, RowInd: rowind, Val: j.val,
+		BlockSize: uint32(g.cfg.BlockSize),
+		Blocking:  uint8(g.cfg.Blocking), Ordering: uint8(g.cfg.Ordering),
+		Exec: uint8(g.cfg.Exec), AmalgThr: g.cfg.AmalgThreshold,
+		Procs: uint32(g.cfg.Procs), NodeOf: append([]uint16(nil), j.nodeOf...),
+		Participants: parts, Primary: uint16(j.primary), Replicas: reps,
+		Frontier: j.frontier,
+	}
+	for i, m := range j.members {
+		if !parts[i].Alive {
+			continue
+		}
+		if err := m.send(wire.Frame{Type: wire.TStartJob, StartJob: sj}); err != nil {
+			g.cfg.Logf("cluster gateway: start to %s: %v", m.id, err)
+		}
+	}
+}
+
+func (g *Gateway) jobByID(id string) *gwJob {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.jobs[id]
+}
+
+func (g *Gateway) handleDone(m *member, dn *wire.Done) {
+	// Done frames carry a stats snapshot fresher than the last heartbeat;
+	// fold it in so /metrics reflects a job the moment it completes.
+	m.mu.Lock()
+	m.stats = dn.Stats
+	m.mu.Unlock()
+	j := g.jobByID(dn.JobID)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if dn.RunID != j.runID || dn.Epoch != j.epoch {
+		return
+	}
+	pidx := -1
+	for i, pm := range j.members {
+		if pm == m {
+			pidx = i
+		}
+	}
+	if pidx < 0 {
+		return
+	}
+	if dn.Watermark > j.frontier {
+		j.frontier = dn.Watermark
+	}
+	if dn.OK {
+		j.doneOK[pidx] = true
+	} else {
+		j.failures = append(j.failures, dn)
+	}
+	j.wake()
+}
+
+func (g *Gateway) handleReady(m *member, fr *wire.FactorReady) {
+	j := g.jobByID(fr.JobID)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if fr.RunID != j.runID {
+		return
+	}
+	for i, pm := range j.members {
+		if pm == m {
+			j.ready[i] = true
+		}
+	}
+	j.wake()
+}
+
+// ---- HTTP API ----
+
+// Handler returns the gateway's HTTP mux: the serving tier's /v1 surface
+// backed by the cluster instead of an in-process executor.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/factor", g.handleFactor)
+	mux.HandleFunc("/v1/solve", g.handleSolve)
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	return mux
+}
+
+type gwError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, gwError{Error: err.Error()})
+}
+
+type gwFactorResponse struct {
+	ID        string  `json:"id"`
+	N         int     `json:"n"`
+	NNZ       int     `json:"nnz"`
+	NNZL      int64   `json:"nnz_l"`
+	Flops     int64   `json:"flops"`
+	CacheHit  bool    `json:"cache_hit"`
+	Nodes     int     `json:"nodes"`
+	Epochs    uint32  `json:"epochs"` // failover restarts this run survived
+	Primary   string  `json:"primary"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+func (g *Gateway) handleFactor(w http.ResponseWriter, r *http.Request) {
+	g.metFactorReqs.Add(1)
+	if r.Method != http.MethodPost {
+		g.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	m, err := server.ReadMatrix(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
+	if err != nil {
+		g.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	resp, code, err := g.factor(ctx, m)
+	if err != nil {
+		g.writeErr(w, code, err)
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1e3
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// factor runs one distributed factorization to completion (through any
+// failovers) and returns the response.
+func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorResponse, int, error) {
+	id := fmt.Sprintf("%016x", m.PatternHash())
+	entry, hit, err := g.cache.GetOrBuild(m, g.planKey, func() (*core.Plan, sched.Assignment, error) {
+		plan, err := core.NewPlan(m, g.planOpts)
+		if err != nil {
+			return nil, sched.Assignment{}, err
+		}
+		a, _ := buildSchedule(plan, g.cfg.Procs)
+		return plan, a, nil
+	})
+	if err != nil {
+		return nil, http.StatusUnprocessableEntity, err
+	}
+
+	g.mu.Lock()
+	j, ok := g.jobs[id]
+	if !ok {
+		j = &gwJob{id: id, notify: make(chan struct{}, 1)}
+		g.jobs[id] = j
+	}
+	g.mu.Unlock()
+
+	j.reqMu.Lock()
+	defer j.reqMu.Unlock()
+
+	if j.plan == nil {
+		j.plan = entry.Plan
+		j.pr = sched.Build(entry.Plan.BS, entry.Assign)
+		j.loads = procLoads(j.pr)
+	} else if !j.plan.A.SamePattern(m) {
+		return nil, http.StatusConflict, fmt.Errorf("factor id %s is held by a different sparsity pattern (hash collision)", id)
+	}
+
+	// Snapshot alive members as this run's fixed participant list.
+	g.mu.Lock()
+	var parts []*member
+	for _, mm := range g.members {
+		if mm.isAlive() {
+			parts = append(parts, mm)
+		}
+	}
+	g.mu.Unlock()
+	if len(parts) < g.cfg.MinNodes {
+		return nil, http.StatusServiceUnavailable,
+			fmt.Errorf("cluster has %d nodes, need %d", len(parts), g.cfg.MinNodes)
+	}
+
+	j.mu.Lock()
+	j.members = parts
+	j.runID = g.runSeq.Add(1)
+	j.epoch = 0
+	j.frontier = 0
+	j.val = m.Val
+	j.doneOK = make(map[int]bool)
+	j.failures = nil
+	j.ready = make(map[int]bool)
+	j.solvable = false
+	j.nodeOf = g.partitionLocked(j)
+	ids := make([]string, len(parts))
+	for i, mm := range parts {
+		ids[i] = mm.id
+	}
+	asm := buildRing(ids).pick(fnv1a(id), 1+g.cfg.Replicas, func(i int) bool { return parts[i].isAlive() })
+	j.primary, j.replicas = asm[0], asm[1:]
+	g.metEpochs.Add(1)
+	g.broadcastStartLocked(j)
+	runID := j.runID
+	j.mu.Unlock()
+
+	// Wait for every (surviving) participant's Done plus at least one
+	// assembly target holding the full factor. Failovers reset the done
+	// set; failures surface ranked (lowest pivot coordinates win, matching
+	// the deterministic contract of the in-process executor).
+	for {
+		j.mu.Lock()
+		if j.runID != runID {
+			j.mu.Unlock()
+			return nil, http.StatusConflict, errors.New("superseded by a newer factor request")
+		}
+		if len(j.failures) > 0 {
+			fail := bestFailure(j.failures)
+			j.mu.Unlock()
+			g.abort(j, runID, fail.Err)
+			if fail.HasPivot {
+				return nil, http.StatusUnprocessableEntity, &kernels.PivotError{
+					Block: int(fail.PivotBlock), Row: int(fail.PivotRow), Pivot: fail.Pivot,
+				}
+			}
+			return nil, http.StatusInternalServerError, errors.New(fail.Err)
+		}
+		if j.allDoneLocked() && len(j.ready) > 0 {
+			j.solvable = true
+			epochs := j.epoch
+			primary := j.members[j.primary].id
+			nodes := len(j.members)
+			j.mu.Unlock()
+			plan := j.plan
+			return &gwFactorResponse{
+				ID: id, N: m.N, NNZ: m.NNZ(),
+				NNZL: plan.Exact.NZinL, Flops: plan.Exact.Flops,
+				CacheHit: hit, Nodes: nodes, Epochs: epochs, Primary: primary,
+			}, 0, nil
+		}
+		j.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			g.abort(j, runID, "request cancelled")
+			return nil, http.StatusGatewayTimeout, ctx.Err()
+		case <-j.notify:
+		}
+	}
+}
+
+// partitionLocked assigns virtual processors to the run's participants:
+// processors in decreasing flop load, each to the node finishing it
+// soonest at its advertised speed. Caller holds j.mu.
+func (g *Gateway) partitionLocked(j *gwJob) []uint16 {
+	speeds := make([]float64, len(j.members))
+	for i, m := range j.members {
+		speeds[i] = m.speed
+	}
+	ord := make([]int, len(j.loads))
+	for i := range ord {
+		ord[i] = i
+	}
+	// Decreasing load, mirroring mapping.Greedy's convention.
+	for i := 1; i < len(ord); i++ {
+		for k := i; k > 0 && j.loads[ord[k]] > j.loads[ord[k-1]]; k-- {
+			ord[k], ord[k-1] = ord[k-1], ord[k]
+		}
+	}
+	asg := mapping.GreedyWeighted(ord, j.loads, speeds)
+	nodeOf := make([]uint16, len(asg))
+	for p, nd := range asg {
+		nodeOf[p] = uint16(nd)
+	}
+	return nodeOf
+}
+
+// bestFailure ranks failures like the in-process executor: any pivot error
+// beats an infrastructure error, and among pivots the lowest (Block, Row)
+// wins, so concurrent breakdowns surface deterministically.
+func bestFailure(fs []*wire.Done) *wire.Done {
+	best := fs[0]
+	for _, f := range fs[1:] {
+		switch {
+		case f.HasPivot && !best.HasPivot:
+			best = f
+		case f.HasPivot && best.HasPivot:
+			if f.PivotBlock < best.PivotBlock ||
+				(f.PivotBlock == best.PivotBlock && f.PivotRow < best.PivotRow) {
+				best = f
+			}
+		}
+	}
+	return best
+}
+
+func (g *Gateway) abort(j *gwJob, runID uint64, reason string) {
+	j.mu.Lock()
+	members := append([]*member(nil), j.members...)
+	epoch := j.epoch
+	j.mu.Unlock()
+	ab := &wire.Abort{JobID: j.id, RunID: runID, Epoch: epoch, Reason: reason}
+	for _, m := range members {
+		if m.isAlive() {
+			_ = m.send(wire.Frame{Type: wire.TAbort, Abort: ab})
+		}
+	}
+}
+
+type gwSolveRequest struct {
+	ID string    `json:"id"`
+	B  []float64 `json:"b"`
+}
+
+type gwSolveResponse struct {
+	ID        string    `json:"id"`
+	X         []float64 `json:"x"`
+	Node      string    `json:"node"`
+	ElapsedMs float64   `json:"elapsed_ms"`
+}
+
+func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
+	g.metSolveReqs.Add(1)
+	if r.Method != http.MethodPost {
+		g.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	var req gwSolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		g.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j := g.jobByID(req.ID)
+	if j == nil {
+		g.writeErr(w, http.StatusNotFound, fmt.Errorf("no factor %q", req.ID))
+		return
+	}
+	// Route to the primary if it still holds the factor, else any ready
+	// replica — the solve-side half of buddy failover.
+	j.mu.Lock()
+	if !j.solvable {
+		j.mu.Unlock()
+		g.writeErr(w, http.StatusConflict, fmt.Errorf("factor %q is not ready", req.ID))
+		return
+	}
+	var targets []*member
+	order := append([]int{j.primary}, j.replicas...)
+	for _, i := range order {
+		if j.ready[i] && j.members[i].isAlive() {
+			targets = append(targets, j.members[i])
+		}
+	}
+	j.mu.Unlock()
+	if len(targets) == 0 {
+		g.writeErr(w, http.StatusServiceUnavailable, errors.New("no assembly node holds the factor"))
+		return
+	}
+
+	start := time.Now()
+	var lastErr error
+	for _, t := range targets {
+		x, err := g.solveOn(ctx, t, req.ID, req.B)
+		if err == nil {
+			writeJSON(w, http.StatusOK, gwSolveResponse{
+				ID: req.ID, X: x, Node: t.id,
+				ElapsedMs: float64(time.Since(start).Microseconds()) / 1e3,
+			})
+			return
+		}
+		lastErr = err
+	}
+	g.writeErr(w, http.StatusInternalServerError, lastErr)
+}
+
+func (g *Gateway) solveOn(ctx context.Context, m *member, jobID string, b []float64) ([]float64, error) {
+	seq := g.solveSeq.Add(1)
+	ch := make(chan *wire.SolveResp, 1)
+	m.mu.Lock()
+	m.pending[seq] = ch
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.pending, seq)
+		m.mu.Unlock()
+	}()
+	if err := m.send(wire.Frame{Type: wire.TSolveReq, SolveReq: &wire.SolveReq{Seq: seq, JobID: jobID, B: b}}); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case resp := <-ch:
+		if !resp.OK {
+			return nil, errors.New(resp.Err)
+		}
+		return resp.X, nil
+	}
+}
+
+type gwNodeHealth struct {
+	ID         string  `json:"id"`
+	Alive      bool    `json:"alive"`
+	DataAddr   string  `json:"data_addr"`
+	LastBeatMs float64 `json:"last_heartbeat_ms"`
+	Speed      float64 `json:"speed"`
+}
+
+type gwHealth struct {
+	Status string         `json:"status"` // ok | degraded | down
+	Nodes  []gwNodeHealth `json:"nodes"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	members := append([]*member(nil), g.members...)
+	g.mu.Unlock()
+	h := gwHealth{Status: "ok"}
+	aliveN := 0
+	for _, m := range members {
+		m.mu.Lock()
+		nh := gwNodeHealth{
+			ID: m.id, Alive: m.alive, DataAddr: m.dataAddr, Speed: m.speed,
+			LastBeatMs: float64(time.Since(m.lastBeat).Microseconds()) / 1e3,
+		}
+		m.mu.Unlock()
+		if nh.Alive {
+			aliveN++
+		}
+		h.Nodes = append(h.Nodes, nh)
+	}
+	code := http.StatusOK
+	switch {
+	case aliveN == 0:
+		h.Status = "down"
+		code = http.StatusServiceUnavailable
+	case aliveN < len(members):
+		h.Status = "degraded"
+	}
+	writeJSON(w, code, h)
+}
+
+type gwNodeMetrics struct {
+	ID          string `json:"id"`
+	Alive       bool   `json:"alive"`
+	BlocksOwned uint64 `json:"blocks_owned"`
+	BlocksDone  uint64 `json:"blocks_done"`
+	Flops       uint64 `json:"flops"`
+	Steals      uint64 `json:"steals"`
+	BytesSent   uint64 `json:"bytes_sent"`
+	BytesRecv   uint64 `json:"bytes_received"`
+	Failovers   uint64 `json:"failovers"`
+}
+
+type gwMetricsDoc struct {
+	FactorRequests uint64          `json:"factor_requests"`
+	SolveRequests  uint64          `json:"solve_requests"`
+	Failovers      uint64          `json:"failovers"`
+	Epochs         uint64          `json:"epochs_started"`
+	Jobs           int             `json:"jobs"`
+	Nodes          []gwNodeMetrics `json:"nodes"`
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	members := append([]*member(nil), g.members...)
+	jobs := len(g.jobs)
+	g.mu.Unlock()
+	doc := gwMetricsDoc{
+		FactorRequests: g.metFactorReqs.Load(),
+		SolveRequests:  g.metSolveReqs.Load(),
+		Failovers:      g.metFailovers.Load(),
+		Epochs:         g.metEpochs.Load(),
+		Jobs:           jobs,
+	}
+	for _, m := range members {
+		m.mu.Lock()
+		doc.Nodes = append(doc.Nodes, gwNodeMetrics{
+			ID: m.id, Alive: m.alive,
+			BlocksOwned: m.stats.BlocksOwned, BlocksDone: m.stats.BlocksDone,
+			Flops: m.stats.Flops, Steals: m.stats.Steals,
+			BytesSent: m.stats.BytesSent, BytesRecv: m.stats.BytesRecv,
+			Failovers: m.stats.Failovers,
+		})
+		m.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// NodeOfSnapshot returns the current processor→node partition of a job's
+// run, for tests and benchmarks asserting on the speed-aware split.
+func (g *Gateway) NodeOfSnapshot(jobID string) ([]uint16, []string) {
+	j := g.jobByID(jobID)
+	if j == nil {
+		return nil, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ids := make([]string, len(j.members))
+	for i, m := range j.members {
+		ids[i] = m.id
+	}
+	return append([]uint16(nil), j.nodeOf...), ids
+}
+
+// Loads returns a job's per-processor flop loads (after a factor request
+// built the schedule).
+func (g *Gateway) Loads(jobID string) []int64 {
+	j := g.jobByID(jobID)
+	if j == nil {
+		return nil
+	}
+	return append([]int64(nil), j.loads...)
+}

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to every payload decoder. The codec's
+// contract is totality: any input either decodes or errors — no panics, no
+// allocations beyond the input's own size class.
+func FuzzDecode(f *testing.F) {
+	seedFrames := []Frame{
+		{Type: THello, Hello: &Hello{ID: "n", DataAddr: "a:1", Speed: 1}},
+		{Type: THeartbeat, Heartbeat: &Heartbeat{}},
+		{Type: TStartJob, StartJob: &StartJob{
+			JobID: "j", N: 2, ColPtr: []uint32{0, 1, 2}, RowInd: []uint32{0, 1},
+			Val: []float64{1, 2}, NodeOf: []uint16{0, 1},
+			Participants: []Participant{{ID: "n", DataAddr: "a:1", Alive: true}},
+		}},
+		{Type: TAbort, Abort: &Abort{JobID: "j", Reason: "r"}},
+		{Type: TBlockData, BlockData: &BlockData{JobID: "j", Block: 3, Data: []float64{1}}},
+		{Type: TDone, Done: &Done{JobID: "j", HasPivot: true, PivotBlock: 1}},
+		{Type: TFactorReady, FactorReady: &FactorReady{JobID: "j"}},
+		{Type: TSolveReq, SolveReq: &SolveReq{Seq: 1, JobID: "j", B: []float64{1}}},
+		{Type: TSolveResp, SolveResp: &SolveResp{Seq: 1, OK: true, X: []float64{1}}},
+	}
+	for _, fr := range seedFrames {
+		b, err := Encode(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(byte(fr.Type), b[7:])
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), []byte{0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, typ byte, body []byte) {
+		fr, err := Decode(Type(typ), body)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same frame
+		// (canonical form: decoding is injective on valid payloads).
+		b2, err := Encode(fr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		fr2, err := Decode(Type(typ), b2[7:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		b3, err := Encode(fr2)
+		if err != nil {
+			t.Fatalf("third encode failed: %v", err)
+		}
+		if !bytes.Equal(b2, b3) {
+			t.Fatalf("encode not stable:\n first %x\nsecond %x", b2, b3)
+		}
+	})
+}
+
+// FuzzReadFrame drives the stream layer (header parsing + payload
+// dispatch) with arbitrary bytes.
+func FuzzReadFrame(f *testing.F) {
+	b, err := Encode(Frame{Type: THello, Hello: &Hello{ID: "n", DataAddr: "a", Speed: 1}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add([]byte{Magic, Version, byte(TDone), 0, 0, 0, 0})
+	f.Add([]byte{Magic, Version + 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadFrame(bytes.NewReader(data))
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"blockfanout/internal/blocks"
+	"blockfanout/internal/fanout"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/mapping"
 	ord "blockfanout/internal/order"
@@ -85,6 +86,11 @@ func TestConfigKeyDistinguishesOptions(t *testing.T) {
 		{Ordering: ord.MinDegree, BlockSize: 16, Blocking: blocks.StrategyStaged},
 		{Ordering: ord.MinDegree, BlockSize: 16, Blocking: blocks.StrategyIrregular},
 		{Ordering: ord.MinDegree, BlockSize: 16, Blocking: blocks.StrategyIrregular, AmalgThreshold: 0.2},
+		// The executor mode changes no symbolic structure, but serving
+		// tiers key executors off cached plan entries, so it must still
+		// separate cache keys (the regression behind this line: SPMD and
+		// steal requests aliasing one entry).
+		{Ordering: ord.MinDegree, BlockSize: 16, Exec: fanout.ModeSPMD},
 	}
 	seen := map[uint64]int{base.ConfigKey(): -1}
 	for i, v := range variants {

@@ -59,6 +59,12 @@ type Options struct {
 	// under this fraction of the merged trapezoid. ≤0 means the default
 	// (symbolic.DefaultAmalgamation().MaxZeroFrac).
 	AmalgThreshold float64
+	// Exec selects the parallel execution engine (default
+	// fanout.ModeWorkStealing). It does not change the analyzed structure,
+	// but it is part of ConfigKey: an executor is built per plan entry by
+	// the serving tier, so plans requested under different engines must
+	// never alias in the plan cache.
+	Exec fanout.Mode
 }
 
 // ConfigKey returns a 64-bit FNV-1a digest of every option that changes the
@@ -82,6 +88,7 @@ func (o Options) ConfigKey() uint64 {
 	mix(uint64(o.Ordering))
 	mix(uint64(o.GridDim))
 	mix(uint64(o.Blocking))
+	mix(uint64(o.Exec))
 	mix(math.Float64bits(o.AmalgThreshold))
 	if o.Amalgamation != nil {
 		mix(1)
@@ -99,6 +106,9 @@ func (o Options) ConfigKey() uint64 {
 // are safe for concurrent use; the Plan itself is never mutated after
 // NewPlan.
 type Plan struct {
+	// Opts are the options the plan was built with; factorization entry
+	// points read Opts.Exec to pick the execution engine.
+	Opts Options
 	A    *sparse.Matrix    // the original matrix
 	Perm order.Permutation // total permutation (fill-reducing ∘ postorder)
 	PA   *sparse.Matrix    // permuted matrix actually factored
@@ -166,6 +176,7 @@ func NewPlan(a *sparse.Matrix, opts Options) (*Plan, error) {
 		depth[p] = sym.Depth[part.SnodeOf[p]]
 	}
 	return &Plan{
+		Opts:       opts,
 		A:          a,
 		Perm:       perm,
 		PA:         pa,
@@ -243,7 +254,7 @@ func (p *Plan) FactorContext(ctx context.Context, a sched.Assignment) (*Factor, 
 		return nil, err
 	}
 	pr := sched.Build(p.BS, a)
-	ex := fanout.NewExecutor(nf, pr)
+	ex := fanout.NewExecutorMode(nf, pr, p.Opts.Exec)
 	if _, err := ex.RunContext(ctx); err != nil {
 		return nil, err
 	}
@@ -262,7 +273,7 @@ func (p *Plan) FactorTracedContext(ctx context.Context, a sched.Assignment) (*Fa
 		return nil, nil, err
 	}
 	pr := sched.Build(p.BS, a)
-	ex := fanout.NewExecutor(nf, pr)
+	ex := fanout.NewExecutorMode(nf, pr, p.Opts.Exec)
 	rec := ex.NewRecorder()
 	rec.Enable()
 	if _, err := ex.RunContext(ctx); err != nil {
@@ -283,7 +294,7 @@ func (p *Plan) FactorValuesContext(ctx context.Context, a sched.Assignment, valu
 		return nil, err
 	}
 	pr := sched.Build(p.BS, a)
-	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutor(nf, pr), a: p.A}
+	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutorMode(nf, pr, p.Opts.Exec), a: p.A}
 	if err := f.RefactorContext(ctx, values); err != nil {
 		return nil, err
 	}
@@ -495,7 +506,7 @@ func (p *Plan) FactorValuesPerturbedContext(ctx context.Context, a sched.Assignm
 		return nil, 0, err
 	}
 	pr := sched.Build(p.BS, a)
-	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutor(nf, pr), a: p.A}
+	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutorMode(nf, pr, p.Opts.Exec), a: p.A}
 	shift, err := f.RefactorPerturbedContext(ctx, values, pert)
 	if err != nil {
 		return nil, 0, err

@@ -45,6 +45,11 @@ type Stats struct {
 	Messages int64 // remote block transfers
 	Bytes    int64 // remote bytes moved
 	Procs    int
+	// Flops and Steals are tracked by the work-stealing engine only
+	// (zero in SPMD mode): flops of the block operations this executor
+	// ran, and successful deque thefts.
+	Flops  int64
+	Steals int64
 }
 
 // Run factors f in parallel according to the program's assignment. It
@@ -70,6 +75,27 @@ const (
 	// engine whose message counts the simulator mirrors exactly).
 	ModeSPMD
 )
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWorkStealing:
+		return "steal"
+	case ModeSPMD:
+		return "spmd"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode converts a flag value ("steal" or "spmd") to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "steal", "":
+		return ModeWorkStealing, nil
+	case "spmd":
+		return ModeSPMD, nil
+	}
+	return 0, fmt.Errorf("fanout: unknown executor mode %q (want steal or spmd)", s)
+}
 
 // Executor is a reusable parallel factorization engine bound to one factor
 // and one schedule. It is not safe for concurrent use; a Run must finish
@@ -103,6 +129,12 @@ type Executor struct {
 	doneOnce   sync.Once
 	sleepers   atomic.Int32
 	parkCh     chan struct{}
+
+	// Restricted-mode state (nil/unused otherwise); see steal.go.
+	restrict  *Restriction
+	execMask  []bool     // block id → this executor runs the block's ops
+	execCount int32      // number of true entries in execMask
+	extCh     chan int32 // externally completed block arrivals (Inject)
 
 	// rec, when non-nil and enabled, records one obs.Span per block
 	// operation. A nil or disabled recorder costs one pointer check plus
@@ -145,6 +177,65 @@ func NewExecutorMode(f *numeric.Factor, pr *sched.Program, mode Mode) *Executor 
 	return ex
 }
 
+// Restriction confines a work-stealing executor to a subset of the
+// schedule's blocks — the execution model of one cluster node, which owns a
+// slice of the block-to-processor mapping and learns of remote completions
+// over the network (Inject) instead of from sibling workers.
+type Restriction struct {
+	// Local marks the blocks whose operations this executor performs. A nil
+	// slice means all blocks (useful for throttled single-node runs).
+	Local []bool
+	// Predone marks blocks whose final data is already present in the
+	// factor at run start (retained from a previous failover epoch, or
+	// received before the restart). They are not executed; their completion
+	// is propagated into the dependence counters when the run begins.
+	Predone []bool
+	// OnComplete, when non-nil, is called from a worker goroutine after
+	// each locally executed block's data is final — the node's fan-out
+	// hook. It must not block for long; ship through buffered channels.
+	OnComplete func(id int32)
+	// Workers is the goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+	// FlopsPerSec, when positive, paces each worker to the given aggregate
+	// flop rate divided evenly across workers — the knob heterogeneity
+	// benchmarks use to make a node measurably slow.
+	FlopsPerSec float64
+}
+
+// executes reports whether this executor performs block id's operations.
+func (r *Restriction) executes(id int32) bool {
+	if r.Predone != nil && r.Predone[id] {
+		return false
+	}
+	return r.Local == nil || r.Local[id]
+}
+
+// NewExecutorRestricted preallocates a work-stealing executor confined to
+// the restriction. A restricted executor is single-run: build a fresh one
+// per failover epoch (the restriction is fixed, and arrivals injected
+// before the run starts are queued, not discarded — so a stale executor
+// must never be rerun).
+func NewExecutorRestricted(f *numeric.Factor, pr *sched.Program, r *Restriction) *Executor {
+	ex := &Executor{f: f, pr: pr, mode: ModeWorkStealing, restrict: r}
+	ex.initSteal()
+	return ex
+}
+
+// Inject delivers an externally completed block (its data already written
+// into the factor) to a running restricted executor. Each block must be
+// injected at most once per run, and never a block the restriction marks
+// local or predone. Inject never blocks: the arrival channel holds one slot
+// per block.
+func (ex *Executor) Inject(id int32) {
+	ex.extCh <- id
+	if ex.sleepers.Load() > 0 {
+		select {
+		case ex.parkCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
 func (ex *Executor) initSPMD() {
 	pr := ex.pr
 	np := pr.NProc
@@ -170,18 +261,29 @@ func (ex *Executor) initSPMD() {
 // one. Enabling/disabling the attached recorder is safe at any time — the
 // gate is a single atomic flag read on the hot path.
 func (ex *Executor) SetRecorder(rec *obs.Recorder) {
-	if rec != nil && rec.Procs() < ex.pr.NProc {
-		panic(fmt.Sprintf("fanout: recorder has %d lanes for %d processors", rec.Procs(), ex.pr.NProc))
+	if rec != nil && rec.Procs() < ex.lanes() {
+		panic(fmt.Sprintf("fanout: recorder has %d lanes for %d processors", rec.Procs(), ex.lanes()))
 	}
 	ex.rec = rec
 }
 
+// lanes is the recorder lane count: one per executing goroutine, which in
+// work-stealing mode is the worker pool (restricted executors may run fewer
+// workers than the schedule has virtual processors).
+func (ex *Executor) lanes() int {
+	if ex.mode == ModeSPMD {
+		return ex.pr.NProc
+	}
+	return len(ex.workers)
+}
+
 // NewRecorder creates, attaches, and returns a recorder sized for this
-// executor's schedule: one lane per processor, capacity hinted by the
-// processor's owned-block count. The recorder starts disabled.
+// executor: one lane per executing goroutine, capacity hinted by the
+// per-lane block-operation count. The recorder starts disabled.
 func (ex *Executor) NewRecorder() *obs.Recorder {
-	per := 3 * ex.pr.NBlocks / ex.pr.NProc
-	rec := obs.NewRecorder(ex.pr.NProc, per)
+	n := ex.lanes()
+	per := 3 * ex.pr.NBlocks / n
+	rec := obs.NewRecorder(n, per)
 	ex.SetRecorder(rec)
 	return rec
 }
@@ -304,6 +406,16 @@ func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 			<-watcherExit
 		}
 	}
+	// Propagate retained completions through the normal arrival path before
+	// any worker starts: predone blocks behave exactly like injected remote
+	// completions, so the failover restart needs no special counter surgery.
+	if ex.restrict != nil && ex.restrict.Predone != nil {
+		for id, pd := range ex.restrict.Predone {
+			if pd {
+				ex.extCh <- int32(id)
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	if ex.mode == ModeSPMD {
 		wg.Add(len(ex.procs))
@@ -329,11 +441,16 @@ func (ex *Executor) RunContext(ctx context.Context) (Stats, error) {
 	// cancellation landing right at completion would otherwise race this
 	// read (and a later reset()'s reinstall of abortOnce).
 	stopWatcher()
+	st := Stats{Messages: ex.pr.TotalMessages, Bytes: ex.pr.TotalBytes, Procs: ex.pr.NProc}
+	for p := range ex.workers {
+		st.Flops += ex.workers[p].flops
+		st.Steals += ex.workers[p].steals
+	}
 	if ex.firstErr != nil {
 		ex.drainInboxes()
 		return Stats{}, ex.firstErr
 	}
-	return Stats{Messages: ex.pr.TotalMessages, Bytes: ex.pr.TotalBytes, Procs: ex.pr.NProc}, nil
+	return st, nil
 }
 
 // run is the SPMD body executed by every processor.

@@ -1,0 +1,202 @@
+package fanout
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/numeric"
+	ord "blockfanout/internal/order"
+	"blockfanout/internal/sched"
+)
+
+// TestRestrictedExecutorsReassemble emulates a cluster in-process: the
+// schedule's virtual processors are split across three "nodes", each with
+// its own factor copy and a restricted executor; completed blocks cross
+// between them via OnComplete → Inject, exactly as the TCP data plane
+// does. The union of the three runs must equal the sequential
+// factorization on every node's local slice.
+func TestRestrictedExecutorsReassemble(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(250, 5, 3, 31), ord.MinDegree, 0, 8)
+	a := sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 3}, bs.N())}
+	pr := sched.Build(bs, a)
+	const nodes = 3
+	nodeOf := func(p int32) int { return int(p) % nodes }
+
+	seq, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.FactorSequential(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := make([]*numeric.Factor, nodes)
+	exs := make([]*Executor, nodes)
+	var mus [nodes]sync.Mutex // serializes cross-node block copies per receiver
+	for n := 0; n < nodes; n++ {
+		if fs[n], err = numeric.New(bs, pm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		local := make([]bool, pr.NBlocks)
+		for id := int32(0); id < int32(pr.NBlocks); id++ {
+			local[id] = nodeOf(pr.Owner[id]) == n
+		}
+		exs[n] = NewExecutorRestricted(fs[n], pr, &Restriction{
+			Local:   local,
+			Workers: 2,
+			OnComplete: func(id int32) {
+				j, bi := pr.ColOf[id], pr.IdxOf[id]
+				src := fs[n].Data[j][bi]
+				for m := 0; m < nodes; m++ {
+					if m == n {
+						continue
+					}
+					mus[m].Lock()
+					copy(fs[m].Data[j][bi], src)
+					mus[m].Unlock()
+					exs[m].Inject(id)
+				}
+			},
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	stats := make([]Stats, nodes)
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			stats[n], errs[n] = exs[n].Run()
+		}(n)
+	}
+	wg.Wait()
+	for n, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", n, err)
+		}
+	}
+	var flops int64
+	for n := 0; n < nodes; n++ {
+		flops += stats[n].Flops
+	}
+	if flops == 0 {
+		t.Fatal("no flops recorded across nodes")
+	}
+
+	// Every node's local slice must match the sequential factor.
+	for id := int32(0); id < int32(pr.NBlocks); id++ {
+		n := nodeOf(pr.Owner[id])
+		j, bi := pr.ColOf[id], pr.IdxOf[id]
+		sd, pd := seq.Data[j][bi], fs[n].Data[j][bi]
+		for k := range sd {
+			if math.Abs(sd[k]-pd[k]) > 1e-9*(1+math.Abs(sd[k])) {
+				t.Fatalf("node %d block %d entry %d: seq %g got %g", n, id, k, sd[k], pd[k])
+			}
+		}
+	}
+}
+
+// TestRestrictedPredoneRestart emulates a failover epoch: factor fully
+// once, then rebuild a factor where a prefix of blocks keeps its final
+// data (predone) and the rest reverts to matrix values via ReloadWhere,
+// and run a restricted executor over only the remaining blocks. The result
+// must match the uninterrupted factorization.
+func TestRestrictedPredoneRestart(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(200, 6, 3, 8), ord.MinDegree, 0, 6)
+	a := sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())}
+	pr := sched.Build(bs, a)
+
+	full, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.FactorSequential(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "First epoch": full factorization, then pretend everything past 40%
+	// of the blocks was lost with the dead node.
+	if _, err := Run(f, pr); err != nil {
+		t.Fatal(err)
+	}
+	predone := make([]bool, pr.NBlocks)
+	for id := 0; id < pr.NBlocks*2/5; id++ {
+		predone[id] = true
+	}
+	keep := func(j, bi int) bool { return predone[pr.BlockID(j, bi)] }
+	if err := f.ReloadWhere(pm.Val, keep); err != nil {
+		t.Fatal(err)
+	}
+
+	ex := NewExecutorRestricted(f, pr, &Restriction{Predone: predone, Workers: 3})
+	if _, err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for j := range bs.Cols {
+		for bi := range bs.Cols[j].Blocks {
+			sd, pd := full.Data[j][bi], f.Data[j][bi]
+			for k := range sd {
+				if math.Abs(sd[k]-pd[k]) > 1e-9*(1+math.Abs(sd[k])) {
+					t.Fatalf("block (%d,%d) entry %d: full %g restart %g", j, bi, k, sd[k], pd[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRestrictedThrottleStillCorrect checks the pacing hook changes only
+// timing, never results, and that all-predone runs terminate immediately.
+func TestRestrictedThrottleStillCorrect(t *testing.T) {
+	_, bs, pm := setup(t, gen.IrregularMesh(120, 5, 3, 9), ord.MinDegree, 0, 8)
+	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
+	seq, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.FactorSequential(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := numeric.New(bs, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutorRestricted(f, pr, &Restriction{Workers: 2, FlopsPerSec: 5e8})
+	st, err := ex.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flops == 0 {
+		t.Fatal("throttled run recorded no flops")
+	}
+	for j := range bs.Cols {
+		for bi := range bs.Cols[j].Blocks {
+			sd, pd := seq.Data[j][bi], f.Data[j][bi]
+			for k := range sd {
+				if math.Abs(sd[k]-pd[k]) > 1e-9*(1+math.Abs(sd[k])) {
+					t.Fatalf("block (%d,%d) entry %d: seq %g throttled %g", j, bi, k, sd[k], pd[k])
+				}
+			}
+		}
+	}
+
+	// All-predone: nothing to execute; Run must return promptly.
+	pre := make([]bool, pr.NBlocks)
+	for i := range pre {
+		pre[i] = true
+	}
+	ex2 := NewExecutorRestricted(f, pr, &Restriction{Predone: pre})
+	if _, err := ex2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,6 +58,26 @@ type wsWorker struct {
 	rng    uint64
 	dq     deque
 	ws     numeric.Workspace
+
+	flops  int64 // flops of block ops this worker executed
+	steals int64 // successful thefts
+	// Pacing state for Restriction.FlopsPerSec (rate is this worker's
+	// share; zero disables pacing).
+	rate  float64
+	start time.Time
+}
+
+// pace accounts fl executed flops and, under a rate restriction, sleeps
+// this worker until its cumulative flop count is back under rate·elapsed.
+func (w *wsWorker) pace(fl int64) {
+	w.flops += fl
+	if w.rate <= 0 {
+		return
+	}
+	target := time.Duration(float64(w.flops) / w.rate * 1e9)
+	if el := time.Since(w.start); el < target {
+		time.Sleep(target - el)
+	}
 }
 
 // initSteal builds the work-stealing state: countdown templates, the
@@ -90,12 +110,41 @@ func (ex *Executor) initSteal() {
 			ex.finInit[id]++ // the column's factored diagonal block
 		}
 	}
+	// A restriction shrinks the worker pool (a node runs one pool per
+	// machine, not one per virtual processor), confines execution to the
+	// mask, and opens the external-arrival channel.
+	if r := ex.restrict; r != nil {
+		np = r.Workers
+		if np <= 0 {
+			np = runtime.GOMAXPROCS(0)
+		}
+		ex.execMask = make([]bool, pr.NBlocks)
+		for id := int32(0); id < int32(pr.NBlocks); id++ {
+			if r.executes(id) {
+				ex.execMask[id] = true
+				ex.execCount++
+			}
+		}
+		ex.extCh = make(chan int32, pr.NBlocks)
+	}
+
 	// Seeds: diagonal blocks with no pending modifications, grouped by
-	// owner so the deterministic-error contract matches SPMD mode.
+	// owner so the deterministic-error contract matches SPMD mode. A
+	// restricted executor seeds only the blocks it executes, spread
+	// round-robin (its workers have no ownership identity).
 	ex.seeds = make([][]int32, np)
+	rr := 0
 	for j := range pr.BS.Cols {
 		id := pr.BlockID(j, 0)
-		if pr.NMods[id] == 0 {
+		if pr.NMods[id] != 0 {
+			continue
+		}
+		if ex.restrict != nil {
+			if ex.execMask[id] {
+				ex.seeds[rr%np] = append(ex.seeds[rr%np], id)
+				rr++
+			}
+		} else {
 			ex.seeds[pr.Owner[id]] = append(ex.seeds[pr.Owner[id]], id)
 		}
 	}
@@ -113,6 +162,9 @@ func (ex *Executor) initSteal() {
 		w.dq.buf = make([]int32, capPow2)
 		w.dq.mask = int64(capPow2 - 1)
 		w.ws.Reserve(maxRows)
+		if ex.restrict != nil && ex.restrict.FlopsPerSec > 0 {
+			w.rate = ex.restrict.FlopsPerSec / float64(np)
+		}
 	}
 	ex.parkCh = make(chan struct{}, np)
 }
@@ -129,9 +181,16 @@ func (ex *Executor) resetSteal() {
 	for i := range ex.slots {
 		ex.slots[i] = -1
 	}
-	ex.blocksLeft.Store(int32(ex.pr.NBlocks))
+	left := int32(ex.pr.NBlocks)
+	if ex.restrict != nil {
+		left = ex.execCount
+	}
+	ex.blocksLeft.Store(left)
 	ex.doneCh = make(chan struct{})
 	ex.doneOnce = sync.Once{}
+	if left == 0 {
+		ex.doneOnce.Do(func() { close(ex.doneCh) })
+	}
 	ex.sleepers.Store(0)
 	for {
 		select {
@@ -141,9 +200,16 @@ func (ex *Executor) resetSteal() {
 		}
 		break
 	}
+	// ex.extCh is deliberately NOT drained: a restricted executor is
+	// single-run, and arrivals injected between construction and Run (a
+	// fast peer can complete blocks before a slow node starts its run)
+	// must be delivered, not discarded.
 	for p := range ex.workers {
 		w := &ex.workers[p]
 		w.failed = false
+		w.flops = 0
+		w.steals = 0
+		w.start = time.Now()
 		w.dq.top.Store(0)
 		w.dq.bottom.Store(0)
 	}
@@ -166,6 +232,14 @@ func (w *wsWorker) run() {
 	for {
 		if w.failed || ex.blocksLeft.Load() == 0 || w.aborted() {
 			return
+		}
+		if ex.extCh != nil {
+			select {
+			case id := <-ex.extCh:
+				w.propagate(id)
+				continue
+			default:
+			}
 		}
 		if d, ok := w.dq.pop(); ok {
 			w.processBlock(d)
@@ -198,19 +272,21 @@ func (w *wsWorker) processBlock(d int32) {
 	base := ex.pairs.DestBase[d]
 	for {
 		head := atomic.LoadInt32(&ex.slotHead[d])
-		for ex.slotDone[d] < head {
+		for done := atomic.LoadInt32(&ex.slotDone[d]); done < head; done++ {
 			if w.aborted() {
 				return
 			}
-			p := w.slotAt(base + ex.slotDone[d])
-			ex.slotDone[d]++
+			p := w.slotAt(base + done)
+			// Only the claim holder advances slotDone, but the post-release
+			// recheck below reads it concurrently, so the store is atomic.
+			atomic.StoreInt32(&ex.slotDone[d], done+1)
 			w.execPair(p)
 			if w.failed {
 				return
 			}
 		}
 		atomic.StoreInt32(&ex.active[d], 0)
-		if atomic.LoadInt32(&ex.slotHead[d]) == ex.slotDone[d] {
+		if atomic.LoadInt32(&ex.slotHead[d]) == atomic.LoadInt32(&ex.slotDone[d]) {
 			return
 		}
 		// Pairings raced the release; whoever wins the re-claim (us or the
@@ -248,6 +324,7 @@ func (w *wsWorker) execPair(p int32) {
 	}
 	dest := pt.Dest[p]
 	ex.rec.Record(w.me, obs.OpBMOD, dest, ex.pr.BlockID(k, ia), t0)
+	w.pace(ex.pr.ModFlops(k, ia, jb))
 	if atomic.AddInt32(&ex.finLeft[dest], -1) == 0 {
 		w.finish(dest)
 	}
@@ -275,14 +352,31 @@ func (w *wsWorker) finish(id int32) {
 		}
 		ex.rec.Record(w.me, obs.OpBDIV, id, -1, t0)
 	}
+	w.pace(ex.pr.OwnOpFlops[id])
 	w.completed(id)
 }
 
-// completed propagates a block's completion: a diagonal block releases the
-// BDIV prerequisite of its column's off-diagonal blocks (recursing at most
-// once — their completions only publish pairings); an off-diagonal block
-// decrements the source counters of every pairing it participates in.
+// completed handles a locally executed block's completion: hand it to the
+// restriction's fan-out hook, propagate it into the dependence counters,
+// and retire it from the local block count.
 func (w *wsWorker) completed(id int32) {
+	ex := w.ex
+	if ex.restrict != nil && ex.restrict.OnComplete != nil {
+		ex.restrict.OnComplete(id)
+	}
+	w.propagate(id)
+	if ex.blocksLeft.Add(-1) == 0 {
+		ex.doneOnce.Do(func() { close(ex.doneCh) })
+	}
+}
+
+// propagate fans a completed block's availability into the counters,
+// whether it was computed here, retained from a previous epoch, or
+// injected from the network: a diagonal block releases the BDIV
+// prerequisite of its column's off-diagonal blocks (recursing at most once
+// — their completions only publish pairings); an off-diagonal block
+// decrements the source counters of every pairing it participates in.
+func (w *wsWorker) propagate(id int32) {
 	ex := w.ex
 	pr := ex.pr
 	k, idx := int(pr.ColOf[id]), int(pr.IdxOf[id])
@@ -291,6 +385,11 @@ func (w *wsWorker) completed(id int32) {
 		for j := 1; j < nb; j++ {
 			bid := pr.BlockID(k, j)
 			if atomic.AddInt32(&ex.finLeft[bid], -1) == 0 {
+				// Under a restriction, non-local (or predone) blocks reach
+				// zero too — their arrival is someone else's business.
+				if ex.execMask != nil && !ex.execMask[bid] {
+					continue
+				}
 				w.finish(bid)
 				if w.failed {
 					return
@@ -310,16 +409,18 @@ func (w *wsWorker) completed(id int32) {
 			}
 		}
 	}
-	if ex.blocksLeft.Add(-1) == 0 {
-		ex.doneOnce.Do(func() { close(ex.doneCh) })
-	}
 }
 
 // ready publishes a pairing whose sources are all complete to its
-// destination's queue and elects an activation if none is live.
+// destination's queue and elects an activation if none is live. Pairings
+// into blocks a restriction excludes are dropped: their BMODs run on the
+// destination's owner.
 func (w *wsWorker) ready(p int32) {
 	ex := w.ex
 	d := ex.pairs.Dest[p]
+	if ex.execMask != nil && !ex.execMask[d] {
+		return
+	}
 	slot := ex.pairs.DestBase[d] + atomic.AddInt32(&ex.slotHead[d], 1) - 1
 	atomic.StoreInt32(&ex.slots[slot], p)
 	if atomic.CompareAndSwapInt32(&ex.active[d], 0, 1) {
@@ -350,6 +451,7 @@ func (w *wsWorker) steal() (int32, bool) {
 		}
 		if d, ok := ex.workers[v].dq.steal(); ok {
 			ex.rec.Record(w.me, obs.OpSteal, d, int32(v), t0)
+			w.steals++
 			return d, true
 		}
 	}
@@ -371,7 +473,10 @@ func (w *wsWorker) park() bool {
 			return true
 		}
 	}
-	if int(ns) == len(ex.workers) && ex.blocksLeft.Load() > 0 {
+	// "Everyone idle, blocks unfinished" is a bug for a whole-schedule run,
+	// but the steady state of a restricted run between network arrivals —
+	// so only the unrestricted engine confirms a stall.
+	if ex.restrict == nil && int(ns) == len(ex.workers) && ex.blocksLeft.Load() > 0 {
 		switch w.confirmStall() {
 		case stallExit:
 			ex.sleepers.Add(-1)
@@ -383,6 +488,11 @@ func (w *wsWorker) park() bool {
 	}
 	t0 := ex.rec.Start()
 	select {
+	case id := <-w.extChOrNil():
+		ex.sleepers.Add(-1)
+		ex.rec.Record(w.me, obs.OpIdle, -1, -1, t0)
+		w.propagate(id)
+		return true
 	case <-ex.parkCh:
 	case <-ex.abort:
 	case <-ex.doneCh:
@@ -391,6 +501,10 @@ func (w *wsWorker) park() bool {
 	ex.rec.Record(w.me, obs.OpIdle, -1, -1, t0)
 	return true
 }
+
+// extChOrNil exposes the external-arrival channel to park's select; the
+// nil channel of an unrestricted executor simply never fires.
+func (w *wsWorker) extChOrNil() chan int32 { return w.ex.extCh }
 
 const (
 	stallPark   = iota // state resolved; park normally

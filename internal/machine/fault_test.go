@@ -209,3 +209,103 @@ func TestSlowdownStretchesCompute(t *testing.T) {
 		}
 	}
 }
+
+// TestBuddyRelation pins the buddy function the simulator and the real
+// cluster failover (internal/cluster) both build on: next survivor in
+// cyclic order, wrap-around, composition under cascades, -1 when alone.
+func TestBuddyRelation(t *testing.T) {
+	alive := []bool{true, true, true, true}
+	if b := Buddy(1, alive); b != 2 {
+		t.Fatalf("Buddy(1) = %d, want 2", b)
+	}
+	if b := Buddy(3, alive); b != 0 {
+		t.Fatalf("Buddy(3) = %d, want wrap to 0", b)
+	}
+	// With 1's buddy (2) dead, Buddy(1) must land on the buddy's buddy.
+	alive[2] = false
+	if b := Buddy(1, alive); b != 3 {
+		t.Fatalf("Buddy(1) with 2 dead = %d, want 3", b)
+	}
+	if b := Buddy(2, alive); b != 3 {
+		t.Fatalf("Buddy of dead 2 = %d, want 3", b)
+	}
+	if b := Buddy(0, []bool{false, false, false}); b != -1 {
+		t.Fatalf("Buddy with no survivors = %d, want -1", b)
+	}
+}
+
+// TestBuddyOfBuddyDies kills a processor and then, mid-recovery, kills the
+// buddy that inherited its blocks. The buddy-of-the-buddy must complete
+// the chained inheritance: every scheduled flop still executes and both
+// dead processors stop computing.
+func TestBuddyOfBuddyDies(t *testing.T) {
+	pr, bs := program(t, mapping.Grid{Pr: 3, Pc: 3}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, cfg)
+	cfg.Faults = &FaultPlan{
+		Failures: []NodeFailure{
+			{Proc: 2, Time: base.Time * 0.3},
+			// Proc 3 is Buddy(2) among 0..8 with everyone else alive; kill
+			// it while it is replaying 2's inherited work.
+			{Proc: 3, Time: base.Time * 0.45},
+		},
+		RecoveryDelay: base.Time * 0.05,
+	}
+	res := MustSimulate(pr, cfg)
+	var total int64
+	for _, f := range res.Flops {
+		total += f
+	}
+	if total < bs.TotalFlops {
+		t.Fatalf("buddy-of-buddy death lost work: executed %d flops, schedule needs %d", total, bs.TotalFlops)
+	}
+	if len(res.FailedProcs) != 2 || res.FailedProcs[0] != 2 || res.FailedProcs[1] != 3 {
+		t.Fatalf("FailedProcs = %v, want [2 3]", res.FailedProcs)
+	}
+	if res.Time < base.Time {
+		t.Fatalf("cascaded recovery makespan %g beats fault-free %g", res.Time, base.Time)
+	}
+	alive := make([]bool, 9)
+	for i := range alive {
+		alive[i] = i != 2 && i != 3
+	}
+	if b := Buddy(2, alive); b != 4 {
+		t.Fatalf("chained inheritance target = %d, want 4", b)
+	}
+}
+
+// TestFailureDuringFinalSupernode kills the processor that owns the last
+// block column's diagonal just before the end of the fault-free makespan:
+// the recovery happens inside the final supernode, the tail of the
+// schedule with no parallel slack left.
+func TestFailureDuringFinalSupernode(t *testing.T) {
+	pr, bs := program(t, mapping.Grid{Pr: 2, Pc: 2}, false)
+	cfg := Paragon()
+	base := MustSimulate(pr, cfg)
+	// Find the owner of the final diagonal block — the processor whose
+	// death hurts most at the end of the schedule.
+	lastDiag := int32(-1)
+	for id := int32(0); id < int32(pr.NBlocks); id++ {
+		if pr.IdxOf[id] == 0 && (lastDiag < 0 || pr.ColOf[id] > pr.ColOf[lastDiag]) {
+			lastDiag = id
+		}
+	}
+	victim := pr.Owner[lastDiag]
+	for _, frac := range []float64{0.95, 0.995} {
+		cfg.Faults = &FaultPlan{
+			Failures:      []NodeFailure{{Proc: victim, Time: base.Time * frac}},
+			RecoveryDelay: 1e-3,
+		}
+		res := MustSimulate(pr, cfg)
+		var total int64
+		for _, f := range res.Flops {
+			total += f
+		}
+		if total < bs.TotalFlops {
+			t.Fatalf("failure at %.1f%%: executed %d flops, schedule needs %d", frac*100, total, bs.TotalFlops)
+		}
+		if res.Time < base.Time*frac {
+			t.Fatalf("failure at %.1f%%: makespan %g ends before the failure at %g", frac*100, res.Time, base.Time*frac)
+		}
+	}
+}

@@ -577,6 +577,23 @@ func (s *simulator) runOne(p int32, t float64) {
 	s.pushReady(s.now, p)
 }
 
+// Buddy returns the processor that takes over for failed processor l: the
+// next surviving index in cyclic order, or -1 when none survive. It is the
+// single definition of the buddy relation — the simulator's takeover and
+// rerouting use it, and the real cluster failover (internal/cluster) reuses
+// it over participant indices so simulated and executed recovery share
+// verified semantics. The relation composes under cascading failures:
+// with l's buddy also dead, Buddy(l, alive) lands on the buddy's buddy.
+func Buddy(l int32, alive []bool) int32 {
+	np := int32(len(alive))
+	for d := int32(1); d < np; d++ {
+		if c := (l + d) % np; alive[c] {
+			return c
+		}
+	}
+	return -1
+}
+
 // failNode applies a fail-stop of processor l at time t: the next surviving
 // processor (the buddy) inherits l's unfinished blocks, restarts its own
 // unfinished blocks from the last checkpoint (a completed block's fan-out
@@ -590,16 +607,9 @@ func (s *simulator) failNode(l int32, t float64) error {
 	}
 	s.alive[l] = false
 	s.res.FailedProcs = append(s.res.FailedProcs, l)
-	np := int32(len(s.alive))
-	buddy := int32(-1)
-	for d := int32(1); d < np; d++ {
-		if c := (l + d) % np; s.alive[c] {
-			buddy = c
-			break
-		}
-	}
+	buddy := Buddy(l, s.alive)
 	if buddy < 0 {
-		return fmt.Errorf("machine: all %d processors failed before completion (last at t=%g)", np, t)
+		return fmt.Errorf("machine: all %d processors failed before completion (last at t=%g)", len(s.alive), t)
 	}
 	tr := t + s.cfg.Faults.RecoveryDelay
 
@@ -686,12 +696,4 @@ func (s *simulator) run() error {
 // reroute finds the live processor standing in for dead processor p: the
 // next surviving id, matching failNode's buddy selection. Returns -1 when
 // none survive (run ends with an error from the final failNode instead).
-func (s *simulator) reroute(p int32) int32 {
-	np := int32(len(s.alive))
-	for d := int32(1); d < np; d++ {
-		if c := (p + d) % np; s.alive[c] {
-			return c
-		}
-	}
-	return -1
-}
+func (s *simulator) reroute(p int32) int32 { return Buddy(p, s.alive) }

@@ -1,0 +1,35 @@
+package mapping
+
+// GreedyWeighted is the heterogeneous generalization of Greedy: bins have
+// relative speeds (flop rates), and each item — taken in the caller's
+// order, conventionally decreasing weight as in §4 — goes to the bin whose
+// completion time (load + w) / speed is smallest after receiving it. With
+// all speeds equal it reduces to Greedy's least-loaded rule. The cluster
+// gateway uses it to assign the schedule's virtual processors to nodes of
+// unequal measured speed, so a half-speed node ends up with roughly half
+// the flops (the Tzovas & Predari extension of the paper's heuristics).
+//
+// Non-positive speeds mark bins that must receive nothing (a dead node);
+// at least one speed must be positive.
+func GreedyWeighted(ord []int, weight []int64, speed []float64) []int {
+	asg := make([]int, len(weight))
+	load := make([]float64, len(speed))
+	for _, it := range ord {
+		best, bestT := -1, 0.0
+		for b, sp := range speed {
+			if sp <= 0 {
+				continue
+			}
+			t := (load[b] + float64(weight[it])) / sp
+			if best < 0 || t < bestT {
+				best, bestT = b, t
+			}
+		}
+		if best < 0 {
+			panic("mapping: GreedyWeighted with no positive-speed bin")
+		}
+		asg[it] = best
+		load[best] += float64(weight[it])
+	}
+	return asg
+}

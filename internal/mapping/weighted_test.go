@@ -1,0 +1,83 @@
+package mapping
+
+import (
+	"sort"
+	"testing"
+)
+
+func weightedLoads(asg []int, weight []int64, bins int) []float64 {
+	load := make([]float64, bins)
+	for it, b := range asg {
+		load[b] += float64(weight[it])
+	}
+	return load
+}
+
+// TestGreedyWeightedUniformMatchesGreedy: with equal speeds the rule is the
+// least-loaded rule, so it must produce exactly Greedy's assignment.
+func TestGreedyWeightedUniformMatchesGreedy(t *testing.T) {
+	weight := []int64{90, 70, 65, 40, 40, 30, 20, 10, 5, 5, 1}
+	ord := make([]int, len(weight))
+	for i := range ord {
+		ord[i] = i
+	}
+	g := Greedy(ord, weight, 3)
+	w := GreedyWeighted(ord, weight, []float64{1, 1, 1})
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("item %d: Greedy bin %d, GreedyWeighted bin %d", i, g[i], w[i])
+		}
+	}
+}
+
+// TestGreedyWeightedProportional: a half-speed bin should end up with about
+// half the load of a full-speed bin over many small items.
+func TestGreedyWeightedProportional(t *testing.T) {
+	const n = 400
+	weight := make([]int64, n)
+	ord := make([]int, n)
+	for i := range weight {
+		weight[i] = int64(1000 - i) // decreasing, as callers provide
+		ord[i] = i
+	}
+	speed := []float64{1, 0.5}
+	load := weightedLoads(GreedyWeighted(ord, weight, speed), weight, 2)
+	ratio := load[1] / load[0]
+	if ratio < 0.40 || ratio > 0.60 {
+		t.Fatalf("half-speed bin got %.0f vs %.0f (ratio %.3f, want ~0.5)", load[1], load[0], ratio)
+	}
+	// Speed-aware makespan must beat the oblivious split on the same items.
+	obl := weightedLoads(Greedy(ord, weight, 2), weight, 2)
+	mkAware := 0.0
+	for b := range load {
+		if ft := load[b] / speed[b]; ft > mkAware {
+			mkAware = ft
+		}
+	}
+	mkObl := 0.0
+	for b := range obl {
+		if ft := obl[b] / speed[b]; ft > mkObl {
+			mkObl = ft
+		}
+	}
+	if mkAware >= mkObl {
+		t.Fatalf("speed-aware makespan %.0f not better than oblivious %.0f", mkAware, mkObl)
+	}
+}
+
+// TestGreedyWeightedDeadBin: non-positive speed bins receive nothing.
+func TestGreedyWeightedDeadBin(t *testing.T) {
+	weight := []int64{9, 8, 7, 6, 5}
+	ord := []int{0, 1, 2, 3, 4}
+	asg := GreedyWeighted(ord, weight, []float64{1, 0, 2})
+	for it, b := range asg {
+		if b == 1 {
+			t.Fatalf("item %d assigned to dead bin", it)
+		}
+	}
+	got := append([]int(nil), asg...)
+	sort.Ints(got)
+	if got[0] != 0 || got[len(got)-1] != 2 {
+		t.Fatalf("expected both live bins used, got %v", asg)
+	}
+}

@@ -110,6 +110,40 @@ func (f *Factor) Reload(values []float64) error {
 	return nil
 }
 
+// ReloadWhere restores original values into every block for which keep
+// returns false, leaving kept blocks' current (factored) data untouched.
+// The cluster's failover restart uses it: blocks completed before a node
+// died keep their final values, everything else reverts to the matrix and
+// is refactored in the next epoch. keep receives the block's column j and
+// its index bi within the column.
+func (f *Factor) ReloadWhere(values []float64, keep func(j, bi int) bool) error {
+	if f.scatter == nil {
+		return fmt.Errorf("numeric: factor was not built by New; cannot Reload")
+	}
+	if len(values) != len(f.scatter) {
+		return fmt.Errorf("numeric: Reload got %d values, factor holds %d nonzeros", len(values), len(f.scatter))
+	}
+	for j := range f.Data {
+		for bi := range f.Data[j] {
+			if keep(j, bi) {
+				continue
+			}
+			d := f.Data[j][bi]
+			for i := range d {
+				d[i] = 0
+			}
+		}
+	}
+	for p := range f.scatter {
+		s := &f.scatter[p]
+		if keep(int(s.J), int(s.BI)) {
+			continue
+		}
+		f.Data[s.J][s.BI][s.Off] = values[p]
+	}
+	return nil
+}
+
 // searchRows returns the position of g in the sorted slice rows, or -1.
 func searchRows(rows []int, g int) int {
 	lo, hi := 0, len(rows)

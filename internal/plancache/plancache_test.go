@@ -8,6 +8,7 @@ import (
 
 	"blockfanout/internal/blocks"
 	"blockfanout/internal/core"
+	"blockfanout/internal/fanout"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/mapping"
 	"blockfanout/internal/order"
@@ -200,6 +201,7 @@ func TestConfigKeySeparatesEntries(t *testing.T) {
 		{Ordering: order.MinDegree, BlockSize: 16, Blocking: blocks.StrategyIrregular},
 		{Ordering: order.MinDegree, BlockSize: 16, Blocking: blocks.StrategyIrregular, AmalgThreshold: 0.25},
 		{Ordering: order.MinDegree, BlockSize: 32},
+		{Ordering: order.MinDegree, BlockSize: 16, Exec: fanout.ModeSPMD},
 	}
 	plans := make([]*core.Plan, len(variants))
 	for i, opt := range variants {

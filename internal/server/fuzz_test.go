@@ -44,7 +44,7 @@ func FuzzReadMatrix(f *testing.F) {
 		if asJSON {
 			ct = "application/json"
 		}
-		m, err := readMatrix(bytes.NewReader(data), ct)
+		m, err := ReadMatrix(bytes.NewReader(data), ct)
 		if err != nil {
 			return
 		}

@@ -26,10 +26,11 @@ type jsonCSC struct {
 	Val    []float64 `json:"val"`
 }
 
-// readMatrix parses a factor-request body. contentType selects the codec:
+// ReadMatrix parses a factor-request body. contentType selects the codec:
 // anything containing "json" is decoded as JSON-CSC; everything else is
-// treated as MatrixMarket coordinate text.
-func readMatrix(body io.Reader, contentType string) (*sparse.Matrix, error) {
+// treated as MatrixMarket coordinate text. Exported so the cluster gateway
+// accepts the same request bodies as the single-node service.
+func ReadMatrix(body io.Reader, contentType string) (*sparse.Matrix, error) {
 	mt := contentType
 	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
 		mt = parsed

@@ -35,6 +35,7 @@ import (
 
 	"blockfanout/internal/blocks"
 	"blockfanout/internal/core"
+	"blockfanout/internal/fanout"
 	"blockfanout/internal/faultinject"
 	"blockfanout/internal/kernels"
 	"blockfanout/internal/mapping"
@@ -79,6 +80,11 @@ type Config struct {
 	// same process.
 	Blocking       blocks.Strategy
 	AmalgThreshold float64
+	// Exec selects the parallel execution engine for factorizations
+	// (default fanout.ModeWorkStealing, "steal"); like Blocking it is part
+	// of the plan-cache key, since each cached plan's factors embed an
+	// executor of the configured mode.
+	Exec fanout.Mode
 	// RetryAttempts is how many times a transient infrastructure failure
 	// (see internal/faultinject) is retried with exponential backoff before
 	// the request fails (default 2; negative disables). Numeric failures —
@@ -193,7 +199,7 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
-	opts := core.Options{BlockSize: cfg.BlockSize, Blocking: cfg.Blocking, AmalgThreshold: cfg.AmalgThreshold}
+	opts := core.Options{BlockSize: cfg.BlockSize, Blocking: cfg.Blocking, AmalgThreshold: cfg.AmalgThreshold, Exec: cfg.Exec}
 	return &Server{
 		cfg:      cfg,
 		planOpts: opts,
@@ -454,7 +460,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	m, err := readMatrix(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
+	m, err := ReadMatrix(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
