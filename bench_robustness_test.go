@@ -39,6 +39,21 @@ func TestWriteBenchRobustnessJSON(t *testing.T) {
 	if rep.ServerSolveMs <= 0 {
 		t.Fatal("server solve measured no latency")
 	}
-	t.Logf("wrote BENCH_robustness.json: max pivot-check overhead %.2f%%, server solve %.2fms",
-		rep.MaxOverheadPercent, rep.ServerSolveMs)
+	d := rep.Durability
+	if d == nil || d.ColdFirstSolveMs <= 0 || d.WarmFirstSolveMs <= 0 {
+		t.Fatal("durability section measured nothing")
+	}
+	// Warm restart must beat cold time-to-first-solve — restoring a
+	// snapshot that is slower than refactorizing would be pointless.
+	if d.WarmFirstSolveMs >= d.ColdFirstSolveMs {
+		t.Errorf("warm first solve %.2fms not faster than cold %.2fms", d.WarmFirstSolveMs, d.ColdFirstSolveMs)
+	}
+	// The write-behind checkpoint must stay off the critical path: <3% on
+	// the refactor latency, with slack for timer noise on shared machines.
+	if d.WriteBehindOvhdPct > 5 {
+		t.Errorf("write-behind snapshotting costs %.1f%% of refactor latency; expected ≈<3%%", d.WriteBehindOvhdPct)
+	}
+	t.Logf("wrote BENCH_robustness.json: max pivot-check overhead %.2f%%, server solve %.2fms, warm/cold %.2f/%.2fms (%.1fx), write-behind %.2f%%",
+		rep.MaxOverheadPercent, rep.ServerSolveMs,
+		d.WarmFirstSolveMs, d.ColdFirstSolveMs, d.WarmSpeedupX, d.WriteBehindOvhdPct)
 }

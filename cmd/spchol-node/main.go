@@ -37,6 +37,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines per factorization (0 = GOMAXPROCS)")
 		beat     = flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval")
 		traceDir = flag.String("trace-dir", "", "write per-epoch trace-event JSON files here")
+		storeDir = flag.String("store-dir", "", "checkpoint held blocks here at each epoch end; a restarted node rejoins warm (empty = no durability)")
+		stall    = flag.Duration("stall-timeout", 0, "fail the epoch if no block completes or arrives for this long (0 = disabled); set well above the longest single-kernel time")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -53,6 +55,8 @@ func main() {
 		Workers:        *workers,
 		HeartbeatEvery: *beat,
 		TraceDir:       *traceDir,
+		StoreDir:       *storeDir,
+		StallTimeout:   *stall,
 		Logf:           log.Printf,
 	})
 

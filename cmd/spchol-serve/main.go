@@ -63,12 +63,17 @@ func run() error {
 		execMode     = flag.String("exec", "steal", "parallel execution engine: steal | spmd")
 		drainWait    = flag.Duration("drain-wait", 30*time.Second, "how long shutdown waits for in-flight requests")
 		debugAddr    = flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (keep it off the public network)")
+		storeDir     = flag.String("store-dir", "", "durable snapshot store directory; factors persist across restarts and are warm-started on boot (empty = no durability)")
+		snapEvery    = flag.Duration("snapshot-interval", 0, "minimum spacing between write-behind snapshots of the same factor (0 = default 1s, negative = snapshot every factorization)")
 
-		gateway   = flag.Bool("gateway", false, "run as a cluster gateway instead of a single-process server")
-		control   = flag.String("control", ":9000", "gateway: listen address for spchol-node control connections")
-		replicas  = flag.Int("replicas", 1, "gateway: factor replicas besides the primary assembly node")
-		minNodes  = flag.Int("min-nodes", 1, "gateway: refuse factor requests below this many live nodes")
-		beatLimit = flag.Duration("heartbeat-timeout", 2*time.Second, "gateway: declare a silent node dead after this long")
+		gateway      = flag.Bool("gateway", false, "run as a cluster gateway instead of a single-process server")
+		control      = flag.String("control", ":9000", "gateway: listen address for spchol-node control connections")
+		replicas     = flag.Int("replicas", 1, "gateway: factor replicas besides the primary assembly node")
+		minNodes     = flag.Int("min-nodes", 1, "gateway: refuse factor requests below this many live nodes")
+		beatEvery    = flag.Duration("heartbeat-interval", 500*time.Millisecond, "gateway: heartbeat cadence the fleet is expected to keep")
+		beatMisses   = flag.Int("heartbeat-misses", 4, "gateway: consecutive missed heartbeat intervals before a node is declared dead")
+		beatLimit    = flag.Duration("heartbeat-timeout", 0, "gateway: declare a silent node dead after this long (0 = heartbeat-interval × heartbeat-misses)")
+		fallbackFlag = flag.Bool("local-fallback", true, "gateway: factor locally (degraded mode) instead of erroring when fewer than min-nodes are alive")
 	)
 	flag.Parse()
 
@@ -81,24 +86,35 @@ func run() error {
 		return runGateway(gatewayFlags{
 			addr: *addr, control: *control, procs: *procs,
 			block: *block, exec: mode, replicas: *replicas,
-			minNodes: *minNodes, heartbeatTimeout: *beatLimit,
+			minNodes: *minNodes, heartbeatInterval: *beatEvery,
+			heartbeatMisses: *beatMisses, heartbeatTimeout: *beatLimit,
+			localFallback: *fallbackFlag, storeDir: *storeDir,
 			cacheEntries: *cacheEntries, cacheBytes: *cacheBytes,
 			timeout: *timeout, drainWait: *drainWait,
 		})
 	}
 
 	s := server.New(server.Config{
-		Procs:          *procs,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		BatchWindow:    *batchWindow,
-		BatchLimit:     *batchLimit,
-		RequestTimeout: *timeout,
-		BlockSize:      *block,
-		Exec:           mode,
+		Procs:            *procs,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
+		BatchWindow:      *batchWindow,
+		BatchLimit:       *batchLimit,
+		RequestTimeout:   *timeout,
+		BlockSize:        *block,
+		Exec:             mode,
+		StoreDir:         *storeDir,
+		SnapshotInterval: *snapEvery,
 	})
+	if *storeDir != "" {
+		if n, err := s.WarmStart(); err != nil {
+			log.Printf("warm start: %v", err)
+		} else {
+			log.Printf("warm start: restored %d factor(s) from %s", n, *storeDir)
+		}
+	}
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	// The debug listener carries pprof, which must stay opt-in and off the
@@ -143,39 +159,55 @@ func run() error {
 	if ds != nil {
 		_ = ds.Shutdown(shutdownCtx)
 	}
+	s.Close() // flush pending snapshot writes
 	log.Printf("drained cleanly")
 	return <-errc
 }
 
 // gatewayFlags carries the -gateway subset of the command line.
 type gatewayFlags struct {
-	addr, control    string
-	procs, block     int
-	exec             fanout.Mode
-	replicas         int
-	minNodes         int
-	heartbeatTimeout time.Duration
-	cacheEntries     int
-	cacheBytes       int64
-	timeout          time.Duration
-	drainWait        time.Duration
+	addr, control     string
+	procs, block      int
+	exec              fanout.Mode
+	replicas          int
+	minNodes          int
+	heartbeatInterval time.Duration
+	heartbeatMisses   int
+	heartbeatTimeout  time.Duration
+	localFallback     bool
+	storeDir          string
+	cacheEntries      int
+	cacheBytes        int64
+	timeout           time.Duration
+	drainWait         time.Duration
 }
 
 // runGateway serves the /v1/* API backed by a node cluster instead of the
 // in-process worker pool.
 func runGateway(gf gatewayFlags) error {
 	gw := cluster.NewGateway(cluster.GatewayConfig{
-		Procs:            gf.procs,
-		BlockSize:        gf.block,
-		Exec:             gf.exec,
-		Replicas:         gf.replicas,
-		MinNodes:         gf.minNodes,
-		HeartbeatTimeout: gf.heartbeatTimeout,
-		RequestTimeout:   gf.timeout,
-		CacheEntries:     gf.cacheEntries,
-		CacheBytes:       gf.cacheBytes,
-		Logf:             log.Printf,
+		Procs:                gf.procs,
+		BlockSize:            gf.block,
+		Exec:                 gf.exec,
+		Replicas:             gf.replicas,
+		MinNodes:             gf.minNodes,
+		HeartbeatInterval:    gf.heartbeatInterval,
+		HeartbeatMisses:      gf.heartbeatMisses,
+		HeartbeatTimeout:     gf.heartbeatTimeout,
+		DisableLocalFallback: !gf.localFallback,
+		StoreDir:             gf.storeDir,
+		RequestTimeout:       gf.timeout,
+		CacheEntries:         gf.cacheEntries,
+		CacheBytes:           gf.cacheBytes,
+		Logf:                 log.Printf,
 	})
+	if gf.storeDir != "" {
+		if n, err := gw.WarmStart(); err != nil {
+			log.Printf("gateway warm start: %v", err)
+		} else {
+			log.Printf("gateway warm start: restored %d plan(s) from %s", n, gf.storeDir)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -20,10 +20,10 @@ import (
 
 // PivotCheckRow compares checked and check-free BFAC at one block width.
 type PivotCheckRow struct {
-	Width            int     `json:"w"`
-	CheckedGFlops    float64 `json:"checked_gflops"`
-	NoChecksGFlops   float64 `json:"nochecks_gflops"`
-	OverheadPercent  float64 `json:"overhead_pct"` // (nochecks/checked − 1) · 100
+	Width           int     `json:"w"`
+	CheckedGFlops   float64 `json:"checked_gflops"`
+	NoChecksGFlops  float64 `json:"nochecks_gflops"`
+	OverheadPercent float64 `json:"overhead_pct"` // (nochecks/checked − 1) · 100
 }
 
 // RobustnessReport is the BENCH_robustness.json document.
@@ -43,6 +43,10 @@ type RobustnessReport struct {
 	N             int     `json:"n"`
 	Procs         int     `json:"procs"`
 	ServerSolveMs float64 `json:"server_solve_ms"`
+
+	// Durability measures warm vs cold time-to-first-solve and the
+	// write-behind snapshot overhead (see durability.go).
+	Durability *DurabilityReport `json:"durability,omitempty"`
 }
 
 // cholGFlops measures one Cholesky variant at width w.
@@ -134,6 +138,12 @@ func CollectRobustness(minTime time.Duration, rounds int) (*RobustnessReport, er
 		}
 	}
 	rep.ServerSolveMs = best
+
+	dur, err := CollectDurability(rounds)
+	if err != nil {
+		return nil, err
+	}
+	rep.Durability = dur
 	return rep, nil
 }
 

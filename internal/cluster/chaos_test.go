@@ -1,0 +1,123 @@
+//go:build faultinject
+
+// Cluster chaos tests: run with `go test -tags faultinject ./internal/cluster/`.
+// These subject the cluster's network planes to injected drop/corrupt/delay
+// faults and assert the strongest property the system claims: the assembled
+// factor still matches a sequential factorization to 1e-12. Dropped data
+// frames starve a consumer until its stall watchdog fails the epoch;
+// corrupted frames are caught by the wire CRC, which kills the connection
+// and loses the frame the same way; both recover through the gateway's
+// jittered epoch retries and the survivors' retransmits.
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/faultinject"
+	"blockfanout/internal/gen"
+)
+
+// chaosNode is a worker tuned for fast fault recovery: an aggressive stall
+// watchdog and a short send backoff.
+func chaosNode(id string) NodeConfig {
+	return NodeConfig{
+		ID: id, Workers: 2,
+		HeartbeatEvery: 200 * time.Millisecond,
+		StallTimeout:   800 * time.Millisecond,
+		RetryBackoff:   5 * time.Millisecond,
+	}
+}
+
+func chaosGateway() GatewayConfig {
+	return GatewayConfig{
+		Procs:            6,
+		HeartbeatTimeout: 3 * time.Second,
+		FactorRetries:    10,
+		RetryBackoff:     10 * time.Millisecond,
+		ReadyTimeout:     1500 * time.Millisecond,
+	}
+}
+
+// TestChaosClusterDataPlaneFaults factors under a mix of dropped,
+// corrupted, and delayed data-plane frames and requires exact agreement
+// with the sequential factorization once the faults are exhausted.
+func TestChaosClusterDataPlaneFaults(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	gcfg := chaosGateway()
+	tc := startCluster(t, gcfg, []NodeConfig{chaosNode("n0"), chaosNode("n1"), chaosNode("n2")})
+
+	faultinject.EnableNet(faultinject.NetRule{
+		Site: "cluster.node.data",
+		Drop: 0.05, Corrupt: 0.05, Delay: 0.2, DelayFor: 2 * time.Millisecond,
+		After: 2, Count: 12,
+	})
+	m := gen.IrregularMesh(1200, 9, 3, 31)
+	fr := tc.factor(t, m)
+	faultinject.Disable()
+	if faultinject.Fires("cluster.node.data") == 0 {
+		t.Fatal("no network faults fired — the chaos run exercised nothing")
+	}
+	t.Logf("survived %d injected data-plane faults in %d epoch restarts",
+		faultinject.Fires("cluster.node.data"), fr.Epochs)
+	tc.verifyAssembled(t, fr.ID, fr.Primary, m, testOpts(gcfg), 1e-12)
+
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(1 + i%7)
+	}
+	x := tc.solve(t, fr.ID, b)
+	if r := m.ResidualNorm(x, b); r > 1e-6 {
+		t.Fatalf("post-chaos solve residual %g", r)
+	}
+
+	doc := tc.fetchClusterMetrics(t)
+	if doc.Status != "ok" {
+		t.Fatalf("fleet status %q after chaos with all nodes alive", doc.Status)
+	}
+}
+
+// TestChaosClusterCtrlCorruptPartition corrupts a control-plane frame
+// mid-factorization. The gateway's framing/CRC check kills that node's
+// connection — indistinguishable from a network partition — and the run
+// must complete correctly on the survivors via buddy failover.
+func TestChaosClusterCtrlCorruptPartition(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	gcfg := chaosGateway()
+	m := gen.IrregularMesh(1500, 9, 3, 31)
+	// Throttle so the run takes ~2s: the corruption must land while blocks
+	// are genuinely in flight.
+	plan, err := core.NewPlan(m, testOpts(gcfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(plan.Exact.Flops) / 3 / 2.0
+	mk := func(id string) NodeConfig {
+		c := chaosNode(id)
+		c.FlopsPerSec = rate
+		return c
+	}
+	tc := startCluster(t, gcfg, []NodeConfig{mk("n0"), mk("n1"), mk("n2")})
+
+	// Let the Hellos and first heartbeats through, then flip one bit in a
+	// heartbeat of whichever node writes next.
+	faultinject.EnableNet(faultinject.NetRule{
+		Site: "cluster.node.ctrl", Corrupt: 1, After: 8, Count: 1,
+	})
+	fr := tc.factor(t, m)
+	faultinject.Disable()
+	if faultinject.Fires("cluster.node.ctrl") == 0 {
+		t.Fatal("the control-plane corruption never fired")
+	}
+	tc.verifyAssembled(t, fr.ID, fr.Primary, m, testOpts(gcfg), 1e-12)
+
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(1 + i%5)
+	}
+	x := tc.solve(t, fr.ID, b)
+	if r := m.ResidualNorm(x, b); r > 1e-6 {
+		t.Fatalf("post-partition solve residual %g", r)
+	}
+}

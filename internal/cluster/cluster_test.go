@@ -24,6 +24,8 @@ import (
 type testCluster struct {
 	gw      *Gateway
 	ts      *httptest.Server
+	addr    string // gateway control-plane address
+	ctx     context.Context
 	nodes   []*Node
 	cancels []context.CancelFunc
 	cancel  context.CancelFunc
@@ -44,22 +46,9 @@ func startCluster(t *testing.T, gcfg GatewayConfig, nodeCfgs []NodeConfig) *test
 	ctx, cancel := context.WithCancel(context.Background())
 	go gw.Serve(ctx, ln)
 
-	tc := &testCluster{gw: gw, cancel: cancel}
+	tc := &testCluster{gw: gw, addr: ln.Addr().String(), ctx: ctx, cancel: cancel}
 	for i := range nodeCfgs {
-		nodeCfgs[i].Gateway = ln.Addr().String()
-		if nodeCfgs[i].Logf == nil {
-			nodeCfgs[i].Logf = quietLog
-		}
-		// CI points this at an artifact directory to collect per-epoch
-		// trace-event timelines from every node.
-		if dir := os.Getenv("CLUSTER_TRACE_DIR"); dir != "" {
-			nodeCfgs[i].TraceDir = dir
-		}
-		n := NewNode(nodeCfgs[i])
-		nctx, ncancel := context.WithCancel(ctx)
-		go n.Run(nctx)
-		tc.nodes = append(tc.nodes, n)
-		tc.cancels = append(tc.cancels, ncancel)
+		tc.addNode(t, nodeCfgs[i])
 	}
 	tc.ts = httptest.NewServer(gw.Handler())
 	t.Cleanup(func() {
@@ -68,6 +57,28 @@ func startCluster(t *testing.T, gcfg GatewayConfig, nodeCfgs []NodeConfig) *test
 	})
 	tc.waitNodes(t, len(nodeCfgs))
 	return tc
+}
+
+// addNode starts one more worker against the cluster's gateway; used by
+// the restart/rejoin tests. The returned node is also appended to
+// tc.nodes and tc.cancels.
+func (tc *testCluster) addNode(t *testing.T, cfg NodeConfig) *Node {
+	t.Helper()
+	cfg.Gateway = tc.addr
+	if cfg.Logf == nil {
+		cfg.Logf = quietLog
+	}
+	// CI points this at an artifact directory to collect per-epoch
+	// trace-event timelines from every node.
+	if dir := os.Getenv("CLUSTER_TRACE_DIR"); dir != "" {
+		cfg.TraceDir = dir
+	}
+	n := NewNode(cfg)
+	nctx, ncancel := context.WithCancel(tc.ctx)
+	go n.Run(nctx)
+	tc.nodes = append(tc.nodes, n)
+	tc.cancels = append(tc.cancels, ncancel)
+	return n
 }
 
 // waitNodes polls /healthz until n nodes report alive.

@@ -16,6 +16,7 @@ import (
 	"blockfanout/internal/cluster/wire"
 	"blockfanout/internal/core"
 	"blockfanout/internal/fanout"
+	"blockfanout/internal/faultinject"
 	"blockfanout/internal/kernels"
 	"blockfanout/internal/machine"
 	"blockfanout/internal/mapping"
@@ -24,6 +25,7 @@ import (
 	"blockfanout/internal/sched"
 	"blockfanout/internal/server"
 	"blockfanout/internal/sparse"
+	"blockfanout/internal/store"
 )
 
 // GatewayConfig configures the cluster gateway.
@@ -44,8 +46,42 @@ type GatewayConfig struct {
 	// MinNodes gates factor requests until this many nodes joined
 	// (default 1).
 	MinNodes int
-	// HeartbeatTimeout declares a silent node dead (default 2s).
+	// HeartbeatInterval is the heartbeat cadence the fleet is expected to
+	// keep (default 500ms), and HeartbeatMisses is how many consecutive
+	// intervals of silence declare a node dead (default 4). Together they
+	// derive HeartbeatTimeout when it is unset.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// HeartbeatTimeout declares a silent node dead. Unset, it is
+	// HeartbeatInterval × HeartbeatMisses (default 2s); setting it directly
+	// overrides the derivation.
 	HeartbeatTimeout time.Duration
+	// SendTimeout bounds every control-plane frame write to a node, so a
+	// wedged peer connection fails the send instead of blocking the gateway
+	// (default 5s).
+	SendTimeout time.Duration
+	// FactorRetries is how many times a run whose epoch failed on an
+	// infrastructure (non-pivot) error is restarted with jittered
+	// exponential backoff before the request fails (default 2; negative
+	// disables). Pivot breakdowns are numeric facts and are never retried.
+	FactorRetries int
+	// RetryBackoff is the base backoff of the first epoch retry; it doubles
+	// per retry with ±50% jitter (default 50ms).
+	RetryBackoff time.Duration
+	// ReadyTimeout bounds the gap between "every node reported Done" and
+	// "an assembly target holds the full factor". When it expires the
+	// epoch is restarted: the only way that state persists is a block
+	// frame lost en route to every assembly target (default 5s).
+	ReadyTimeout time.Duration
+	// DisableLocalFallback turns off degraded mode: by default, when fewer
+	// than MinNodes are alive the gateway factors locally (single-node,
+	// in-process) and keeps serving solves, reporting "degraded" from
+	// /healthz instead of erroring.
+	DisableLocalFallback bool
+	// StoreDir, when non-empty, enables the durable snapshot store: plans
+	// (and degraded-mode local factors) persist across gateway restarts via
+	// WarmStart.
+	StoreDir string
 	// RequestTimeout bounds each HTTP request's work (default 120s).
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 512 MiB).
@@ -75,8 +111,29 @@ func (c *GatewayConfig) fillDefaults() {
 	if c.MinNodes <= 0 {
 		c.MinNodes = 1
 	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 4
+	}
 	if c.HeartbeatTimeout <= 0 {
-		c.HeartbeatTimeout = 2 * time.Second
+		c.HeartbeatTimeout = time.Duration(c.HeartbeatMisses) * c.HeartbeatInterval
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 5 * time.Second
+	}
+	switch {
+	case c.FactorRetries == 0:
+		c.FactorRetries = 2
+	case c.FactorRetries < 0:
+		c.FactorRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 5 * time.Second
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 120 * time.Second
@@ -96,8 +153,9 @@ type member struct {
 	dataAddr string
 	speed    float64
 
-	sendMu sync.Mutex
-	conn   net.Conn
+	sendMu      sync.Mutex
+	conn        net.Conn
+	sendTimeout time.Duration
 
 	mu       sync.Mutex
 	alive    bool
@@ -111,6 +169,13 @@ func (m *member) send(f wire.Frame) error {
 	defer m.sendMu.Unlock()
 	if m.conn == nil {
 		return fmt.Errorf("cluster: node %s disconnected", m.id)
+	}
+	// A per-message write deadline: a wedged or partitioned peer fails this
+	// send (and gets declared dead by the caller's error handling or the
+	// watchdog) instead of blocking the gateway behind a full TCP window.
+	if m.sendTimeout > 0 {
+		m.conn.SetWriteDeadline(time.Now().Add(m.sendTimeout))
+		defer m.conn.SetWriteDeadline(time.Time{})
 	}
 	return wire.WriteFrame(m.conn, f)
 }
@@ -147,6 +212,11 @@ type gwJob struct {
 	notify   chan struct{}
 	solvable bool
 	val      []float64 // current run's matrix values (for failover restarts)
+	// localF is the degraded-mode factor: built in-process when the fleet
+	// is below MinNodes (or restored by WarmStart), it serves solves when no
+	// assembly node holds the distributed factor. Cleared at the start of
+	// each factor request so it can never serve stale values.
+	localF *core.Factor
 }
 
 func (j *gwJob) wake() {
@@ -179,10 +249,18 @@ type Gateway struct {
 	runSeq   atomic.Uint64
 	solveSeq atomic.Uint64
 
-	metFactorReqs atomic.Uint64
-	metSolveReqs  atomic.Uint64
-	metFailovers  atomic.Uint64
-	metEpochs     atomic.Uint64
+	// Durable snapshot store (nil when cfg.StoreDir is empty).
+	st       *store.Store
+	storeErr error
+
+	metFactorReqs   atomic.Uint64
+	metSolveReqs    atomic.Uint64
+	metFailovers    atomic.Uint64
+	metEpochs       atomic.Uint64
+	metEpochRetries atomic.Uint64
+	metLocalFactors atomic.Uint64
+	metLocalSolves  atomic.Uint64
+	metWarmPlans    atomic.Uint64
 }
 
 // NewGateway builds a gateway; call Serve with a listener for the node
@@ -196,7 +274,7 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		AmalgThreshold: cfg.AmalgThreshold,
 		Exec:           cfg.Exec,
 	}
-	return &Gateway{
+	g := &Gateway{
 		cfg:      cfg,
 		cache:    plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
 		planOpts: opts,
@@ -204,6 +282,13 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		byID:     make(map[string]int),
 		jobs:     make(map[string]*gwJob),
 	}
+	if cfg.StoreDir != "" {
+		g.st, g.storeErr = store.Open(cfg.StoreDir)
+		if g.storeErr != nil {
+			cfg.Logf("cluster gateway: snapshot store disabled: %v", g.storeErr)
+		}
+	}
+	return g
 }
 
 // Serve accepts node control connections on ln until ctx is cancelled.
@@ -226,7 +311,7 @@ func (g *Gateway) Serve(ctx context.Context, ln net.Listener) error {
 			return err
 		}
 		g.wg.Add(1)
-		go g.nodeConn(conn)
+		go g.nodeConn(faultinject.WrapConn("cluster.gw.ctrl", conn))
 	}
 }
 
@@ -239,6 +324,7 @@ func (g *Gateway) nodeConn(conn net.Conn) {
 	stop := context.AfterFunc(g.ctx, func() { conn.Close() })
 	defer stop()
 
+	conn.SetReadDeadline(time.Now().Add(2 * g.cfg.HeartbeatTimeout))
 	f, err := wire.ReadFrame(conn)
 	if err != nil || f.Type != wire.THello {
 		g.cfg.Logf("cluster gateway: connection from %v did not Hello", conn.RemoteAddr())
@@ -247,6 +333,10 @@ func (g *Gateway) nodeConn(conn net.Conn) {
 	m := g.register(f.Hello, conn)
 	g.cfg.Logf("cluster gateway: node %s joined (data %s, speed %.2f)", m.id, m.dataAddr, m.speed)
 	for {
+		// A read deadline well past the heartbeat timeout: the watchdog is
+		// what declares silence, but a fully wedged connection must also
+		// unblock this goroutine eventually.
+		conn.SetReadDeadline(time.Now().Add(2 * g.cfg.HeartbeatTimeout))
 		f, err := wire.ReadFrame(conn)
 		if err != nil {
 			g.markDead(m, fmt.Sprintf("control connection lost: %v", err))
@@ -294,7 +384,8 @@ func (g *Gateway) register(h *wire.Hello, conn net.Conn) *member {
 	m := &member{
 		idx: len(g.members), id: h.ID, dataAddr: h.DataAddr, speed: h.Speed,
 		conn: conn, alive: true, lastBeat: time.Now(),
-		pending: make(map[uint64]chan *wire.SolveResp),
+		sendTimeout: g.cfg.SendTimeout,
+		pending:     make(map[uint64]chan *wire.SolveResp),
 	}
 	g.members = append(g.members, m)
 	g.byID[h.ID] = m.idx
@@ -543,15 +634,18 @@ func (g *Gateway) writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 type gwFactorResponse struct {
-	ID        string  `json:"id"`
-	N         int     `json:"n"`
-	NNZ       int     `json:"nnz"`
-	NNZL      int64   `json:"nnz_l"`
-	Flops     int64   `json:"flops"`
-	CacheHit  bool    `json:"cache_hit"`
-	Nodes     int     `json:"nodes"`
-	Epochs    uint32  `json:"epochs"` // failover restarts this run survived
-	Primary   string  `json:"primary"`
+	ID       string `json:"id"`
+	N        int    `json:"n"`
+	NNZ      int    `json:"nnz"`
+	NNZL     int64  `json:"nnz_l"`
+	Flops    int64  `json:"flops"`
+	CacheHit bool   `json:"cache_hit"`
+	Nodes    int    `json:"nodes"`
+	Epochs   uint32 `json:"epochs"` // failover restarts this run survived
+	Primary  string `json:"primary"`
+	// Degraded is true when the fleet was unavailable and the factor was
+	// computed locally on the gateway (Nodes 0, Primary "local").
+	Degraded  bool    `json:"degraded,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
@@ -623,11 +717,17 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 	}
 	g.mu.Unlock()
 	if len(parts) < g.cfg.MinNodes {
+		// Partitioned from (or never had) the fleet: degrade to a local
+		// single-node factorization instead of erroring, unless disabled.
+		if !g.cfg.DisableLocalFallback {
+			return g.factorLocal(ctx, j, entry, m, hit)
+		}
 		return nil, http.StatusServiceUnavailable,
 			fmt.Errorf("cluster has %d nodes, need %d", len(parts), g.cfg.MinNodes)
 	}
 
 	j.mu.Lock()
+	j.localF = nil // never serve stale values if this run changes them
 	j.members = parts
 	j.runID = g.runSeq.Add(1)
 	j.epoch = 0
@@ -652,7 +752,11 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 	// Wait for every (surviving) participant's Done plus at least one
 	// assembly target holding the full factor. Failovers reset the done
 	// set; failures surface ranked (lowest pivot coordinates win, matching
-	// the deterministic contract of the in-process executor).
+	// the deterministic contract of the in-process executor). Epochs felled
+	// by infrastructure (non-pivot) errors restart with jittered
+	// exponential backoff; when the whole fleet is gone the request
+	// degrades to a local factorization.
+	retries := 0
 	for {
 		j.mu.Lock()
 		if j.runID != runID {
@@ -661,13 +765,49 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 		}
 		if len(j.failures) > 0 {
 			fail := bestFailure(j.failures)
-			j.mu.Unlock()
-			g.abort(j, runID, fail.Err)
 			if fail.HasPivot {
+				j.mu.Unlock()
+				g.abort(j, runID, fail.Err)
 				return nil, http.StatusUnprocessableEntity, &kernels.PivotError{
 					Block: int(fail.PivotBlock), Row: int(fail.PivotRow), Pivot: fail.Pivot,
 				}
 			}
+			anyAlive := false
+			for _, mm := range j.members {
+				anyAlive = anyAlive || mm.isAlive()
+			}
+			if !anyAlive && !g.cfg.DisableLocalFallback {
+				j.mu.Unlock()
+				g.cfg.Logf("cluster gateway: job %s lost every node; degrading to local factorization", j.id)
+				return g.factorLocal(ctx, j, entry, m, hit)
+			}
+			if anyAlive && retries < g.cfg.FactorRetries {
+				retries++
+				j.failures = nil
+				j.doneOK = make(map[int]bool)
+				j.epoch++
+				g.metEpochs.Add(1)
+				g.metEpochRetries.Add(1)
+				epoch := j.epoch
+				j.mu.Unlock()
+				delay := jitterBackoff(g.cfg.RetryBackoff, retries)
+				g.cfg.Logf("cluster gateway: job %s epoch failed (%s); retry %d in %v as epoch %d",
+					j.id, fail.Err, retries, delay, epoch)
+				select {
+				case <-ctx.Done():
+					g.abort(j, runID, "request cancelled")
+					return nil, http.StatusGatewayTimeout, ctx.Err()
+				case <-time.After(delay):
+				}
+				j.mu.Lock()
+				if j.runID == runID {
+					g.broadcastStartLocked(j)
+				}
+				j.mu.Unlock()
+				continue
+			}
+			j.mu.Unlock()
+			g.abort(j, runID, fail.Err)
 			return nil, http.StatusInternalServerError, errors.New(fail.Err)
 		}
 		if j.allDoneLocked() && len(j.ready) > 0 {
@@ -677,6 +817,10 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 			nodes := len(j.members)
 			j.mu.Unlock()
 			plan := j.plan
+			// Persist a plan snapshot (matrix + config, no blocks): a
+			// restarted gateway skips ordering and symbolic analysis for
+			// this pattern; the factor itself lives on the nodes.
+			g.saveSnapshot(m, nil)
 			return &gwFactorResponse{
 				ID: id, N: m.N, NNZ: m.NNZ(),
 				NNZL: plan.Exact.NZinL, Flops: plan.Exact.Flops,
@@ -689,6 +833,19 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 			g.abort(j, runID, "request cancelled")
 			return nil, http.StatusGatewayTimeout, ctx.Err()
 		case <-j.notify:
+		case <-time.After(g.cfg.ReadyTimeout):
+			// Every node finished its slice but no assembly target ever
+			// held the full factor: frames to the targets were lost in
+			// flight. Synthesize a transient failure so the retry branch
+			// restarts the epoch and survivors retransmit.
+			j.mu.Lock()
+			if j.runID == runID && len(j.failures) == 0 &&
+				j.allDoneLocked() && len(j.ready) == 0 {
+				j.failures = append(j.failures, &wire.Done{
+					Err: "all nodes done but no assembly target holds the full factor",
+				})
+			}
+			j.mu.Unlock()
 		}
 	}
 }
@@ -782,23 +939,22 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Route to the primary if it still holds the factor, else any ready
-	// replica — the solve-side half of buddy failover.
+	// replica — the solve-side half of buddy failover. The degraded-mode
+	// local factor is the target of last resort.
 	j.mu.Lock()
-	if !j.solvable {
-		j.mu.Unlock()
-		g.writeErr(w, http.StatusConflict, fmt.Errorf("factor %q is not ready", req.ID))
-		return
-	}
+	localF := j.localF
 	var targets []*member
-	order := append([]int{j.primary}, j.replicas...)
-	for _, i := range order {
-		if j.ready[i] && j.members[i].isAlive() {
-			targets = append(targets, j.members[i])
+	if j.solvable {
+		order := append([]int{j.primary}, j.replicas...)
+		for _, i := range order {
+			if j.ready[i] && j.members[i].isAlive() {
+				targets = append(targets, j.members[i])
+			}
 		}
 	}
 	j.mu.Unlock()
-	if len(targets) == 0 {
-		g.writeErr(w, http.StatusServiceUnavailable, errors.New("no assembly node holds the factor"))
+	if len(targets) == 0 && localF == nil {
+		g.writeErr(w, http.StatusConflict, fmt.Errorf("factor %q is not ready", req.ID))
 		return
 	}
 
@@ -815,7 +971,22 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		lastErr = err
 	}
-	g.writeErr(w, http.StatusInternalServerError, lastErr)
+	if localF != nil {
+		g.metLocalSolves.Add(1)
+		x, err := localF.Solve(req.B)
+		if err == nil {
+			writeJSON(w, http.StatusOK, gwSolveResponse{
+				ID: req.ID, X: x, Node: "local",
+				ElapsedMs: float64(time.Since(start).Microseconds()) / 1e3,
+			})
+			return
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no assembly node holds the factor")
+	}
+	g.writeErr(w, http.StatusServiceUnavailable, lastErr)
 }
 
 func (g *Gateway) solveOn(ctx context.Context, m *member, jobID string, b []float64) ([]float64, error) {
@@ -860,8 +1031,8 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g.mu.Lock()
 	members := append([]*member(nil), g.members...)
 	g.mu.Unlock()
-	h := gwHealth{Status: "ok"}
-	aliveN := 0
+	status, _, _ := g.fleetStatus()
+	h := gwHealth{Status: status}
 	for _, m := range members {
 		m.mu.Lock()
 		nh := gwNodeHealth{
@@ -869,40 +1040,43 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			LastBeatMs: float64(time.Since(m.lastBeat).Microseconds()) / 1e3,
 		}
 		m.mu.Unlock()
-		if nh.Alive {
-			aliveN++
-		}
 		h.Nodes = append(h.Nodes, nh)
 	}
+	// "degraded" answers 200: the gateway still serves (local fallback or a
+	// reduced fleet), and a load balancer should keep routing to it. Only
+	// "down" — below MinNodes with fallback disabled — is a 503.
 	code := http.StatusOK
-	switch {
-	case aliveN == 0:
-		h.Status = "down"
+	if status == "down" {
 		code = http.StatusServiceUnavailable
-	case aliveN < len(members):
-		h.Status = "degraded"
 	}
 	writeJSON(w, code, h)
 }
 
 type gwNodeMetrics struct {
-	ID          string `json:"id"`
-	Alive       bool   `json:"alive"`
-	BlocksOwned uint64 `json:"blocks_owned"`
-	BlocksDone  uint64 `json:"blocks_done"`
-	Flops       uint64 `json:"flops"`
-	Steals      uint64 `json:"steals"`
-	BytesSent   uint64 `json:"bytes_sent"`
-	BytesRecv   uint64 `json:"bytes_received"`
-	Failovers   uint64 `json:"failovers"`
+	ID          string  `json:"id"`
+	Alive       bool    `json:"alive"`
+	LastBeatMs  float64 `json:"last_heartbeat_ms"` // age of the newest heartbeat
+	BlocksOwned uint64  `json:"blocks_owned"`
+	BlocksDone  uint64  `json:"blocks_done"`
+	Flops       uint64  `json:"flops"`
+	Steals      uint64  `json:"steals"`
+	BytesSent   uint64  `json:"bytes_sent"`
+	BytesRecv   uint64  `json:"bytes_received"`
+	Failovers   uint64  `json:"failovers"`
 }
 
 type gwMetricsDoc struct {
+	Status         string          `json:"status"` // ok | degraded | down
 	FactorRequests uint64          `json:"factor_requests"`
 	SolveRequests  uint64          `json:"solve_requests"`
 	Failovers      uint64          `json:"failovers"`
 	Epochs         uint64          `json:"epochs_started"`
+	EpochRetries   uint64          `json:"epoch_retries"` // backoff restarts after infra failures
+	LocalFactors   uint64          `json:"local_factors"` // degraded-mode factorizations
+	LocalSolves    uint64          `json:"local_solves"`  // solves served by the local fallback factor
+	WarmPlans      uint64          `json:"warm_plans"`    // plans restored by the last WarmStart
 	Jobs           int             `json:"jobs"`
+	Store          *store.Stats    `json:"store,omitempty"` // absent without -store-dir
 	Nodes          []gwNodeMetrics `json:"nodes"`
 }
 
@@ -911,17 +1085,28 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	members := append([]*member(nil), g.members...)
 	jobs := len(g.jobs)
 	g.mu.Unlock()
+	status, _, _ := g.fleetStatus()
 	doc := gwMetricsDoc{
+		Status:         status,
 		FactorRequests: g.metFactorReqs.Load(),
 		SolveRequests:  g.metSolveReqs.Load(),
 		Failovers:      g.metFailovers.Load(),
 		Epochs:         g.metEpochs.Load(),
+		EpochRetries:   g.metEpochRetries.Load(),
+		LocalFactors:   g.metLocalFactors.Load(),
+		LocalSolves:    g.metLocalSolves.Load(),
+		WarmPlans:      g.metWarmPlans.Load(),
 		Jobs:           jobs,
+	}
+	if g.st != nil {
+		st := g.st.Stats()
+		doc.Store = &st
 	}
 	for _, m := range members {
 		m.mu.Lock()
 		doc.Nodes = append(doc.Nodes, gwNodeMetrics{
 			ID: m.id, Alive: m.alive,
+			LastBeatMs:  float64(time.Since(m.lastBeat).Microseconds()) / 1e3,
 			BlocksOwned: m.stats.BlocksOwned, BlocksDone: m.stats.BlocksDone,
 			Flops: m.stats.Flops, Steals: m.stats.Steals,
 			BytesSent: m.stats.BytesSent, BytesRecv: m.stats.BytesRecv,

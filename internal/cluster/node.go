@@ -15,10 +15,12 @@ import (
 	"blockfanout/internal/cluster/wire"
 	"blockfanout/internal/core"
 	"blockfanout/internal/fanout"
+	"blockfanout/internal/faultinject"
 	"blockfanout/internal/kernels"
 	"blockfanout/internal/numeric"
 	"blockfanout/internal/obs"
 	"blockfanout/internal/sched"
+	"blockfanout/internal/store"
 )
 
 // NodeConfig configures one worker node.
@@ -40,6 +42,27 @@ type NodeConfig struct {
 	Workers int
 	// HeartbeatEvery is the liveness-report period (default 500ms).
 	HeartbeatEvery time.Duration
+	// SendTimeout bounds each control- and data-plane write (default 5s);
+	// a hung peer read loop can therefore never wedge a sender goroutine.
+	SendTimeout time.Duration
+	// SendRetries is how many times a failed peer send is redialed and
+	// retried with jittered exponential backoff before the frame is
+	// dropped to the gateway's failover machinery (default 3; negative
+	// disables retries).
+	SendRetries int
+	// RetryBackoff is the base delay of the send-retry backoff
+	// (default 25ms).
+	RetryBackoff time.Duration
+	// StallTimeout, when positive, fails the running epoch with a
+	// transient Done if no block completes or arrives for that long; the
+	// gateway restarts the epoch and peers retransmit. Set it well above
+	// the longest single-kernel time. Default 0 = disabled.
+	StallTimeout time.Duration
+	// StoreDir, when set, opens a durable snapshot store there: the
+	// blocks this node computed are checkpointed write-behind at each
+	// epoch end, and a restarted node seeds a fresh run from them when
+	// the run's value checksum matches (rejoin without recomputation).
+	StoreDir string
 	// TraceDir, when set, writes one Chrome trace-event file per executed
 	// epoch (obs recorder spans of every BFAC/BDIV/BMOD the node ran).
 	TraceDir string
@@ -67,12 +90,18 @@ type Node struct {
 	jobs  map[string]*nodeJob
 	peers map[string]*peer
 
+	st       *store.Store
+	storeErr error
+	snapCh   chan *store.BlockSnapshot
+
 	bytesSent atomic.Uint64
 	bytesRecv atomic.Uint64
 	flops     atomic.Uint64
 	steals    atomic.Uint64
 	failovers atomic.Uint64
 	done      atomic.Uint64 // locally completed blocks, cumulative
+	restored  atomic.Uint64 // blocks seeded from a held-block snapshot
+	resends   atomic.Uint64 // peer-send retries after a dial or write failure
 }
 
 // nodeJob is one pattern's factorization state on this node. mu guards
@@ -115,6 +144,17 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 500 * time.Millisecond
 	}
+	if cfg.SendTimeout <= 0 {
+		cfg.SendTimeout = 5 * time.Second
+	}
+	if cfg.SendRetries == 0 {
+		cfg.SendRetries = 3
+	} else if cfg.SendRetries < 0 {
+		cfg.SendRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -131,6 +171,20 @@ func (n *Node) Run(ctx context.Context) error {
 	n.ctx, n.cancel = context.WithCancel(ctx)
 	defer n.cancel()
 
+	if n.cfg.StoreDir != "" {
+		st, err := store.Open(n.cfg.StoreDir)
+		if err != nil {
+			// A broken store disables durability, never the node.
+			n.storeErr = err
+			n.cfg.Logf("cluster node %s: snapshot store: %v", n.cfg.ID, err)
+		} else {
+			n.st = st
+			n.snapCh = make(chan *store.BlockSnapshot, 8)
+			n.wg.Add(1)
+			go n.snapshotWriter()
+		}
+	}
+
 	ln, err := net.Listen("tcp", n.cfg.DataAddr)
 	if err != nil {
 		return fmt.Errorf("cluster: node %s data listen: %w", n.cfg.ID, err)
@@ -141,10 +195,11 @@ func (n *Node) Run(ctx context.Context) error {
 	n.wg.Add(1)
 	go n.acceptData()
 
-	ctrl, err := net.Dial("tcp", n.cfg.Gateway)
+	rawCtrl, err := net.Dial("tcp", n.cfg.Gateway)
 	if err != nil {
 		return fmt.Errorf("cluster: node %s dial gateway: %w", n.cfg.ID, err)
 	}
+	ctrl := faultinject.WrapConn("cluster.node.ctrl", rawCtrl)
 	n.ctrl = ctrl
 	defer ctrl.Close()
 	if err := n.sendCtrl(wire.Frame{Type: wire.THello, Hello: &wire.Hello{
@@ -174,6 +229,8 @@ func (n *Node) DataAddr() string { return n.dataAddr }
 func (n *Node) sendCtrl(f wire.Frame) error {
 	n.ctrlMu.Lock()
 	defer n.ctrlMu.Unlock()
+	n.ctrl.SetWriteDeadline(time.Now().Add(n.cfg.SendTimeout))
+	defer n.ctrl.SetWriteDeadline(time.Time{})
 	return wire.WriteFrame(n.ctrl, f)
 }
 
@@ -289,23 +346,54 @@ func (n *Node) peerSender(p *peer) {
 		case <-n.ctx.Done():
 			return
 		case b := <-p.ch:
-			if conn == nil {
-				c, err := net.Dial("tcp", p.addr)
-				if err != nil {
-					// The receiver is likely dead; the gateway's failover
-					// re-owns its blocks and survivors resend at the next
-					// epoch, so dropping here is safe.
-					continue
+			for attempt := 0; ; attempt++ {
+				if attempt > 0 {
+					n.resends.Add(1)
+					if !n.sleepBackoff(attempt) {
+						return
+					}
 				}
-				conn = c
-			}
-			if _, err := conn.Write(b); err != nil {
+				if conn == nil {
+					c, err := net.Dial("tcp", p.addr)
+					if err != nil {
+						if attempt < n.cfg.SendRetries {
+							continue
+						}
+						// The receiver is dead beyond the retry budget;
+						// the gateway's failover re-owns its blocks and
+						// survivors resend at the next epoch, so dropping
+						// here is safe.
+						break
+					}
+					conn = faultinject.WrapConn("cluster.node.data", c)
+				}
+				conn.SetWriteDeadline(time.Now().Add(n.cfg.SendTimeout))
+				_, err := conn.Write(b)
+				conn.SetWriteDeadline(time.Time{})
+				if err == nil {
+					n.bytesSent.Add(uint64(len(b)))
+					break
+				}
 				conn.Close()
 				conn = nil
-				continue
+				if attempt >= n.cfg.SendRetries {
+					break
+				}
 			}
-			n.bytesSent.Add(uint64(len(b)))
 		}
+	}
+}
+
+// sleepBackoff pauses a sender before retry attempt (1-based), honoring
+// shutdown. Reports false when the node is stopping.
+func (n *Node) sleepBackoff(attempt int) bool {
+	t := time.NewTimer(jitterBackoff(n.cfg.RetryBackoff, attempt))
+	defer t.Stop()
+	select {
+	case <-n.ctx.Done():
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -463,6 +551,7 @@ func (j *nodeJob) startLocked(n *Node, sj *wire.StartJob) error {
 		j.haveData = make([]bool, j.pr.NBlocks)
 		j.nHave = 0
 		j.readySent = false
+		j.restoreBlocksLocked(n)
 	} else {
 		// Failover epoch: keep completed blocks, revert the rest.
 		n.failovers.Add(1)
@@ -512,20 +601,23 @@ func (j *nodeJob) startLocked(n *Node, sj *wire.StartJob) error {
 		}
 	}
 
+	j.maybeReadyLocked(n) // a full snapshot restore can complete the job outright
+
 	ctx, cancel := context.WithCancel(n.ctx)
 	j.cancel = cancel
 	j.running = true
 	ex := j.ex
 	n.wg.Add(1)
-	go n.runEpoch(ctx, j, sj, ex, resend)
+	go n.runEpoch(ctx, cancel, j, sj, ex, resend)
 	return nil
 }
 
-func (n *Node) runEpoch(ctx context.Context, j *nodeJob, sj *wire.StartJob, ex *fanout.Executor, resend []int32) {
+func (n *Node) runEpoch(ctx context.Context, cancel context.CancelFunc, j *nodeJob, sj *wire.StartJob, ex *fanout.Executor, resend []int32) {
 	defer n.wg.Done()
 	for _, id := range resend {
 		n.shipBlock(j, sj, id)
 	}
+	stalled := n.startStallWatch(ctx, cancel, j)
 	var rec *obs.Recorder
 	if n.cfg.TraceDir != "" {
 		rec = ex.NewRecorder()
@@ -553,9 +645,20 @@ func (n *Node) runEpoch(ctx context.Context, j *nodeJob, sj *wire.StartJob, ex *
 		return
 	}
 	aborted := err != nil && errors.Is(err, context.Canceled)
+	if aborted && stalled != nil && stalled.Load() && n.ctx.Err() == nil {
+		// The stall watchdog cancelled us: report a transient failure so
+		// the gateway restarts the epoch, instead of a silent abort.
+		aborted = false
+		err = faultinject.Transient(fmt.Errorf(
+			"cluster: node %s job %s epoch %d stalled: no progress for %v",
+			n.cfg.ID, sj.JobID, sj.Epoch, n.cfg.StallTimeout))
+	}
 	j.mu.Unlock()
 	if aborted {
 		return // Abort or shutdown; the gateway does not expect a Done.
+	}
+	if err == nil {
+		n.saveBlocks(j, sj)
 	}
 	n.sendDone(j, sj, err, st)
 }

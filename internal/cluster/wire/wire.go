@@ -25,6 +25,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -34,8 +35,9 @@ const Magic byte = 0xFC
 
 // Version is the protocol version this package speaks. Decoding rejects
 // frames of any other version, so mixed-version clusters fail loudly at the
-// first frame instead of corrupting a factorization.
-const Version byte = 1
+// first frame instead of corrupting a factorization. Version 2 added the
+// CRC32 trailer on BlockData payloads.
+const Version byte = 2
 
 // MaxPayload bounds a frame's payload; larger announced lengths are
 // rejected before allocation. 1 GiB admits the block payloads of
@@ -264,6 +266,10 @@ var (
 	ErrVersion = errors.New("wire: protocol version mismatch")
 	// ErrMagic reports a stream that is not speaking this protocol.
 	ErrMagic = errors.New("wire: bad magic byte")
+	// ErrChecksum reports a BlockData frame whose payload bytes do not
+	// match their CRC32 trailer: the lengths lined up but the numeric
+	// content was corrupted in flight.
+	ErrChecksum = errors.New("wire: block data checksum mismatch")
 )
 
 type dec struct {
@@ -274,6 +280,12 @@ type dec struct {
 func (d *dec) fail() {
 	if d.err == nil {
 		d.err = ErrTruncated
+	}
+}
+
+func (d *dec) failWith(err error) {
+	if d.err == nil {
+		d.err = err
 	}
 }
 
@@ -494,7 +506,13 @@ func (b *BlockData) encode(e *enc) {
 	e.u64(b.RunID)
 	e.u32(b.Epoch)
 	e.u32(b.Block)
+	start := len(e.b)
 	e.f64s(b.Data)
+	// CRC32-IEEE over the length-prefixed data bytes just written. Block
+	// payloads are the one frame family whose corruption would silently
+	// poison a factorization instead of failing a decode, so they alone
+	// carry an end-to-end checksum on top of the framing length checks.
+	e.u32(crc32.ChecksumIEEE(e.b[start:]))
 }
 
 func (b *BlockData) decode(d *dec) {
@@ -502,7 +520,15 @@ func (b *BlockData) decode(d *dec) {
 	b.RunID = d.u64()
 	b.Epoch = d.u32()
 	b.Block = d.u32()
+	raw := d.b
 	b.Data = d.f64s()
+	if d.err != nil {
+		return
+	}
+	sum := crc32.ChecksumIEEE(raw[:len(raw)-len(d.b)])
+	if d.u32() != sum && d.err == nil {
+		d.failWith(ErrChecksum)
+	}
 }
 
 func (dn *Done) encode(e *enc) {

@@ -181,3 +181,33 @@ func TestStreamedSequence(t *testing.T) {
 		t.Fatalf("after last frame: got %v, want io.EOF", err)
 	}
 }
+
+// TestBlockDataChecksum flips one byte inside a BlockData payload's float
+// region and asserts the decoder rejects the frame with ErrChecksum instead
+// of silently accepting corrupted numerics.
+func TestBlockDataChecksum(t *testing.T) {
+	b, err := Encode(Frame{Type: TBlockData, BlockData: &BlockData{
+		JobID: "job", RunID: 9, Epoch: 1, Block: 4,
+		Data: []float64{1.5, -2.25, 3.75, 0, 11},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trips clean.
+	if _, err := ReadFrame(bytes.NewReader(b)); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+	// Flip one bit inside the float payload (after the header, the string,
+	// and the fixed fields; before the trailing CRC).
+	bad := append([]byte(nil), b...)
+	bad[len(bad)-12] ^= 0x01
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted payload: got %v, want ErrChecksum", err)
+	}
+	// A corrupted CRC trailer itself is also a rejection.
+	bad2 := append([]byte(nil), b...)
+	bad2[len(bad2)-1] ^= 0xFF
+	if _, err := ReadFrame(bytes.NewReader(bad2)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted trailer: got %v, want ErrChecksum", err)
+	}
+}

@@ -301,6 +301,37 @@ func (p *Plan) FactorValuesContext(ctx context.Context, a sched.Assignment, valu
 	return f, nil
 }
 
+// RestoreFactor rebuilds a computed Factor from snapshotted block data
+// without re-running the factorization — the warm-start path of the
+// durable factor store. values must be laid out like plan.A.Val (the
+// matrix the snapshotted factor was computed from) and blocks must be the
+// ExportBlocks flattening of the finished numeric factor. The restored
+// factor carries the usual parallel executor, so later Refactor calls
+// behave exactly as if the factor had been computed in this process.
+func (p *Plan) RestoreFactor(a sched.Assignment, values []float64, blocks [][]float64) (*Factor, error) {
+	if len(values) != len(p.A.Val) {
+		return nil, fmt.Errorf("core: restore got %d values, pattern has %d nonzeros", len(values), len(p.A.Val))
+	}
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, err
+	}
+	if err := nf.ImportBlocks(blocks); err != nil {
+		return nil, err
+	}
+	pr := sched.Build(p.BS, a)
+	f := &Factor{plan: p, nf: nf, pr: pr, ex: fanout.NewExecutorMode(nf, pr, p.Opts.Exec)}
+	// The factor represents the snapshot's values, not whichever values
+	// built the (possibly shared) plan matrix.
+	f.a = &sparse.Matrix{
+		N:      p.A.N,
+		ColPtr: p.A.ColPtr,
+		RowInd: p.A.RowInd,
+		Val:    append([]float64(nil), values...),
+	}
+	return f, nil
+}
+
 // FactorSequential factors on one processor (the paper's t_seq baseline).
 func (p *Plan) FactorSequential() (*Factor, error) {
 	nf, err := numeric.New(p.BS, p.PA)

@@ -8,6 +8,7 @@ import (
 	"blockfanout/internal/gen"
 	"blockfanout/internal/mapping"
 	"blockfanout/internal/order"
+	"blockfanout/internal/sparse"
 )
 
 // refactorFixture returns a plan, a parallel factor, and a same-pattern
@@ -258,5 +259,69 @@ func TestRefactorSequential(t *testing.T) {
 		if math.Abs(2*x[i]-y[i]) > 1e-8*(1+math.Abs(y[i])) {
 			t.Fatalf("x[%d]: scaled system solution %g, want %g/2", i, x[i], y[i])
 		}
+	}
+}
+
+// TestRestoreFactorRoundTrip factors, exports the block data, restores a
+// fresh Factor from it, and checks restored solves and a subsequent
+// refactor both work — the warm-start contract of the snapshot store.
+func TestRestoreFactorRoundTrip(t *testing.T) {
+	m := gen.IrregularMesh(500, 7, 3, 11)
+	plan, err := NewPlan(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mapping.BestGrid(4)
+	a := plan.Assign(plan.Map(g, mapping.ID, mapping.CY), 2)
+	f, err := plan.FactorContext(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := f.Numeric().ExportBlocks()
+
+	rf, err := plan.RestoreFactor(a, m.Val, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(1 + i%7)
+	}
+	x, err := rf.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m.ResidualNorm(x, b); r > 1e-8 {
+		t.Fatalf("restored factor solve residual %g", r)
+	}
+	if rf.Matrix() == nil || rf.Matrix().Val[0] != m.Val[0] {
+		t.Fatal("restored factor does not describe the snapshot values")
+	}
+
+	// A restored factor must refactor in place like a computed one.
+	v2 := append([]float64(nil), m.Val...)
+	for j := 0; j < m.N; j++ {
+		v2[m.ColPtr[j]] *= 3
+	}
+	if err := rf.Refactor(v2); err != nil {
+		t.Fatal(err)
+	}
+	m2 := &sparse.Matrix{N: m.N, ColPtr: m.ColPtr, RowInd: m.RowInd, Val: v2}
+	x2, err := rf.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := m2.ResidualNorm(x2, b); r > 1e-8 {
+		t.Fatalf("post-restore refactor solve residual %g", r)
+	}
+
+	// Shape mismatches are rejected, not truncated.
+	if _, err := plan.RestoreFactor(a, m.Val, blocks[:len(blocks)-1]); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	bad := append([][]float64(nil), blocks...)
+	bad[0] = bad[0][:len(bad[0])-1]
+	if _, err := plan.RestoreFactor(a, m.Val, bad); err == nil {
+		t.Fatal("wrong-length block accepted")
 	}
 }

@@ -81,11 +81,13 @@ func Seed(s uint64) {
 // Disable turns injection off without clearing the rule set.
 func Disable() { enabled.Store(false) }
 
-// Reset turns injection off and discards all rules and counters.
+// Reset turns injection off and discards all rules (call-site and network)
+// and counters.
 func Reset() {
 	enabled.Store(false)
 	mu.Lock()
 	rules = nil
+	netRules = nil
 	fires = nil
 	mu.Unlock()
 }

@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"net"
+	"time"
+)
+
+// NetRule describes how one network injection site misbehaves. Each Write
+// on a conn wrapped with that site name is one eligible event (the cluster
+// writes one frame per Write, so these are per-frame faults). The three
+// fault kinds are drawn independently, in drop → corrupt → delay order;
+// drop wins if both drop and corrupt fire.
+type NetRule struct {
+	Site     string        // injection point name (exact match)
+	Drop     float64       // chance the frame is silently discarded (sender sees success)
+	Corrupt  float64       // chance one payload byte is bit-flipped in flight
+	Delay    float64       // chance the frame is held for DelayFor before sending
+	DelayFor time.Duration // hold time when a delay fires (default 10ms)
+	After    int           // skip this many writes to the site first
+	Count    int           // stop after this many faults (0: unlimited)
+}
+
+type netRuleState struct {
+	NetRule
+	writes int
+	fired  int
+}
+
+var netRules []*netRuleState // guarded by mu
+
+// EnableNet installs network rules (replacing any previous set) and turns
+// injection on. It composes with Enable: call-site rules and network rules
+// coexist; Reset clears both.
+func EnableNet(rs ...NetRule) {
+	mu.Lock()
+	netRules = netRules[:0]
+	for _, r := range rs {
+		netRules = append(netRules, &netRuleState{NetRule: r})
+	}
+	if fires == nil {
+		fires = make(map[string]int)
+	}
+	mu.Unlock()
+	enabled.Store(true)
+}
+
+// netAction is the decision for one write.
+type netAction struct {
+	drop    bool
+	corrupt bool
+	delay   time.Duration
+}
+
+func netFire(site string) netAction {
+	var act netAction
+	mu.Lock()
+	for _, r := range netRules {
+		if r.Site != site {
+			continue
+		}
+		r.writes++
+		if r.writes <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Drop > 0 && coin() < r.Drop {
+			act.drop = true
+		} else if r.Corrupt > 0 && coin() < r.Corrupt {
+			act.corrupt = true
+		}
+		if r.Delay > 0 && coin() < r.Delay {
+			act.delay = r.DelayFor
+			if act.delay == 0 {
+				act.delay = 10 * time.Millisecond
+			}
+		}
+		if act.drop || act.corrupt || act.delay > 0 {
+			r.fired++
+			fires[site]++
+		}
+		break
+	}
+	mu.Unlock()
+	return act
+}
+
+// faultConn applies the site's network rules to every Write. Reads pass
+// through untouched: faults are injected once, on the sending side.
+type faultConn struct {
+	net.Conn
+	site string
+}
+
+// WrapConn wraps c so writes are subject to the site's network rules. With
+// injection disabled (the default) each Write pays one atomic load.
+func WrapConn(site string, c net.Conn) net.Conn {
+	return &faultConn{Conn: c, site: site}
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	if !enabled.Load() {
+		return fc.Conn.Write(b)
+	}
+	act := netFire(fc.site)
+	if act.delay > 0 {
+		time.Sleep(act.delay)
+	}
+	if act.drop {
+		// The frame vanishes in flight; the sender believes it was sent.
+		return len(b), nil
+	}
+	if act.corrupt {
+		bb := append([]byte(nil), b...)
+		// Flip a bit deep inside the payload — past the frame header, where
+		// only a content checksum (not framing length checks) can catch it.
+		i := len(bb) * 3 / 4
+		if i >= len(bb) {
+			i = len(bb) - 1
+		}
+		bb[i] ^= 0x10
+		return fc.Conn.Write(bb)
+	}
+	return fc.Conn.Write(b)
+}

@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns the two ends of an in-memory conn plus a cleanup.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func readN(t *testing.T, c net.Conn, n int) []byte {
+	t.Helper()
+	buf := make([]byte, n)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got := 0
+	for got < n {
+		k, err := c.Read(buf[got:])
+		if err != nil {
+			t.Fatalf("read: %v after %d/%d bytes", err, got, n)
+		}
+		got += k
+	}
+	return buf
+}
+
+func TestWrapConnPassthroughDisabled(t *testing.T) {
+	Reset()
+	a, b := pipePair(t)
+	w := WrapConn("net.test", a)
+	msg := []byte("hello frame")
+	done := make(chan []byte, 1)
+	go func() { done <- readN(t, b, len(msg)) }()
+	if n, err := w.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	if got := <-done; string(got) != string(msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWrapConnDrop(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	EnableNet(NetRule{Site: "net.drop", Drop: 1})
+	a, b := pipePair(t)
+	w := WrapConn("net.drop", a)
+	// The write reports success but nothing arrives.
+	if n, err := w.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("dropped write: %d %v", n, err)
+	}
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := b.Read(buf); err == nil {
+		t.Fatalf("dropped frame arrived: %d bytes", n)
+	}
+	if Fires("net.drop") != 1 {
+		t.Fatalf("fires = %d", Fires("net.drop"))
+	}
+}
+
+func TestWrapConnCorrupt(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	EnableNet(NetRule{Site: "net.corrupt", Corrupt: 1})
+	a, b := pipePair(t)
+	w := WrapConn("net.corrupt", a)
+	msg := make([]byte, 32)
+	done := make(chan []byte, 1)
+	go func() { done <- readN(t, b, len(msg)) }()
+	if _, err := w.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestWrapConnDelay(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	EnableNet(NetRule{Site: "net.delay", Delay: 1, DelayFor: 30 * time.Millisecond})
+	a, b := pipePair(t)
+	w := WrapConn("net.delay", a)
+	done := make(chan []byte, 1)
+	go func() { done <- readN(t, b, 4) }()
+	start := time.Now()
+	if _, err := w.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write returned after %v, want ≥30ms delay", d)
+	}
+}
+
+func TestWrapConnAfterCount(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	EnableNet(NetRule{Site: "net.window", Drop: 1, After: 1, Count: 2})
+	a, b := pipePair(t)
+	w := WrapConn("net.window", a)
+	arrived := make(chan byte, 8)
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+			arrived <- buf[0]
+		}
+	}()
+	for i := byte(0); i < 5; i++ {
+		if _, err := w.Write([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	var got []byte
+	for v := range arrivedDrain(arrived, 100*time.Millisecond) {
+		got = append(got, v)
+	}
+	// Writes 2 and 3 (0-indexed 1,2) are dropped: first passes (After),
+	// next two fall in Count, remainder pass again.
+	want := []byte{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// arrivedDrain drains ch until it stays empty for idle.
+func arrivedDrain(ch chan byte, idle time.Duration) chan byte {
+	out := make(chan byte, cap(ch))
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case v := <-ch:
+				out <- v
+			case <-time.After(idle):
+				return
+			}
+		}
+	}()
+	return out
+}

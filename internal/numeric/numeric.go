@@ -463,3 +463,57 @@ func (f *Factor) NNZ() int64 {
 	}
 	return nz
 }
+
+// ExportBlocks copies every block's dense payload out of the factor in
+// (column, block-index) order — the canonical flattening the snapshot
+// store persists. The copies are private: later factorizations or reloads
+// cannot mutate an exported snapshot under a concurrent writer. All block
+// copies share one backing array: the export runs on the request path
+// (under the factor entry's lock), and one large allocation plus straight
+// memcpy is severalfold cheaper than thousands of per-block allocations.
+func (f *Factor) ExportBlocks() [][]float64 {
+	var nblk, nval int
+	for j := range f.Data {
+		nblk += len(f.Data[j])
+		for bi := range f.Data[j] {
+			nval += len(f.Data[j][bi])
+		}
+	}
+	out := make([][]float64, 0, nblk)
+	buf := make([]float64, nval)
+	for j := range f.Data {
+		for bi := range f.Data[j] {
+			n := copy(buf, f.Data[j][bi])
+			out = append(out, buf[:n:n])
+			buf = buf[n:]
+		}
+	}
+	return out
+}
+
+// ImportBlocks copies snapshotted block payloads back into the factor, in
+// the same (column, block-index) order ExportBlocks produced. Every
+// block's length must match the factor's structure exactly — a snapshot
+// from a differently-partitioned plan is rejected rather than silently
+// truncated.
+func (f *Factor) ImportBlocks(blocks [][]float64) error {
+	k := 0
+	for j := range f.Data {
+		for bi := range f.Data[j] {
+			if k >= len(blocks) {
+				return fmt.Errorf("numeric: snapshot holds %d blocks, factor has more", len(blocks))
+			}
+			dst := f.Data[j][bi]
+			if len(blocks[k]) != len(dst) {
+				return fmt.Errorf("numeric: snapshot block %d has %d entries, factor block (%d,%d) holds %d",
+					k, len(blocks[k]), j, bi, len(dst))
+			}
+			copy(dst, blocks[k])
+			k++
+		}
+	}
+	if k != len(blocks) {
+		return fmt.Errorf("numeric: snapshot holds %d blocks, factor has %d", len(blocks), k)
+	}
+	return nil
+}

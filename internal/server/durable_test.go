@@ -1,0 +1,177 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blockfanout/internal/gen"
+	"blockfanout/internal/sparse"
+)
+
+// solveVec posts one RHS and returns x.
+func solveVec(t *testing.T, url, id string, b []float64) []float64 {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/solve", solveRequest{ID: id, B: b})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr.X
+}
+
+func residualNorm(m *sparse.Matrix, x, b []float64) float64 {
+	r := make([]float64, m.N)
+	copy(r, b)
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			i, v := m.RowInd[p], m.Val[p]
+			r[i] -= v * x[j]
+			if i != j {
+				r[j] -= v * x[i]
+			}
+		}
+	}
+	var n float64
+	for _, v := range r {
+		n += v * v
+	}
+	return math.Sqrt(n)
+}
+
+// TestWarmStartKillRestart is the kill-and-restart e2e: a factor built by
+// one server process is served by its successor from disk — same id, no
+// refactorization — after a WarmStart.
+func TestWarmStartKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := gen.IrregularMesh(300, 6, 2, 5)
+
+	// First life: factor, then shut down (flushing the write-behind queue).
+	s1, ts1 := testService(t, Config{StoreDir: dir, BatchWindow: -1})
+	fr := factorMatrix(t, ts1.URL, m)
+	s1.Close()
+	ts1.Close()
+
+	// Second life on the same directory.
+	s2, ts2 := testService(t, Config{StoreDir: dir, BatchWindow: -1})
+	t.Cleanup(s2.Close)
+	restored, err := s2.WarmStart()
+	if err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d factors, want 1", restored)
+	}
+
+	// The old id solves immediately — no /v1/factor, no refactorization.
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := solveVec(t, ts2.URL, fr.ID, b)
+	if res := residualNorm(m, x, b); res > 1e-8 {
+		t.Fatalf("restored factor residual %g", res)
+	}
+	if got := s2.met.factors.Load() + s2.met.refactors.Load(); got != 0 {
+		t.Fatalf("restart ran %d factorizations, want 0", got)
+	}
+
+	// A /v1/factor for the same matrix is a plan-cache hit (no symbolic
+	// rebuild) and a numeric-only refactor of the restored factor.
+	fr2 := factorMatrix(t, ts2.URL, m)
+	if !fr2.CacheHit || !fr2.Refactored {
+		t.Fatalf("post-restart factor: hit=%v refactored=%v, want true/true", fr2.CacheHit, fr2.Refactored)
+	}
+
+	// /metrics reports the store section.
+	doc := fetchMetrics(t, ts2.URL)
+	if doc.Store == nil || doc.Store.WarmRestored != 1 {
+		t.Fatalf("metrics store section: %+v", doc.Store)
+	}
+}
+
+// TestWarmStartCorruptSnapshot: a corrupted snapshot must not stop the boot
+// or be served; the pattern simply builds cold on its next factor request.
+func TestWarmStartCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	m := gen.IrregularMesh(200, 5, 2, 3)
+
+	s1, ts1 := testService(t, Config{StoreDir: dir, BatchWindow: -1})
+	factorMatrix(t, ts1.URL, m)
+	s1.Close()
+	ts1.Close()
+
+	// Truncate the snapshot.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			p := filepath.Join(dir, e.Name())
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, b[:len(b)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("no snapshot written by first life")
+	}
+
+	s2, ts2 := testService(t, Config{StoreDir: dir, BatchWindow: -1})
+	t.Cleanup(s2.Close)
+	restored, err := s2.WarmStart()
+	if err != nil || restored != 0 {
+		t.Fatalf("warm start over corrupt snapshot: restored=%d err=%v", restored, err)
+	}
+	// Cold build still works, and re-persists a good snapshot.
+	fr := factorMatrix(t, ts2.URL, m)
+	if fr.CacheHit {
+		t.Fatal("corrupt snapshot produced a cache hit")
+	}
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x := solveVec(t, ts2.URL, fr.ID, b)
+	if res := residualNorm(m, x, b); res > 1e-8 {
+		t.Fatalf("cold rebuild residual %g", res)
+	}
+}
+
+// TestSnapshotWriteBehindFlush: Close drains queued snapshots to disk.
+func TestSnapshotWriteBehindFlush(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testService(t, Config{StoreDir: dir, BatchWindow: -1})
+	for _, n := range []int{150, 220} {
+		factorMatrix(t, ts.URL, gen.IrregularMesh(n, 5, 2, 3))
+	}
+	s.Close()
+	ts.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			snaps++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("found %d snapshots after Close, want 2", snaps)
+	}
+}

@@ -58,6 +58,12 @@ type metrics struct {
 	batches   atomic.Int64 // coalesced SolveMany calls issued by the batcher
 	batched   atomic.Int64 // right-hand sides that travelled in those batches
 
+	snapWrites   atomic.Int64 // write-behind snapshots committed to the store
+	snapErrors   atomic.Int64 // snapshot writes that failed
+	snapDropped  atomic.Int64 // snapshots dropped because the write-behind queue was full
+	snapSkipped  atomic.Int64 // snapshots skipped by the SnapshotInterval throttle
+	warmRestored atomic.Int64 // gauge: factors restored by the last WarmStart
+
 	factorLat   obs.Histogram
 	refactorLat obs.Histogram
 	solveLat    obs.Histogram

@@ -38,9 +38,9 @@ import (
 	"blockfanout/internal/fanout"
 	"blockfanout/internal/faultinject"
 	"blockfanout/internal/kernels"
-	"blockfanout/internal/mapping"
 	"blockfanout/internal/plancache"
 	"blockfanout/internal/sched"
+	"blockfanout/internal/store"
 )
 
 // Config tunes the service. Zero values select the documented defaults.
@@ -100,6 +100,20 @@ type Config struct {
 	BreakerThreshold int
 	// BreakerCooldown is how long a tripped pattern fails fast (default 30s).
 	BreakerCooldown time.Duration
+	// StoreDir, when non-empty, enables the durable snapshot store: every
+	// completed factorization is written behind (asynchronously) to this
+	// directory, and WarmStart restores the working set from it on boot. An
+	// empty StoreDir keeps the server fully in-memory (the pre-durability
+	// behavior).
+	StoreDir string
+	// SnapshotInterval is the minimum spacing between write-behind
+	// snapshots of the same factor (default 1s; negative = snapshot every
+	// completed factorization). A factor's first snapshot is never
+	// throttled; under a refactor storm the interval bounds the writer's
+	// bandwidth and CPU instead of rewriting the same key back-to-back,
+	// at the cost of a restart restoring values up to one interval stale —
+	// the same last-written-snapshot semantics a full queue already gives.
+	SnapshotInterval time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -154,6 +168,12 @@ func (c *Config) fillDefaults() {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	switch {
+	case c.SnapshotInterval == 0:
+		c.SnapshotInterval = time.Second
+	case c.SnapshotInterval < 0:
+		c.SnapshotInterval = 0
+	}
 }
 
 // factorEntry is one live factor. mu serializes refactorization (writer)
@@ -173,6 +193,10 @@ type factorEntry struct {
 	// factorization. Guarded by the server's mu; eviction skips building
 	// entries so a freshly issued id cannot vanish before its factor lands.
 	building bool
+	// lastSnap is when this factor last enqueued a write-behind snapshot
+	// (zero: never). Guarded by mu (held for writing at both snapshot
+	// sites); Config.SnapshotInterval throttles against it.
+	lastSnap time.Time
 }
 
 // Server is the solve service. Create with New, mount via Handler.
@@ -193,6 +217,15 @@ type Server struct {
 	draining bool
 	breakers map[string]*breakerState
 
+	// Durable snapshot store (nil when Config.StoreDir is empty or the
+	// directory failed to open; storeErr keeps the failure for /metrics).
+	st         *store.Store
+	storeErr   error
+	snapCh     chan *store.FactorSnapshot
+	writerQuit chan struct{}
+	writerDone chan struct{}
+	closeOnce  sync.Once
+
 	met metrics
 }
 
@@ -200,7 +233,7 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	opts := core.Options{BlockSize: cfg.BlockSize, Blocking: cfg.Blocking, AmalgThreshold: cfg.AmalgThreshold, Exec: cfg.Exec}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		planOpts: opts,
 		planKey:  opts.ConfigKey(),
@@ -210,6 +243,16 @@ func New(cfg Config) *Server {
 		lru:      list.New(),
 		breakers: make(map[string]*breakerState),
 	}
+	if cfg.StoreDir != "" {
+		s.st, s.storeErr = store.Open(cfg.StoreDir)
+		if s.storeErr == nil {
+			s.snapCh = make(chan *store.FactorSnapshot, 8)
+			s.writerQuit = make(chan struct{})
+			s.writerDone = make(chan struct{})
+			go s.snapshotWriter()
+		}
+	}
+	return s
 }
 
 // Handler returns the service's HTTP mux, wrapped in the panic-recovery
@@ -432,13 +475,13 @@ func errStatus(err error) int {
 // ---- /v1/factor ----
 
 type factorResponse struct {
-	ID         string  `json:"id"`
-	N          int     `json:"n"`
-	NNZ        int     `json:"nnz"`
-	NNZL       int64   `json:"nnz_l"`
-	Flops      int64   `json:"flops"`
-	CacheHit   bool    `json:"cache_hit"`
-	Refactored bool    `json:"refactored"`
+	ID         string `json:"id"`
+	N          int    `json:"n"`
+	NNZ        int    `json:"nnz"`
+	NNZL       int64  `json:"nnz_l"`
+	Flops      int64  `json:"flops"`
+	CacheHit   bool   `json:"cache_hit"`
+	Refactored bool   `json:"refactored"`
 	// Shift is the diagonal perturbation α applied under ?perturb=1; zero
 	// when the matrix factored unmodified. The factor then solves A+αI.
 	Shift     float64 `json:"shift,omitempty"`
@@ -484,13 +527,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	entry, hit, err := s.cache.GetOrBuild(m, s.planKey, func() (*core.Plan, sched.Assignment, error) {
-		plan, err := core.NewPlan(m, s.planOpts)
-		if err != nil {
-			return nil, sched.Assignment{}, err
-		}
-		g := mapping.BestGrid(s.cfg.Procs)
-		mp := plan.Map(g, mapping.ID, mapping.CY)
-		return plan, plan.Assign(mp, 2), nil
+		return s.buildPlan(m)
 	})
 	if err != nil {
 		s.writeErr(w, http.StatusUnprocessableEntity, err)
@@ -530,6 +567,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fe.f = f
+			s.saveSnapshot(fe, m, f)
 			s.markReady(fe)
 			fe.mu.Unlock()
 			s.met.factors.Add(1)
@@ -583,6 +621,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 			s.writeErr(w, factorErrStatus(rerr), rerr)
 			return
 		}
+		s.saveSnapshot(fe, m, fe.f)
 		fe.mu.Unlock()
 		refactored = true
 		s.met.refactors.Add(1)
@@ -834,12 +873,12 @@ type metricsDoc struct {
 		Healthz int64 `json:"healthz"`
 		Metrics int64 `json:"metrics"`
 	} `json:"requests"`
-	InFlight  int64           `json:"in_flight"`
-	Rejected  int64           `json:"rejected"`
-	Errors    int64           `json:"errors"`
-	Panics    int64           `json:"panics"`
-	Retries   int64           `json:"retries"`
-	Breaker   struct {
+	InFlight int64 `json:"in_flight"`
+	Rejected int64 `json:"rejected"`
+	Errors   int64 `json:"errors"`
+	Panics   int64 `json:"panics"`
+	Retries  int64 `json:"retries"`
+	Breaker  struct {
 		Trips     int64 `json:"trips"`
 		FastFails int64 `json:"fast_fails"`
 		Open      int   `json:"open"` // patterns currently failing fast
@@ -851,7 +890,9 @@ type metricsDoc struct {
 	BatchedR  int64           `json:"batched_rhs"`
 	Cache     plancache.Stats `json:"plan_cache"`
 	LiveFac   int             `json:"live_factors"`
-	Latency   struct {
+	Store     *storeDoc       `json:"store,omitempty"` // absent without -store-dir
+
+	Latency struct {
 		Factor   latencyJSON `json:"factor"`
 		Refactor latencyJSON `json:"refactor"`
 		Solve    latencyJSON `json:"solve"`
@@ -890,7 +931,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc.Latency.Factor = latencySnapshot(&s.met.factorLat)
 	doc.Latency.Refactor = latencySnapshot(&s.met.refactorLat)
 	doc.Latency.Solve = latencySnapshot(&s.met.solveLat)
+	if s.st != nil || s.storeErr != nil {
+		sd := &storeDoc{
+			Writes:       s.met.snapWrites.Load(),
+			WriteErrors:  s.met.snapErrors.Load(),
+			Dropped:      s.met.snapDropped.Load(),
+			Skipped:      s.met.snapSkipped.Load(),
+			WarmRestored: s.met.warmRestored.Load(),
+		}
+		if s.storeErr != nil {
+			sd.OpenError = s.storeErr.Error()
+		}
+		if s.st != nil {
+			sd.Stats = s.st.Stats()
+		}
+		doc.Store = sd
+	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// storeDoc is the /metrics section for the durable snapshot store.
+type storeDoc struct {
+	Writes       int64       `json:"writes"`        // write-behind snapshots committed
+	WriteErrors  int64       `json:"write_errors"`  // snapshot writes that failed
+	Dropped      int64       `json:"dropped"`       // snapshots dropped (queue full)
+	Skipped      int64       `json:"skipped"`       // snapshots skipped by the interval throttle
+	WarmRestored int64       `json:"warm_restored"` // factors restored by the last WarmStart
+	OpenError    string      `json:"open_error,omitempty"`
+	Stats        store.Stats `json:"stats"`
 }
 
 // CacheStats exposes the plan-cache counters (used by tests and the
