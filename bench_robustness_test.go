@@ -56,4 +56,37 @@ func TestWriteBenchRobustnessJSON(t *testing.T) {
 	t.Logf("wrote BENCH_robustness.json: max pivot-check overhead %.2f%%, server solve %.2fms, warm/cold %.2f/%.2fms (%.1fx), write-behind %.2f%%",
 		rep.MaxOverheadPercent, rep.ServerSolveMs,
 		d.WarmFirstSolveMs, d.ColdFirstSolveMs, d.WarmSpeedupX, d.WriteBehindOvhdPct)
+
+	// Overload acceptance: under a sustained two-tenant flood past
+	// capacity, admission control must keep degradation graceful.
+	o := rep.Overload
+	if o == nil || o.QuietSolves == 0 {
+		t.Fatal("overload section measured nothing")
+	}
+	// The quiet tenant's admitted interactive p99 stays within ~2× its
+	// unloaded p99 (slack for shared-machine timer noise).
+	if o.P99RatioX > 2.5 {
+		t.Errorf("loaded interactive p99 is %.1fx the unloaded p99; expected ≈<2x", o.P99RatioX)
+	}
+	// The aggressive tenant cannot push the quiet tenant's error rate
+	// above its quota share; paced inside its limits, that share is ~0.
+	if o.QuietErrorRate > 0.02 {
+		t.Errorf("quiet tenant error rate %.3f under flood; expected ≈0", o.QuietErrorRate)
+	}
+	// The flood itself must be real — overflow rejected, never hung — and
+	// every rejection must say when to come back.
+	if o.AggressiveRejected == 0 {
+		t.Error("flood produced no rejections; the experiment never exceeded capacity")
+	}
+	if o.RejectionsRetryAfter != o.Rejections {
+		t.Errorf("%d of %d rejections carried Retry-After; expected all", o.RejectionsRetryAfter, o.Rejections)
+	}
+	// Brownout transitions are observable through the public surfaces.
+	if o.BrownoutTransitions == 0 {
+		t.Error("no brownout transitions recorded in /metrics under sustained overload")
+	}
+	t.Logf("overload: %.1fx offered, interactive p99 %.2f→%.2fms (%.2fx), quiet errors %d/%d, %d rejections (all Retry-After: %v), %d transitions, peak state %s",
+		o.OfferedMultiple, o.UnloadedP99Ms, o.LoadedP99Ms, o.P99RatioX,
+		o.QuietErrors, o.QuietSolves, o.Rejections,
+		o.RejectionsRetryAfter == o.Rejections, o.BrownoutTransitions, o.PeakState)
 }

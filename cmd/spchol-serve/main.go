@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"blockfanout/internal/admission"
 	"blockfanout/internal/cluster"
 	"blockfanout/internal/fanout"
 	"blockfanout/internal/server"
@@ -66,6 +68,11 @@ func run() error {
 		storeDir     = flag.String("store-dir", "", "durable snapshot store directory; factors persist across restarts and are warm-started on boot (empty = no durability)")
 		snapEvery    = flag.Duration("snapshot-interval", 0, "minimum spacing between write-behind snapshots of the same factor (0 = default 1s, negative = snapshot every factorization)")
 
+		tenantsPath    = flag.String("tenants", "", "JSON file of per-tenant admission limits; the \"default\" key meters tenants not listed (empty = unmetered)")
+		maxFactorBytes = flag.Int64("max-factor-bytes", 0, "refuse factor requests whose factor would exceed this many bytes, before symbolic work (0 = unlimited)")
+		memSoftBytes   = flag.Uint64("mem-soft-bytes", 0, "heap watermark that sheds low-priority work (brownout; 0 = disabled)")
+		memHardBytes   = flag.Uint64("mem-hard-bytes", 0, "heap watermark that rejects new factorizations (0 = disabled)")
+
 		gateway      = flag.Bool("gateway", false, "run as a cluster gateway instead of a single-process server")
 		control      = flag.String("control", ":9000", "gateway: listen address for spchol-node control connections")
 		replicas     = flag.Int("replicas", 1, "gateway: factor replicas besides the primary assembly node")
@@ -82,6 +89,11 @@ func run() error {
 		return err
 	}
 
+	tenantDefault, tenants, err := loadTenants(*tenantsPath)
+	if err != nil {
+		return err
+	}
+
 	if *gateway {
 		return runGateway(gatewayFlags{
 			addr: *addr, control: *control, procs: *procs,
@@ -91,6 +103,8 @@ func run() error {
 			localFallback: *fallbackFlag, storeDir: *storeDir,
 			cacheEntries: *cacheEntries, cacheBytes: *cacheBytes,
 			timeout: *timeout, drainWait: *drainWait,
+			queueDepth: *queue, tenantDefault: tenantDefault, tenants: tenants,
+			memSoftBytes: *memSoftBytes, memHardBytes: *memHardBytes,
 		})
 	}
 
@@ -107,6 +121,11 @@ func run() error {
 		Exec:             mode,
 		StoreDir:         *storeDir,
 		SnapshotInterval: *snapEvery,
+		TenantDefault:    tenantDefault,
+		Tenants:          tenants,
+		MaxFactorBytes:   *maxFactorBytes,
+		MemSoftBytes:     *memSoftBytes,
+		MemHardBytes:     *memHardBytes,
 	})
 	if *storeDir != "" {
 		if n, err := s.WarmStart(); err != nil {
@@ -115,13 +134,13 @@ func run() error {
 			log.Printf("warm start: restored %d factor(s) from %s", n, *storeDir)
 		}
 	}
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	hs := newHTTPServer(*addr, s.Handler())
 
 	// The debug listener carries pprof, which must stay opt-in and off the
 	// serving address; its lifetime is tied to the process, not the drain.
 	var ds *http.Server
 	if *debugAddr != "" {
-		ds = &http.Server{Addr: *debugAddr, Handler: s.DebugHandler()}
+		ds = newHTTPServer(*debugAddr, s.DebugHandler())
 		go func() {
 			log.Printf("debug listener (pprof, /metrics) on %s", *debugAddr)
 			if err := ds.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
@@ -164,6 +183,50 @@ func run() error {
 	return <-errc
 }
 
+// newHTTPServer wraps a handler with the protective timeouts every
+// listener needs: a client that stalls mid-headers, trickles a body
+// forever, or parks an idle connection cannot pin a goroutine (and its
+// buffers) indefinitely. The read timeout is generous because legitimate
+// MatrixMarket uploads of paper-scale problems stream hundreds of MB.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// loadTenants reads the -tenants JSON file: an object mapping tenant name
+// to admission limits, with the special key "default" metering tenants not
+// listed. An empty path leaves everyone unmetered.
+//
+//	{
+//	  "default":  {"rate": 5, "burst": 10, "max_in_flight": 2},
+//	  "team-ml":  {"rate": 100, "burst": 200, "max_in_flight": 16,
+//	               "max_cache_bytes": 268435456}
+//	}
+func loadTenants(path string) (admission.TenantLimits, map[string]admission.TenantLimits, error) {
+	var def admission.TenantLimits
+	if path == "" {
+		return def, nil, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return def, nil, fmt.Errorf("tenants: %w", err)
+	}
+	all := make(map[string]admission.TenantLimits)
+	if err := json.Unmarshal(b, &all); err != nil {
+		return def, nil, fmt.Errorf("tenants: parse %s: %w", path, err)
+	}
+	if d, ok := all["default"]; ok {
+		def = d
+		delete(all, "default")
+	}
+	return def, all, nil
+}
+
 // gatewayFlags carries the -gateway subset of the command line.
 type gatewayFlags struct {
 	addr, control     string
@@ -180,6 +243,11 @@ type gatewayFlags struct {
 	cacheBytes        int64
 	timeout           time.Duration
 	drainWait         time.Duration
+	queueDepth        int
+	tenantDefault     admission.TenantLimits
+	tenants           map[string]admission.TenantLimits
+	memSoftBytes      uint64
+	memHardBytes      uint64
 }
 
 // runGateway serves the /v1/* API backed by a node cluster instead of the
@@ -199,6 +267,11 @@ func runGateway(gf gatewayFlags) error {
 		RequestTimeout:       gf.timeout,
 		CacheEntries:         gf.cacheEntries,
 		CacheBytes:           gf.cacheBytes,
+		QueueDepth:           gf.queueDepth,
+		TenantDefault:        gf.tenantDefault,
+		Tenants:              gf.tenants,
+		MemSoftBytes:         gf.memSoftBytes,
+		MemHardBytes:         gf.memHardBytes,
 		Logf:                 log.Printf,
 	})
 	if gf.storeDir != "" {
@@ -223,7 +296,7 @@ func runGateway(gf gatewayFlags) error {
 		}
 	}()
 
-	hs := &http.Server{Addr: gf.addr, Handler: gw.Handler()}
+	hs := newHTTPServer(gf.addr, gw.Handler())
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("gateway API listening on %s", gf.addr)

@@ -1,0 +1,1030 @@
+// Package admission is the multi-tenant admission-control and
+// overload-degradation layer shared by the solve server and the cluster
+// gateway. The paper balances *supply* — blocks spread over processors so
+// no processor idles; this package balances *demand* — requests spread over
+// tenants so no tenant starves the others when the offered load exceeds
+// what the machine can factor.
+//
+// It replaces a flat FIFO worker semaphore with four cooperating pieces:
+//
+//   - per-tenant identity (the X-Tenant header upstream; "default"
+//     otherwise) with token-bucket rate limits and concurrent-work quotas,
+//     so one tenant's flood is rejected at its own quota instead of
+//     consuming the shared queue;
+//   - a weighted priority queue over three classes — interactive solves >
+//     numeric refactorizations > cold factorizations — drained by weighted
+//     round-robin so low classes are heavily de-prioritized under load but
+//     never absolutely starved, and round-robined across tenants within a
+//     class so arrival order cannot become tenant priority;
+//   - deadline-aware scheduling: a request whose remaining deadline budget
+//     can no longer cover its cost estimate (modeled flops through an
+//     observed-throughput EWMA) is shed with a structured rejection instead
+//     of silently burning its deadline in the queue and then timing out on
+//     a worker;
+//   - a brownout state machine (ok → shed-low-priority → reject-new-factors
+//     → drain) driven by queue depth and heap watermarks, so overload
+//     degrades the cheapest work first and the service never falls over a
+//     memory cliff with every cached factor lost.
+//
+// Every rejection carries an HTTP status, a stable error code, and a
+// Retry-After hint, so clients and load balancers can back off instead of
+// hammering a saturated service.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blockfanout/internal/faultinject"
+)
+
+// Priority is a request's scheduling class. Lower values are more urgent.
+type Priority uint8
+
+const (
+	// Interactive is the latency-sensitive class: solves against a live
+	// factor, where a human or a control loop is waiting on the answer.
+	Interactive Priority = iota
+	// Refactor is a numeric-only refactorization of a live factor: heavier
+	// than a solve, but bounded and cache-warm.
+	Refactor
+	// Cold is a cold factorization — ordering, symbolic analysis, first
+	// numeric factorization. The most expensive class and the first shed
+	// under overload.
+	Cold
+
+	numPriorities
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Refactor:
+		return "refactor"
+	case Cold:
+		return "cold"
+	}
+	return fmt.Sprintf("Priority(%d)", uint8(p))
+}
+
+// classWeights is the weighted-round-robin drain ratio across priority
+// classes when several have waiters: for every 8 interactive grants the
+// scheduler lets through at most 3 refactors and 1 cold factorization, so
+// cold work is heavily de-prioritized under load but can never be starved
+// outright by a sustained interactive stream.
+var classWeights = [numPriorities]int{8, 3, 1}
+
+// State is the brownout state machine's position. States escalate in
+// order; each one degrades strictly more load than the last.
+type State uint8
+
+const (
+	// StateOK admits every class.
+	StateOK State = iota
+	// StateShed rejects new Cold work and sheds queued Cold waiters;
+	// refactors and solves still flow.
+	StateShed
+	// StateReject rejects all new factor work (Cold and Refactor) and
+	// sheds queued waiters of both; only solves against live factors are
+	// admitted.
+	StateReject
+	// StateDrain rejects everything; the server is shutting down.
+	StateDrain
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateShed:
+		return "shed-low-priority"
+	case StateReject:
+		return "reject-new-factors"
+	case StateDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// DefaultTenant is the identity of requests that carry no tenant label.
+const DefaultTenant = "default"
+
+// TenantLimits configure one tenant. The zero value is fully unlimited —
+// quotas are opt-in per deployment, not defaults.
+type TenantLimits struct {
+	// Rate is the sustained admission rate in requests/second refilled
+	// into the tenant's token bucket (0 = unlimited).
+	Rate float64 `json:"rate"`
+	// Burst is the bucket capacity: how many requests may arrive at once
+	// before the rate applies (0 = max(1, ceil(Rate))).
+	Burst float64 `json:"burst"`
+	// MaxInFlight caps the tenant's concurrently admitted requests —
+	// queued or executing (0 = unlimited).
+	MaxInFlight int `json:"max_in_flight"`
+	// MaxCacheBytes caps the bytes of cached plans attributed to this
+	// tenant (0 = unlimited). Enforced by the serving layer against the
+	// plan cache's per-tenant byte accounting, not by the controller.
+	MaxCacheBytes int64 `json:"max_cache_bytes"`
+}
+
+// Config tunes a Controller. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of concurrently executing heavy operations
+	// (required; callers default it from GOMAXPROCS).
+	Workers int
+	// QueueDepth caps how many admitted requests may wait for a worker
+	// before queue_full rejections begin (default 64).
+	QueueDepth int
+	// Default are the limits of tenants with no explicit entry.
+	Default TenantLimits
+	// Tenants maps tenant name → limits for explicitly configured tenants.
+	Tenants map[string]TenantLimits
+	// ReserveInteractive holds this many worker slots for the Interactive
+	// class alone: Refactor and Cold requests may together occupy at most
+	// Workers−ReserveInteractive slots, so a burst of admitted heavy
+	// factorization work can never head-of-line block every execution
+	// lane against latency-sensitive solves (0 = no reservation; clamped
+	// to Workers−1 so the lower classes always keep at least one lane).
+	ReserveInteractive int
+	// ShedAt and RejectAt are queue-occupancy fractions (of QueueDepth) at
+	// which the brownout state machine escalates to StateShed and
+	// StateReject (defaults 0.5 and 0.85). De-escalation uses half the
+	// escalation threshold, so the state machine has hysteresis instead of
+	// flapping at the watermark.
+	ShedAt   float64
+	RejectAt float64
+	// MemSoftBytes and MemHardBytes are heap watermarks (runtime heap
+	// in-use) that force StateShed and StateReject regardless of queue
+	// depth (0 = no memory-driven brownout).
+	MemSoftBytes uint64
+	MemHardBytes uint64
+	// MemCheckEvery is the minimum spacing between heap samples
+	// (default 250ms); the sample is cached in between.
+	MemCheckEvery time.Duration
+	// now is the test clock (default time.Now).
+	now func() time.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.ShedAt <= 0 || c.ShedAt > 1 {
+		c.ShedAt = 0.5
+	}
+	if c.RejectAt <= 0 || c.RejectAt > 1 {
+		c.RejectAt = 0.85
+	}
+	if c.RejectAt < c.ShedAt {
+		c.RejectAt = c.ShedAt
+	}
+	if c.MemCheckEvery <= 0 {
+		c.MemCheckEvery = 250 * time.Millisecond
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Rejection is a structured admission refusal: an HTTP status, a stable
+// machine-readable code for the error envelope, and a Retry-After hint.
+// It implements error so it can flow through existing error plumbing.
+type Rejection struct {
+	// Status is the HTTP status to answer with: 429 for per-tenant and
+	// queue-capacity limits (the client should back off and retry), 503
+	// for brownout and drain (the *server* is degraded), and 504 when the
+	// request's own deadline already expired.
+	Status int
+	// Code is the stable error-envelope code: "tenant_rate",
+	// "tenant_quota", "queue_full", "brownout", "deadline_infeasible",
+	// "draining".
+	Code string
+	// RetryAfter is the suggested client backoff. Always ≥ 0; zero means
+	// "immediately, with a fresh deadline" (deadline_infeasible).
+	RetryAfter time.Duration
+	// Message is the human-readable explanation.
+	Message string
+}
+
+func (r *Rejection) Error() string { return r.Message }
+
+// Request describes one unit of heavy work asking for admission.
+type Request struct {
+	// Tenant is the requester's identity ("" means DefaultTenant).
+	Tenant string
+	// Priority is the scheduling class.
+	Priority Priority
+	// Cost is the estimated execution time (0 = unknown; exempt from
+	// deadline-infeasibility shedding).
+	Cost time.Duration
+	// Deadline is the request's hard deadline (zero = none). Admission
+	// sheds the request — immediately or while queued — once the remaining
+	// budget cannot cover Cost.
+	Deadline time.Time
+	// Internal marks work issued by the server itself on behalf of
+	// already-admitted requests (e.g. a coalesced solve batch). Internal
+	// requests skip the per-tenant bucket and quota — their constituents
+	// were each charged at arrival — but still wait their class's turn for
+	// a worker slot.
+	Internal bool
+}
+
+// waiter is one queued request.
+type waiter struct {
+	req      Request
+	tenant   string
+	enqueued time.Time
+	grant    chan *Rejection // nil Rejection = slot granted
+	// granted guards against the grant/shed/cancel races: exactly one
+	// outcome wins.
+	granted bool
+}
+
+// tenantState is one tenant's runtime accounting.
+type tenantState struct {
+	name   string
+	limits TenantLimits
+
+	tokens     float64   // current bucket level
+	lastRefill time.Time // last bucket refill instant
+
+	inFlight int // admitted (queued or executing) requests
+
+	// Counters for Stats; guarded by the controller mutex.
+	admitted       uint64
+	rejectRate     uint64
+	rejectQuota    uint64
+	rejectQueue    uint64
+	rejectBrownout uint64
+	rejectDeadline uint64
+	shed           uint64 // queued, then removed by brownout or deadline
+}
+
+// Controller is the admission gate. Create with New; one Controller fronts
+// one worker pool.
+type Controller struct {
+	cfg Config
+
+	mu        sync.Mutex
+	busy      int // slots currently executing
+	busyLower int // slots held by the Refactor and Cold classes
+	tenants   map[string]*tenantState
+	// queues[p] is priority p's waiter list in arrival order; tenant
+	// fairness within a class comes from the dispatcher preferring the
+	// least-loaded waiting tenant, not from the list order.
+	queues [numPriorities][]*waiter
+	// rrNext[p] is the tenant rotation cursor of class p.
+	rrNext [numPriorities]int
+	// credits implements the weighted round-robin across classes.
+	credits [numPriorities]int
+
+	state       State
+	draining    bool
+	transitions uint64
+	stateSince  time.Time
+
+	// Cached heap sample for the memory watermarks.
+	heapBytes   uint64
+	lastMemScan time.Time
+
+	// ewmaServiceNs tracks observed execution time for Retry-After
+	// estimates (atomic: updated by Release without the lock).
+	ewmaServiceNs atomic.Int64
+
+	deadlineShed atomic.Uint64 // waiters shed for infeasible deadlines
+	memForced    atomic.Uint64 // brownout escalations forced by heap watermarks
+}
+
+// New builds a Controller. Workers must be positive.
+func New(cfg Config) *Controller {
+	cfg.fillDefaults()
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ReserveInteractive < 0 {
+		cfg.ReserveInteractive = 0
+	}
+	if cfg.ReserveInteractive >= cfg.Workers {
+		cfg.ReserveInteractive = cfg.Workers - 1
+	}
+	c := &Controller{cfg: cfg, tenants: make(map[string]*tenantState)}
+	c.stateSince = cfg.now()
+	for i := range c.credits {
+		c.credits[i] = classWeights[i]
+	}
+	return c
+}
+
+// tenantLocked returns (creating if needed) the tenant's state.
+func (c *Controller) tenantLocked(name string) *tenantState {
+	if name == "" {
+		name = DefaultTenant
+	}
+	ts, ok := c.tenants[name]
+	if !ok {
+		lim, explicit := c.cfg.Tenants[name]
+		if !explicit {
+			lim = c.cfg.Default
+		}
+		ts = &tenantState{name: name, limits: lim, lastRefill: c.cfg.now()}
+		ts.tokens = ts.burst()
+		c.tenants[name] = ts
+	}
+	return ts
+}
+
+func (ts *tenantState) burst() float64 {
+	if ts.limits.Burst > 0 {
+		return ts.limits.Burst
+	}
+	if ts.limits.Rate <= 0 {
+		return 0 // unlimited rate: bucket unused
+	}
+	b := ts.limits.Rate
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// takeToken refills and draws one token; on failure it returns the wait
+// until a token exists. Caller holds c.mu.
+func (ts *tenantState) takeToken(now time.Time) (ok bool, wait time.Duration) {
+	if ts.limits.Rate <= 0 {
+		return true, 0
+	}
+	burst := ts.burst()
+	// A caller's now can predate lastRefill by nanoseconds (it is captured
+	// before the lock, the state possibly created after); a negative
+	// elapsed must not leak tokens out of the bucket.
+	if dt := now.Sub(ts.lastRefill); dt > 0 {
+		ts.tokens += ts.limits.Rate * dt.Seconds()
+		if ts.tokens > burst {
+			ts.tokens = burst
+		}
+		ts.lastRefill = now
+	}
+	if ts.tokens >= 1-1e-9 {
+		ts.tokens--
+		return true, 0
+	}
+	need := 1 - ts.tokens
+	return false, time.Duration(need / ts.limits.Rate * float64(time.Second))
+}
+
+// ---- brownout state machine ----
+
+// evalStateLocked recomputes the brownout state from queue occupancy and
+// the heap watermarks, with hysteresis (de-escalation thresholds are half
+// the escalation ones). Drain, set explicitly, dominates everything.
+// Returns waiters shed by an escalation; the caller must notify them after
+// releasing the lock.
+func (c *Controller) evalStateLocked() []*waiter {
+	if c.draining {
+		return c.setStateLocked(StateDrain)
+	}
+	queued := 0
+	for p := range c.queues {
+		queued += len(c.queues[p])
+	}
+	occ := float64(queued) / float64(c.cfg.QueueDepth)
+
+	target := StateOK
+	switch {
+	case occ >= c.cfg.RejectAt:
+		target = StateReject
+	case occ >= c.cfg.ShedAt:
+		target = StateShed
+	default:
+		// Hysteresis: once escalated, stay until occupancy falls below
+		// half the threshold that triggered the escalation.
+		switch c.state {
+		case StateReject:
+			if occ >= c.cfg.RejectAt/2 {
+				target = StateReject
+			} else if occ >= c.cfg.ShedAt/2 {
+				target = StateShed
+			}
+		case StateShed:
+			if occ >= c.cfg.ShedAt/2 {
+				target = StateShed
+			}
+		}
+	}
+
+	if mem := c.memStateLocked(); mem > target {
+		target = mem
+		c.memForced.Add(1)
+	}
+	return c.setStateLocked(target)
+}
+
+// memStateLocked maps the (cached) heap sample onto a brownout floor.
+func (c *Controller) memStateLocked() State {
+	if c.cfg.MemSoftBytes == 0 && c.cfg.MemHardBytes == 0 {
+		return StateOK
+	}
+	now := c.cfg.now()
+	if now.Sub(c.lastMemScan) >= c.cfg.MemCheckEvery {
+		c.lastMemScan = now
+		// The chaos suite injects synthetic heap pressure here so brownout
+		// transitions are testable without allocating gigabytes for real.
+		if v, ok := faultinject.FireValue("admission.mempressure"); ok {
+			c.heapBytes = uint64(v)
+		} else {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			c.heapBytes = ms.HeapInuse
+		}
+	}
+	switch {
+	case c.cfg.MemHardBytes > 0 && c.heapBytes >= c.cfg.MemHardBytes:
+		return StateReject
+	case c.cfg.MemSoftBytes > 0 && c.heapBytes >= c.cfg.MemSoftBytes:
+		return StateShed
+	}
+	return StateOK
+}
+
+// setStateLocked transitions to target, shedding queued waiters the new
+// state no longer tolerates. Caller holds c.mu and must deliver the
+// returned waiters' rejections after unlocking.
+func (c *Controller) setStateLocked(target State) []*waiter {
+	if target != c.state {
+		c.state = target
+		c.transitions++
+		c.stateSince = c.cfg.now()
+	}
+	var minShed Priority
+	switch c.state {
+	case StateShed:
+		minShed = Cold
+	case StateReject:
+		minShed = Refactor
+	case StateDrain:
+		minShed = Interactive
+	default:
+		return nil
+	}
+	var shed []*waiter
+	for p := minShed; p < numPriorities; p++ {
+		for _, w := range c.queues[p] {
+			if !w.granted {
+				w.granted = true
+				ts := c.tenantLocked(w.tenant)
+				ts.inFlight--
+				ts.shed++
+				shed = append(shed, w)
+			}
+		}
+		c.queues[p] = nil
+	}
+	return shed
+}
+
+// brownoutRejectionLocked returns the rejection for req under the current
+// state, or nil if the state admits it.
+func (c *Controller) brownoutRejectionLocked(req Request) *Rejection {
+	switch c.state {
+	case StateDrain:
+		return &Rejection{
+			Status: 503, Code: "draining", RetryAfter: 10 * time.Second,
+			Message: "server is draining for shutdown",
+		}
+	case StateReject:
+		if req.Priority >= Refactor {
+			return &Rejection{
+				Status: 503, Code: "brownout", RetryAfter: c.retryAfterLocked(2),
+				Message: fmt.Sprintf("overloaded (%s): rejecting new factorizations; only solves are admitted", c.state),
+			}
+		}
+	case StateShed:
+		if req.Priority >= Cold {
+			return &Rejection{
+				Status: 503, Code: "brownout", RetryAfter: c.retryAfterLocked(1),
+				Message: fmt.Sprintf("overloaded (%s): shedding cold factorizations", c.state),
+			}
+		}
+	}
+	return nil
+}
+
+// retryAfterLocked estimates a useful Retry-After from the queue length and
+// the observed service-time EWMA, scaled by how degraded the state is, and
+// clamped to [1s, 60s] so clients always get a sane, non-zero hint.
+func (c *Controller) retryAfterLocked(scale int) time.Duration {
+	svc := time.Duration(c.ewmaServiceNs.Load())
+	if svc <= 0 {
+		svc = 100 * time.Millisecond
+	}
+	queued := 0
+	for p := range c.queues {
+		queued += len(c.queues[p])
+	}
+	est := time.Duration(queued+1) * svc / time.Duration(c.cfg.Workers) * time.Duration(scale)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// ---- admission ----
+
+// infeasible reports whether req's deadline can no longer cover its cost.
+func infeasible(req Request, now time.Time) bool {
+	return !req.Deadline.IsZero() && req.Cost > 0 && now.Add(req.Cost).After(req.Deadline)
+}
+
+// Charge applies only the lightweight per-tenant checks — token bucket,
+// brownout gate — without taking a worker slot or counting against the
+// concurrency quota. The batched-solve path uses it: each arriving solve
+// is charged individually, then coalesced; the batch itself acquires one
+// internal slot.
+func (c *Controller) Charge(tenant string, pri Priority) *Rejection {
+	c.mu.Lock()
+	shed := c.evalStateLocked()
+	var rej *Rejection
+	ts := c.tenantLocked(tenant)
+	if r := c.brownoutRejectionLocked(Request{Priority: pri}); r != nil {
+		ts.rejectBrownout++
+		rej = r
+	} else if ok, wait := ts.takeToken(c.cfg.now()); !ok {
+		ts.rejectRate++
+		rej = &Rejection{
+			Status: 429, Code: "tenant_rate", RetryAfter: ceilSecond(wait),
+			Message: fmt.Sprintf("tenant %q exceeded its %.3g req/s rate limit", ts.name, ts.limits.Rate),
+		}
+	} else {
+		ts.admitted++
+	}
+	c.mu.Unlock()
+	deliver(shed)
+	return rej
+}
+
+// Precheck applies every rejection gate that needs only the request
+// headers — brownout state, concurrency quota, token-bucket level (peeked,
+// not drawn: the request may still fail validation before Admit) — so a
+// handler can shed a doomed request before spending CPU reading and
+// parsing its body. Under a flood that is precisely where the money is:
+// an overloaded server's rejection path must cost microseconds, or the
+// rejections themselves become the overload. A nil return is a hint, not
+// a reservation; Admit later applies the same gates authoritatively.
+func (c *Controller) Precheck(tenant string, pri Priority) *Rejection {
+	now := c.cfg.now()
+	c.mu.Lock()
+	shed := c.evalStateLocked()
+	var rej *Rejection
+	ts := c.tenantLocked(tenant)
+	if r := c.brownoutRejectionLocked(Request{Priority: pri}); r != nil {
+		ts.rejectBrownout++
+		rej = r
+	} else if lim := ts.limits.MaxInFlight; lim > 0 && ts.inFlight >= lim {
+		ts.rejectQuota++
+		rej = &Rejection{
+			Status: 429, Code: "tenant_quota", RetryAfter: c.quotaRetryAfter(),
+			Message: fmt.Sprintf("tenant %q is at its concurrency quota (%d in flight)", ts.name, lim),
+		}
+	} else if ts.limits.Rate > 0 {
+		// Peek the bucket: refill to now, but only reject — never draw.
+		if ok, wait := ts.takeToken(now); ok {
+			ts.tokens++
+		} else {
+			ts.rejectRate++
+			rej = &Rejection{
+				Status: 429, Code: "tenant_rate", RetryAfter: ceilSecond(wait),
+				Message: fmt.Sprintf("tenant %q exceeded its %.3g req/s rate limit", ts.name, ts.limits.Rate),
+			}
+		}
+	}
+	c.mu.Unlock()
+	deliver(shed)
+	return rej
+}
+
+// Admit asks for a worker slot. On success it returns a release function
+// that MUST be called exactly once when the work finishes; on failure it
+// returns a structured Rejection. Admission can block (bounded by the
+// queue, the brownout machine, and ctx); the returned error is ctx.Err()
+// only if ctx ended while queued.
+func (c *Controller) Admit(ctx context.Context, req Request) (release func(), rej *Rejection, err error) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	shed := c.evalStateLocked()
+
+	ts := c.tenantLocked(req.Tenant)
+	if r := c.brownoutRejectionLocked(req); r != nil {
+		ts.rejectBrownout++
+		c.mu.Unlock()
+		deliver(shed)
+		return nil, r, nil
+	}
+	if infeasible(req, now) {
+		ts.rejectDeadline++
+		c.deadlineShed.Add(1)
+		c.mu.Unlock()
+		deliver(shed)
+		return nil, &Rejection{
+			Status: 504, Code: "deadline_infeasible", RetryAfter: 0,
+			Message: fmt.Sprintf("remaining deadline %v cannot cover the estimated %v of work", time.Until(req.Deadline).Round(time.Millisecond), req.Cost.Round(time.Millisecond)),
+		}, nil
+	}
+	if !req.Internal {
+		if lim := ts.limits.MaxInFlight; lim > 0 && ts.inFlight >= lim {
+			ts.rejectQuota++
+			c.mu.Unlock()
+			deliver(shed)
+			return nil, &Rejection{
+				Status: 429, Code: "tenant_quota", RetryAfter: c.quotaRetryAfter(),
+				Message: fmt.Sprintf("tenant %q is at its concurrency quota (%d in flight)", ts.name, lim),
+			}, nil
+		}
+		if ok, wait := ts.takeToken(now); !ok {
+			ts.rejectRate++
+			c.mu.Unlock()
+			deliver(shed)
+			return nil, &Rejection{
+				Status: 429, Code: "tenant_rate", RetryAfter: ceilSecond(wait),
+				Message: fmt.Sprintf("tenant %q exceeded its %.3g req/s rate limit", ts.name, ts.limits.Rate),
+			}, nil
+		}
+	}
+
+	// Fast path: a free slot this class may occupy and nobody of
+	// equal-or-higher urgency waiting.
+	if c.busy < c.cfg.Workers && !c.anyWaiterUpToLocked(req.Priority) && c.laneFreeLocked(req.Priority) {
+		c.busy++
+		if req.Priority > Interactive {
+			c.busyLower++
+		}
+		ts.inFlight++
+		ts.admitted++
+		c.mu.Unlock()
+		deliver(shed)
+		return c.releaseFunc(req.Tenant, now, req.Priority), nil, nil
+	}
+
+	queued := 0
+	for p := range c.queues {
+		queued += len(c.queues[p])
+	}
+	if queued >= c.cfg.QueueDepth {
+		ts.rejectQueue++
+		rej := &Rejection{
+			Status: 429, Code: "queue_full", RetryAfter: c.retryAfterLocked(1),
+			Message: fmt.Sprintf("admission queue full (%d waiting)", queued),
+		}
+		c.mu.Unlock()
+		deliver(shed)
+		return nil, rej, nil
+	}
+
+	w := &waiter{req: req, tenant: ts.name, enqueued: now, grant: make(chan *Rejection, 1)}
+	c.queues[req.Priority] = append(c.queues[req.Priority], w)
+	ts.inFlight++
+	ts.admitted++
+	c.mu.Unlock()
+	deliver(shed)
+
+	select {
+	case r := <-w.grant:
+		if r != nil {
+			return nil, r, nil
+		}
+		return c.releaseFunc(w.tenant, now, w.req.Priority), nil, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.granted {
+			// A grant or shed raced the cancellation and won; honor it.
+			c.mu.Unlock()
+			r := <-w.grant
+			if r != nil {
+				return nil, r, nil
+			}
+			return c.releaseFunc(w.tenant, now, w.req.Priority), nil, nil
+		}
+		w.granted = true
+		c.removeWaiterLocked(w)
+		c.tenantLocked(w.tenant).inFlight--
+		c.mu.Unlock()
+		return nil, nil, ctx.Err()
+	}
+}
+
+// anyWaiterUpToLocked reports whether any class ≤ pri (equal or more
+// urgent) has waiters — if so, a newly arriving request must queue behind
+// them instead of jumping the line through the fast path.
+func (c *Controller) anyWaiterUpToLocked(pri Priority) bool {
+	for p := Priority(0); p <= pri && p < numPriorities; p++ {
+		if len(c.queues[p]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) removeWaiterLocked(w *waiter) {
+	q := c.queues[w.req.Priority]
+	for i, x := range q {
+		if x == w {
+			c.queues[w.req.Priority] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// laneFreeLocked reports whether class pri may occupy one more worker
+// slot: Interactive always may; Refactor and Cold together are capped at
+// Workers−ReserveInteractive so reserved lanes stay open for solves.
+func (c *Controller) laneFreeLocked(pri Priority) bool {
+	return pri == Interactive || c.busyLower < c.cfg.Workers-c.cfg.ReserveInteractive
+}
+
+// releaseFunc returns the exactly-once release closure for one admitted
+// request, observing its service time into the Retry-After EWMA.
+func (c *Controller) releaseFunc(tenant string, start time.Time, pri Priority) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			took := c.cfg.now().Sub(start)
+			c.observeService(took)
+			c.mu.Lock()
+			c.busy--
+			if pri > Interactive {
+				c.busyLower--
+			}
+			c.tenantLocked(tenant).inFlight--
+			granted, shed := c.dispatchLocked()
+			shed = append(shed, c.evalStateLocked()...)
+			c.mu.Unlock()
+			deliver(shed)
+			for _, w := range granted {
+				w.grant <- nil
+			}
+		})
+	}
+}
+
+func (c *Controller) observeService(took time.Duration) {
+	const alpha = 8 // EWMA ~ 1/8 new sample
+	for {
+		old := c.ewmaServiceNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(took)
+		} else {
+			next = old + (int64(took)-old)/alpha
+		}
+		if c.ewmaServiceNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// dispatchLocked hands free slots to waiters: weighted round-robin across
+// classes, round-robin across tenants within a class, shedding waiters
+// whose deadline became infeasible while they queued. Caller holds c.mu;
+// returned grant/shed deliveries happen after unlock.
+func (c *Controller) dispatchLocked() (granted, shed []*waiter) {
+	now := c.cfg.now()
+	for c.busy < c.cfg.Workers {
+		w := c.pickLocked(now, &shed)
+		if w == nil {
+			break
+		}
+		w.granted = true
+		c.busy++
+		if w.req.Priority > Interactive {
+			c.busyLower++
+		}
+		granted = append(granted, w)
+	}
+	return granted, shed
+}
+
+// pickLocked selects the next waiter under the WRR policy, removing it
+// from its queue. Deadline-infeasible waiters encountered along the way
+// are shed (appended to *shed) rather than granted a slot they can no
+// longer use.
+func (c *Controller) pickLocked(now time.Time, shed *[]*waiter) *waiter {
+	for tries := 0; tries < 2; tries++ {
+		// First pass honors the WRR credits; if every non-empty class is
+		// out of credit, replenish and go again.
+		for p := Priority(0); p < numPriorities; p++ {
+			if len(c.queues[p]) == 0 || c.credits[p] <= 0 || !c.laneFreeLocked(p) {
+				continue
+			}
+			if w := c.takeFromClassLocked(p, now, shed); w != nil {
+				c.credits[p]--
+				return w
+			}
+		}
+		anyWaiting := false
+		for p := range c.queues {
+			anyWaiting = anyWaiting || len(c.queues[p]) > 0
+		}
+		if !anyWaiting {
+			return nil
+		}
+		for p := range c.credits {
+			c.credits[p] = classWeights[p]
+		}
+	}
+	return nil
+}
+
+// takeFromClassLocked pops class p's next waiter, preferring the waiting
+// tenant with the least admitted work outstanding (max-min fairness: a
+// tenant flooding the queue always has more in flight than a paced one,
+// so the paced tenant's occasional request jumps the flood's backlog
+// rather than waiting behind it), breaking ties by rotation so
+// equally-loaded tenants share the class round-robin. A heavy tenant is
+// never starved outright — the moment lighter tenants have nothing
+// queued, its backlog gets every slot. Infeasible deadlines encountered
+// along the way are shed.
+func (c *Controller) takeFromClassLocked(p Priority, now time.Time, shedOut *[]*waiter) *waiter {
+	q := c.queues[p]
+	for len(q) > 0 {
+		// Distinct waiting tenants, in first-arrival order, narrowed to
+		// those with the fewest admitted (queued or executing) requests.
+		var tenants []string
+		minLoad := -1
+		seen := map[string]bool{}
+		for _, w := range q {
+			if seen[w.tenant] {
+				continue
+			}
+			seen[w.tenant] = true
+			load := c.tenantLocked(w.tenant).inFlight
+			switch {
+			case minLoad < 0 || load < minLoad:
+				minLoad = load
+				tenants = append(tenants[:0], w.tenant)
+			case load == minLoad:
+				tenants = append(tenants, w.tenant)
+			}
+		}
+		pick := tenants[c.rrNext[p]%len(tenants)]
+		c.rrNext[p]++
+		// Oldest waiter of the picked tenant.
+		idx := -1
+		for i, w := range q {
+			if w.tenant == pick {
+				idx = i
+				break
+			}
+		}
+		w := q[idx]
+		q = append(q[:idx], q[idx+1:]...)
+		c.queues[p] = q
+		if infeasible(w.req, now) {
+			w.granted = true
+			ts := c.tenantLocked(w.tenant)
+			ts.inFlight--
+			ts.rejectDeadline++
+			ts.shed++
+			c.deadlineShed.Add(1)
+			*shedOut = append(*shedOut, w)
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// deliver sends shed waiters their rejections. Must run without c.mu held:
+// the receiving goroutines immediately re-enter the controller.
+func deliver(shed []*waiter) {
+	for _, w := range shed {
+		rej := &Rejection{
+			Status: 503, Code: "brownout", RetryAfter: 2 * time.Second,
+			Message: "shed from the admission queue by overload degradation",
+		}
+		if infeasible(w.req, time.Now()) && w.req.Cost > 0 {
+			rej = &Rejection{
+				Status: 504, Code: "deadline_infeasible", RetryAfter: 0,
+				Message: "deadline budget exhausted while queued",
+			}
+		}
+		w.grant <- rej
+	}
+}
+
+// SetDraining flips drain mode: everything is rejected and every queued
+// waiter is shed. Draining dominates all other states until cleared.
+func (c *Controller) SetDraining(on bool) {
+	c.mu.Lock()
+	c.draining = on
+	shed := c.evalStateLocked()
+	c.mu.Unlock()
+	deliver(shed)
+}
+
+// State returns the current brownout state.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// ceilSecond rounds a wait up to whole seconds (HTTP Retry-After
+// granularity), minimum 1s.
+func ceilSecond(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Second
+	}
+	s := (d + time.Second - 1) / time.Second * time.Second
+	if s < time.Second {
+		s = time.Second
+	}
+	return s
+}
+
+func (c *Controller) quotaRetryAfter() time.Duration {
+	svc := time.Duration(c.ewmaServiceNs.Load())
+	return ceilSecond(svc)
+}
+
+// ---- metrics ----
+
+// TenantStats is one tenant's /metrics row.
+type TenantStats struct {
+	Admitted         uint64 `json:"admitted"`
+	RejectedRate     uint64 `json:"rejected_rate"`
+	RejectedQuota    uint64 `json:"rejected_quota"`
+	RejectedQueue    uint64 `json:"rejected_queue_full"`
+	RejectedBrownout uint64 `json:"rejected_brownout"`
+	RejectedDeadline uint64 `json:"rejected_deadline"`
+	Shed             uint64 `json:"shed"`
+	InFlight         int    `json:"in_flight"`
+}
+
+// Stats is the controller's /metrics document.
+type Stats struct {
+	State        string                 `json:"state"`
+	StateSinceMs float64                `json:"state_since_ms"` // age of the current state
+	Transitions  uint64                 `json:"transitions"`
+	Workers      int                    `json:"workers"`
+	Busy         int                    `json:"busy"`
+	Queued       [numPriorities]int     `json:"-"`
+	QueuedByPri  map[string]int         `json:"queued"`
+	QueueDepth   int                    `json:"queue_depth"`
+	DeadlineShed uint64                 `json:"deadline_shed"`
+	MemForced    uint64                 `json:"mem_forced"` // brownout escalations from heap watermarks
+	HeapBytes    uint64                 `json:"heap_bytes"` // last heap sample (0 if watermarks off)
+	Tenants      map[string]TenantStats `json:"tenants"`
+}
+
+// Snapshot renders the controller's counters.
+func (c *Controller) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		State:        c.state.String(),
+		StateSinceMs: float64(c.cfg.now().Sub(c.stateSince).Microseconds()) / 1e3,
+		Transitions:  c.transitions,
+		Workers:      c.cfg.Workers,
+		Busy:         c.busy,
+		QueueDepth:   c.cfg.QueueDepth,
+		DeadlineShed: c.deadlineShed.Load(),
+		MemForced:    c.memForced.Load(),
+		HeapBytes:    c.heapBytes,
+		QueuedByPri:  make(map[string]int, numPriorities),
+		Tenants:      make(map[string]TenantStats, len(c.tenants)),
+	}
+	for p := Priority(0); p < numPriorities; p++ {
+		st.Queued[p] = len(c.queues[p])
+		st.QueuedByPri[p.String()] = len(c.queues[p])
+	}
+	for name, ts := range c.tenants {
+		st.Tenants[name] = TenantStats{
+			Admitted:         ts.admitted,
+			RejectedRate:     ts.rejectRate,
+			RejectedQuota:    ts.rejectQuota,
+			RejectedQueue:    ts.rejectQueue,
+			RejectedBrownout: ts.rejectBrownout,
+			RejectedDeadline: ts.rejectDeadline,
+			Shed:             ts.shed,
+			InFlight:         ts.inFlight,
+		}
+	}
+	return st
+}
+
+// Limits returns the limits tenant operates under (explicit or default).
+func (c *Controller) Limits(tenant string) TenantLimits {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenantLocked(tenant).limits
+}

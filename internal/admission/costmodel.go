@@ -1,0 +1,65 @@
+package admission
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CostModel converts a plan's modeled flop count into a wall-clock cost
+// estimate by tracking the service's observed factorization throughput as
+// an EWMA of ns/flop. The plan already carries an exact operation count
+// (etree.Stats.Flops, the same quantity the paper's §4 load model
+// distributes); calibrating it against real executions turns it into the
+// deadline-feasibility estimate the admission queue sheds against.
+type CostModel struct {
+	// nsPerGFlop is the EWMA, stored ×1e9 flops so the integer keeps
+	// precision for fast machines (atomic; Estimate runs under the
+	// admission lock's callers but Observe runs on completion paths).
+	nsPerGFlop atomic.Int64
+}
+
+// defaultNsPerGFlop seeds the model near 1 GFlop/s — deliberately
+// pessimistic (real kernels run much faster), so before calibration the
+// model over-estimates cost and sheds conservatively rather than admitting
+// work that cannot finish.
+const defaultNsPerGFlop = 1e9
+
+// Estimate returns the modeled execution time of flops floating-point
+// operations, or 0 (unknown) when flops is not positive.
+func (m *CostModel) Estimate(flops int64) time.Duration {
+	if flops <= 0 {
+		return 0
+	}
+	ns := m.nsPerGFlop.Load()
+	if ns <= 0 {
+		ns = defaultNsPerGFlop
+	}
+	return time.Duration(float64(flops) / 1e9 * float64(ns))
+}
+
+// Observe folds one completed execution into the EWMA (weight 1/4 to the
+// new sample — factorizations are few, so the model should adapt fast).
+func (m *CostModel) Observe(flops int64, took time.Duration) {
+	if flops <= 0 || took <= 0 {
+		return
+	}
+	sample := int64(float64(took) / float64(flops) * 1e9)
+	if sample <= 0 {
+		sample = 1
+	}
+	for {
+		old := m.nsPerGFlop.Load()
+		var next int64
+		if old == 0 {
+			next = sample
+		} else {
+			next = old + (sample-old)/4
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if m.nsPerGFlop.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}

@@ -47,6 +47,11 @@ type RobustnessReport struct {
 	// Durability measures warm vs cold time-to-first-solve and the
 	// write-behind snapshot overhead (see durability.go).
 	Durability *DurabilityReport `json:"durability,omitempty"`
+
+	// Overload is the two-tenant past-capacity experiment: interactive p99
+	// under flood, tenant isolation, Retry-After coverage, and brownout
+	// transitions (see overload.go).
+	Overload *OverloadReport `json:"overload,omitempty"`
 }
 
 // cholGFlops measures one Cholesky variant at width w.
@@ -81,7 +86,7 @@ func CollectRobustness(minTime time.Duration, rounds int) (*RobustnessReport, er
 		// shared machine a single pass each can swing several percent
 		// either way, which would drown the sub-2% effect being measured.
 		var checked, nochecks float64
-		for pass := 0; pass < 3; pass++ {
+		for pass := 0; pass < 5; pass++ {
 			c := cholGFlops(minTime, w, func(a []float64, n int) {
 				if err := kernels.Cholesky(a, n); err != nil {
 					panic(err) // SPD by construction; a failure is a benchmark bug
@@ -144,6 +149,12 @@ func CollectRobustness(minTime time.Duration, rounds int) (*RobustnessReport, er
 		return nil, err
 	}
 	rep.Durability = dur
+
+	ovl, err := CollectOverload(2500 * time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	rep.Overload = ovl
 	return rep, nil
 }
 

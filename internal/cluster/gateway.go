@@ -8,10 +8,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blockfanout/internal/admission"
 	"blockfanout/internal/blocks"
 	"blockfanout/internal/cluster/wire"
 	"blockfanout/internal/core"
@@ -89,6 +92,22 @@ type GatewayConfig struct {
 	// CacheEntries/CacheBytes budget the gateway's plan cache.
 	CacheEntries int
 	CacheBytes   int64
+	// Admission-control knobs, mirroring the serving tier: requests carry a
+	// tenant identity (X-Tenant header, "default" otherwise) metered by
+	// per-tenant token buckets and in-flight quotas, and wait in a weighted
+	// priority queue (solves > refactors > cold factorizations) in front of
+	// AdmissionWorkers concurrent coordinations (default 16). ShedAt /
+	// RejectAt and the memory watermarks drive the brownout state machine;
+	// zero values take the admission package's defaults, and a zero
+	// TenantDefault leaves unnamed tenants unmetered.
+	AdmissionWorkers int
+	QueueDepth       int
+	TenantDefault    admission.TenantLimits
+	Tenants          map[string]admission.TenantLimits
+	ShedAt           float64
+	RejectAt         float64
+	MemSoftBytes     uint64
+	MemHardBytes     uint64
 	// Logf receives progress lines; default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -140,6 +159,9 @@ func (c *GatewayConfig) fillDefaults() {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 512 << 20
+	}
+	if c.AdmissionWorkers <= 0 {
+		c.AdmissionWorkers = 16
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -211,6 +233,10 @@ type gwJob struct {
 	frontier uint32
 	notify   chan struct{}
 	solvable bool
+	// Admission metadata of the current run, stamped into every StartJob so
+	// nodes can abort work whose requester already gave up.
+	tenant        string
+	deadlineMicro int64
 	val      []float64 // current run's matrix values (for failover restarts)
 	// localF is the degraded-mode factor: built in-process when the fleet
 	// is below MinNodes (or restored by WarmStart), it serves solves when no
@@ -232,6 +258,7 @@ func (j *gwJob) wake() {
 type Gateway struct {
 	cfg   GatewayConfig
 	cache *plancache.Cache
+	adm   *admission.Controller
 
 	planOpts core.Options
 	planKey  uint64
@@ -275,8 +302,18 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		Exec:           cfg.Exec,
 	}
 	g := &Gateway{
-		cfg:      cfg,
-		cache:    plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		cfg:   cfg,
+		cache: plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
+		adm: admission.New(admission.Config{
+			Workers:      cfg.AdmissionWorkers,
+			QueueDepth:   cfg.QueueDepth,
+			Default:      cfg.TenantDefault,
+			Tenants:      cfg.Tenants,
+			ShedAt:       cfg.ShedAt,
+			RejectAt:     cfg.RejectAt,
+			MemSoftBytes: cfg.MemSoftBytes,
+			MemHardBytes: cfg.MemHardBytes,
+		}),
 		planOpts: opts,
 		planKey:  opts.ConfigKey(),
 		byID:     make(map[string]int),
@@ -536,6 +573,7 @@ func (g *Gateway) broadcastStartLocked(j *gwJob) {
 		Procs: uint32(g.cfg.Procs), NodeOf: append([]uint16(nil), j.nodeOf...),
 		Participants: parts, Primary: uint16(j.primary), Replicas: reps,
 		Frontier: j.frontier,
+		Tenant:   j.tenant, DeadlineUnixMicro: j.deadlineMicro,
 	}
 	for i, m := range j.members {
 		if !parts[i].Alive {
@@ -621,6 +659,9 @@ func (g *Gateway) Handler() http.Handler {
 
 type gwError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"` // stable admission codes ("tenant_rate", "brownout", ...)
+	// RetryAfterS mirrors the Retry-After header on 429/503 rejections.
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -631,6 +672,45 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (g *Gateway) writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, gwError{Error: err.Error()})
+}
+
+// gwTenantOf extracts the request's tenant identity.
+func gwTenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return admission.DefaultTenant
+}
+
+// writeRejection renders an admission rejection: the Retry-After header
+// (whole seconds, as HTTP requires) plus the envelope carrying the stable
+// code and the same hint in-body.
+func (g *Gateway) writeRejection(w http.ResponseWriter, rej *admission.Rejection) {
+	ra := rej.RetryAfter
+	if ra <= 0 {
+		ra = time.Second
+	}
+	secs := int64((ra + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, rej.Status, gwError{
+		Error: rej.Message, Code: rej.Code, RetryAfterS: float64(secs),
+	})
+}
+
+// admit runs the gateway's admission gate; it reports whether the caller
+// may proceed, having already written the response when not.
+func (g *Gateway) admit(ctx context.Context, w http.ResponseWriter, req admission.Request) (func(), bool) {
+	release, rej, err := g.adm.Admit(ctx, req)
+	if rej != nil {
+		g.writeRejection(w, rej)
+		return nil, false
+	}
+	if err != nil {
+		// The requester gave up while queued.
+		g.writeErr(w, http.StatusGatewayTimeout, err)
+		return nil, false
+	}
+	return release, true
 }
 
 type gwFactorResponse struct {
@@ -657,13 +737,37 @@ func (g *Gateway) handleFactor(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
 	defer cancel()
+	// Shed doomed requests before parsing the matrix body; the class is
+	// unknowable until the pattern hash is, so precheck as Refactor (the
+	// lenient choice — Admit below re-applies the gates with the real
+	// class).
+	if rej := g.adm.Precheck(gwTenantOf(r), admission.Refactor); rej != nil {
+		g.writeRejection(w, rej)
+		return
+	}
 	m, err := server.ReadMatrix(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
 	if err != nil {
 		g.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// A pattern the cluster already holds is a refactor (values reload on a
+	// cached plan); an unknown one is a cold factorization and queues behind
+	// everything else under load.
+	tenant := gwTenantOf(r)
+	pri := admission.Cold
+	if j := g.jobByID(fmt.Sprintf("%016x", m.PatternHash())); j != nil {
+		pri = admission.Refactor
+	}
+	deadline, _ := ctx.Deadline()
+	release, ok := g.admit(ctx, w, admission.Request{
+		Tenant: tenant, Priority: pri, Deadline: deadline,
+	})
+	if !ok {
+		return
+	}
+	defer release()
 	start := time.Now()
-	resp, code, err := g.factor(ctx, m)
+	resp, code, err := g.factor(ctx, m, tenant)
 	if err != nil {
 		g.writeErr(w, code, err)
 		return
@@ -674,7 +778,7 @@ func (g *Gateway) handleFactor(w http.ResponseWriter, r *http.Request) {
 
 // factor runs one distributed factorization to completion (through any
 // failovers) and returns the response.
-func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorResponse, int, error) {
+func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix, tenant string) (*gwFactorResponse, int, error) {
 	id := fmt.Sprintf("%016x", m.PatternHash())
 	entry, hit, err := g.cache.GetOrBuild(m, g.planKey, func() (*core.Plan, sched.Assignment, error) {
 		plan, err := core.NewPlan(m, g.planOpts)
@@ -728,6 +832,11 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 
 	j.mu.Lock()
 	j.localF = nil // never serve stale values if this run changes them
+	j.tenant = tenant
+	j.deadlineMicro = 0
+	if dl, ok := ctx.Deadline(); ok {
+		j.deadlineMicro = dl.UnixMicro()
+	}
 	j.members = parts
 	j.runID = g.runSeq.Add(1)
 	j.epoch = 0
@@ -771,6 +880,13 @@ func (g *Gateway) factor(ctx context.Context, m *sparse.Matrix) (*gwFactorRespon
 				return nil, http.StatusUnprocessableEntity, &kernels.PivotError{
 					Block: int(fail.PivotBlock), Row: int(fail.PivotRow), Pivot: fail.Pivot,
 				}
+			}
+			if strings.Contains(fail.Err, errRequesterDeadline.Error()) {
+				// A node abandoned the epoch because the stamped deadline
+				// passed. Retrying cannot beat an expired clock: answer 504.
+				j.mu.Unlock()
+				g.abort(j, runID, fail.Err)
+				return nil, http.StatusGatewayTimeout, errors.New(fail.Err)
 			}
 			anyAlive := false
 			for _, mm := range j.members {
@@ -928,6 +1044,14 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
 	defer cancel()
+	deadline, _ := ctx.Deadline()
+	release, ok := g.admit(ctx, w, admission.Request{
+		Tenant: gwTenantOf(r), Priority: admission.Interactive, Deadline: deadline,
+	})
+	if !ok {
+		return
+	}
+	defer release()
 	var req gwSolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)).Decode(&req); err != nil {
 		g.writeErr(w, http.StatusBadRequest, err)
@@ -1023,8 +1147,9 @@ type gwNodeHealth struct {
 }
 
 type gwHealth struct {
-	Status string         `json:"status"` // ok | degraded | down
-	Nodes  []gwNodeHealth `json:"nodes"`
+	Status    string         `json:"status"`    // ok | degraded | down
+	Admission string         `json:"admission"` // ok | shed-low-priority | reject-new-factors | drain
+	Nodes     []gwNodeHealth `json:"nodes"`
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1032,7 +1157,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	members := append([]*member(nil), g.members...)
 	g.mu.Unlock()
 	status, _, _ := g.fleetStatus()
-	h := gwHealth{Status: status}
+	h := gwHealth{Status: status, Admission: g.adm.State().String()}
 	for _, m := range members {
 		m.mu.Lock()
 		nh := gwNodeHealth{
@@ -1063,6 +1188,9 @@ type gwNodeMetrics struct {
 	BytesSent   uint64  `json:"bytes_sent"`
 	BytesRecv   uint64  `json:"bytes_received"`
 	Failovers   uint64  `json:"failovers"`
+	// DeadlineAborts counts epochs the node abandoned because the
+	// requester's deadline expired before the work finished.
+	DeadlineAborts uint64 `json:"deadline_aborts"`
 }
 
 type gwMetricsDoc struct {
@@ -1077,6 +1205,7 @@ type gwMetricsDoc struct {
 	WarmPlans      uint64          `json:"warm_plans"`    // plans restored by the last WarmStart
 	Jobs           int             `json:"jobs"`
 	Store          *store.Stats    `json:"store,omitempty"` // absent without -store-dir
+	Admission      admission.Stats `json:"admission"`
 	Nodes          []gwNodeMetrics `json:"nodes"`
 }
 
@@ -1097,6 +1226,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		LocalSolves:    g.metLocalSolves.Load(),
 		WarmPlans:      g.metWarmPlans.Load(),
 		Jobs:           jobs,
+		Admission:      g.adm.Snapshot(),
 	}
 	if g.st != nil {
 		st := g.st.Stats()
@@ -1110,7 +1240,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			BlocksOwned: m.stats.BlocksOwned, BlocksDone: m.stats.BlocksDone,
 			Flops: m.stats.Flops, Steals: m.stats.Steals,
 			BytesSent: m.stats.BytesSent, BytesRecv: m.stats.BytesRecv,
-			Failovers: m.stats.Failovers,
+			Failovers: m.stats.Failovers, DeadlineAborts: m.stats.DeadlineAborts,
 		})
 		m.mu.Unlock()
 	}

@@ -70,6 +70,11 @@ type NodeConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// errRequesterDeadline marks epochs abandoned because the client that
+// requested them already gave up. The gateway matches the message in Done
+// frames to answer 504 instead of retrying.
+var errRequesterDeadline = errors.New("requester deadline exceeded")
+
 // Node is one cluster worker: it joins the gateway, listens for peer block
 // traffic, and factors its slice of each job with a restricted
 // work-stealing executor.
@@ -94,14 +99,15 @@ type Node struct {
 	storeErr error
 	snapCh   chan *store.BlockSnapshot
 
-	bytesSent atomic.Uint64
-	bytesRecv atomic.Uint64
-	flops     atomic.Uint64
-	steals    atomic.Uint64
-	failovers atomic.Uint64
-	done      atomic.Uint64 // locally completed blocks, cumulative
-	restored  atomic.Uint64 // blocks seeded from a held-block snapshot
-	resends   atomic.Uint64 // peer-send retries after a dial or write failure
+	bytesSent      atomic.Uint64
+	bytesRecv      atomic.Uint64
+	flops          atomic.Uint64
+	steals         atomic.Uint64
+	failovers      atomic.Uint64
+	done           atomic.Uint64 // locally completed blocks, cumulative
+	restored       atomic.Uint64 // blocks seeded from a held-block snapshot
+	resends        atomic.Uint64 // peer-send retries after a dial or write failure
+	deadlineAborts atomic.Uint64 // epochs abandoned because the requester's deadline expired
 }
 
 // nodeJob is one pattern's factorization state on this node. mu guards
@@ -285,12 +291,13 @@ func (n *Node) heartbeats() {
 // frames.
 func (n *Node) statsSnapshot() wire.NodeStats {
 	st := wire.NodeStats{
-		Flops:      n.flops.Load(),
-		Steals:     n.steals.Load(),
-		BytesSent:  n.bytesSent.Load(),
-		BytesRecv:  n.bytesRecv.Load(),
-		Failovers:  n.failovers.Load(),
-		BlocksDone: n.done.Load(),
+		Flops:          n.flops.Load(),
+		Steals:         n.steals.Load(),
+		BytesSent:      n.bytesSent.Load(),
+		BytesRecv:      n.bytesRecv.Load(),
+		Failovers:      n.failovers.Load(),
+		BlocksDone:     n.done.Load(),
+		DeadlineAborts: n.deadlineAborts.Load(),
 	}
 	n.mu.Lock()
 	jobs := make([]*nodeJob, 0, len(n.jobs))
@@ -513,6 +520,12 @@ func (n *Node) startJob(sj *wire.StartJob) {
 // matrix values outside the completed-block frontier, constructs the
 // restricted executor, replays buffered frames, and launches the runner.
 func (j *nodeJob) startLocked(n *Node, sj *wire.StartJob) error {
+	// Refuse before any symbolic or numeric work when the requester's
+	// deadline has already passed — the epoch's flops would be pure waste.
+	if sj.DeadlineUnixMicro > 0 && !time.Now().Before(time.UnixMicro(sj.DeadlineUnixMicro)) {
+		n.deadlineAborts.Add(1)
+		return fmt.Errorf("cluster: node %s job %s run %d: %w", n.cfg.ID, sj.JobID, sj.RunID, errRequesterDeadline)
+	}
 	if j.plan == nil {
 		m, err := wireToMatrix(sj)
 		if err != nil {
@@ -603,7 +616,16 @@ func (j *nodeJob) startLocked(n *Node, sj *wire.StartJob) error {
 
 	j.maybeReadyLocked(n) // a full snapshot restore can complete the job outright
 
-	ctx, cancel := context.WithCancel(n.ctx)
+	// Bound the epoch by the requester's deadline: when it expires mid-run
+	// the executor aborts and the node reports a deadline-abandoned Done
+	// instead of finishing work nobody is waiting for.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if sj.DeadlineUnixMicro > 0 {
+		ctx, cancel = context.WithDeadline(n.ctx, time.UnixMicro(sj.DeadlineUnixMicro))
+	} else {
+		ctx, cancel = context.WithCancel(n.ctx)
+	}
 	j.cancel = cancel
 	j.running = true
 	ex := j.ex
@@ -643,6 +665,14 @@ func (n *Node) runEpoch(ctx context.Context, cancel context.CancelFunc, j *nodeJ
 		}
 		j.mu.Unlock()
 		return
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && n.ctx.Err() == nil {
+		// The requester's deadline expired mid-epoch. Abandon the run and
+		// say why in the Done, so the gateway answers 504 instead of
+		// burning retries on work nobody is waiting for.
+		n.deadlineAborts.Add(1)
+		err = fmt.Errorf("cluster: node %s job %s epoch %d abandoned: %w",
+			n.cfg.ID, sj.JobID, sj.Epoch, errRequesterDeadline)
 	}
 	aborted := err != nil && errors.Is(err, context.Canceled)
 	if aborted && stalled != nil && stalled.Load() && n.ctx.Err() == nil {

@@ -36,8 +36,10 @@ const Magic byte = 0xFC
 // Version is the protocol version this package speaks. Decoding rejects
 // frames of any other version, so mixed-version clusters fail loudly at the
 // first frame instead of corrupting a factorization. Version 2 added the
-// CRC32 trailer on BlockData payloads.
-const Version byte = 2
+// CRC32 trailer on BlockData payloads; version 3 added the tenant label and
+// deadline to StartJob (so nodes abort work whose requester already gave
+// up) and the deadline-abort counter to NodeStats.
+const Version byte = 3
 
 // MaxPayload bounds a frame's payload; larger announced lengths are
 // rejected before allocation. 1 GiB admits the block payloads of
@@ -98,6 +100,9 @@ type NodeStats struct {
 	BytesSent   uint64 // data-plane bytes shipped to peers
 	BytesRecv   uint64 // data-plane bytes received from peers
 	Failovers   uint64 // epochs this node restarted due to a peer failure
+	// DeadlineAborts counts epochs abandoned because the requester's
+	// deadline expired before the work finished (v3).
+	DeadlineAborts uint64
 }
 
 // Hello announces a node to the gateway.
@@ -150,6 +155,13 @@ type StartJob struct {
 	Primary      uint16   // participant index holding the assembled factor
 	Replicas     []uint16 // additional assembly targets for failover routing
 	Frontier     uint32   // completed-column watermark at the last failover (observability)
+
+	// Admission metadata (v3). Tenant labels the requester for per-tenant
+	// accounting on nodes; DeadlineUnixMicro, when nonzero, is the absolute
+	// request deadline (µs since the Unix epoch) — a node aborts the epoch
+	// rather than burn flops for a requester that already gave up.
+	Tenant            string
+	DeadlineUnixMicro int64
 }
 
 // Abort cancels the named epoch.
@@ -255,6 +267,7 @@ func (e *enc) stats(s NodeStats) {
 	e.u64(s.BytesSent)
 	e.u64(s.BytesRecv)
 	e.u64(s.Failovers)
+	e.u64(s.DeadlineAborts)
 }
 
 // ---- decoding ----
@@ -395,7 +408,7 @@ func (d *dec) f64s() []float64 {
 }
 
 func (d *dec) stats() NodeStats {
-	return NodeStats{
+	s := NodeStats{
 		BlocksOwned: d.u64(),
 		BlocksDone:  d.u64(),
 		Flops:       d.u64(),
@@ -404,6 +417,8 @@ func (d *dec) stats() NodeStats {
 		BytesRecv:   d.u64(),
 		Failovers:   d.u64(),
 	}
+	s.DeadlineAborts = d.u64()
+	return s
 }
 
 // done reports a fully-consumed, error-free payload. Trailing bytes are a
@@ -459,6 +474,8 @@ func (s *StartJob) encode(e *enc) {
 	e.u16(s.Primary)
 	e.u16s(s.Replicas)
 	e.u32(s.Frontier)
+	e.str(s.Tenant)
+	e.u64(uint64(s.DeadlineUnixMicro))
 }
 
 func (s *StartJob) decode(d *dec) {
@@ -485,6 +502,8 @@ func (s *StartJob) decode(d *dec) {
 	s.Primary = d.u16()
 	s.Replicas = d.u16s()
 	s.Frontier = d.u32()
+	s.Tenant = d.str()
+	s.DeadlineUnixMicro = int64(d.u64())
 }
 
 func (a *Abort) encode(e *enc) {

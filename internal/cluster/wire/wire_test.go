@@ -31,6 +31,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 	stats := NodeStats{
 		BlocksOwned: 12, BlocksDone: 11, Flops: 1 << 40, Steals: 7,
 		BytesSent: 123456, BytesRecv: 654321, Failovers: 2,
+		DeadlineAborts: 3,
 	}
 	frames := []Frame{
 		{Type: THello, Hello: &Hello{ID: "node-a", DataAddr: "127.0.0.1:9001", Speed: 0.5}},
@@ -46,6 +47,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 				{ID: "b", DataAddr: "127.0.0.1:9002", Alive: false},
 			},
 			Primary: 1, Replicas: []uint16{0}, Frontier: 17,
+			Tenant: "team-solvers", DeadlineUnixMicro: 1_700_000_000_123_456,
 		}},
 		{Type: TAbort, Abort: &Abort{JobID: "ab12cd", RunID: 3, Epoch: 1, Reason: "peer died"}},
 		{Type: TBlockData, BlockData: &BlockData{

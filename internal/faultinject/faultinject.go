@@ -38,6 +38,7 @@ type Rule struct {
 	Err   error         // error to inject (default: a transient ErrInjected)
 	Delay time.Duration // latency to add before returning
 	Panic bool          // panic instead of returning an error
+	Value float64       // value observed through FireValue sites (e.g. synthetic heap bytes)
 }
 
 // ruleState is a Rule plus its runtime counters.
@@ -109,9 +110,48 @@ func Fire(site string) error {
 	return fire(site)
 }
 
+// FireValue is the injection point for sites that observe a measurement
+// rather than an operation — e.g. the admission layer's heap sampling
+// ("admission.mempressure"). When a matching rule fires, the returned
+// value replaces the real measurement, letting tests force overload and
+// brownout transitions deterministically without allocating gigabytes.
+// With injection disabled it is one atomic load.
+func FireValue(site string) (float64, bool) {
+	if !enabled.Load() {
+		return 0, false
+	}
+	hit := match(site)
+	if hit == nil {
+		return 0, false
+	}
+	if hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	return hit.Value, true
+}
+
 func fire(site string) error {
+	hit := match(site)
+	if hit == nil {
+		return nil
+	}
+	if hit.Delay > 0 {
+		time.Sleep(hit.Delay)
+	}
+	if hit.Panic {
+		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+	}
+	if hit.Err != nil {
+		return hit.Err
+	}
+	return Transient(fmt.Errorf("%w at %s", ErrInjected, site))
+}
+
+// match runs the rule schedule for one call to site and returns the rule
+// that fires, if any.
+func match(site string) *ruleState {
 	mu.Lock()
-	var hit *ruleState
+	defer mu.Unlock()
 	for _, r := range rules {
 		if r.Site != site {
 			continue
@@ -131,23 +171,9 @@ func fire(site string) error {
 		}
 		r.fired++
 		fires[site]++
-		hit = r
-		break
+		return r
 	}
-	mu.Unlock()
-	if hit == nil {
-		return nil
-	}
-	if hit.Delay > 0 {
-		time.Sleep(hit.Delay)
-	}
-	if hit.Panic {
-		panic(fmt.Sprintf("faultinject: injected panic at %s", site))
-	}
-	if hit.Err != nil {
-		return hit.Err
-	}
-	return Transient(fmt.Errorf("%w at %s", ErrInjected, site))
+	return nil
 }
 
 // coin draws one uniform float64 in [0,1) from the splitmix64 stream.

@@ -48,9 +48,14 @@ type Entry struct {
 	// (core.Options.ConfigKey); hits verify it exactly so plans built with
 	// different blocking strategies or block sizes never alias.
 	ConfigKey uint64
-	Plan      *core.Plan
-	Assign    sched.Assignment
-	Bytes     int64
+	// Tenant is the identity whose request built this entry ("" when the
+	// build was unattributed — warm starts, pre-tenancy callers). The
+	// cache charges the entry's bytes against it for per-tenant quota
+	// accounting; a shared hit does not re-attribute the entry.
+	Tenant string
+	Plan   *core.Plan
+	Assign sched.Assignment
+	Bytes  int64
 }
 
 // combineKey folds the configuration digest into the pattern hash with an
@@ -75,6 +80,10 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
+	// TenantBytes breaks Bytes down by the tenant whose request built each
+	// entry (key "" aggregates unattributed entries). Nil when every entry
+	// is unattributed.
+	TenantBytes map[string]int64 `json:"tenant_bytes,omitempty"`
 }
 
 // Cache is the pattern-keyed plan cache. Safe for concurrent use.
@@ -85,6 +94,7 @@ type Cache struct {
 	ll       *list.List // front = most recent; values are *Entry
 	items    map[uint64]*list.Element
 	bytes    int64
+	tbytes   map[string]int64 // per-tenant share of bytes
 	building map[uint64]*flight
 
 	hits, misses, coalesced, evictions int64
@@ -109,6 +119,7 @@ func New(cfg Config) *Cache {
 		cfg:      cfg,
 		ll:       list.New(),
 		items:    make(map[uint64]*list.Element),
+		tbytes:   make(map[string]int64),
 		building: make(map[uint64]*flight),
 	}
 }
@@ -120,6 +131,15 @@ func New(cfg Config) *Cache {
 // calls for the same (pattern, config) run build once; the rest wait and
 // share the result. A failed build is not cached.
 func (c *Cache) GetOrBuild(a *sparse.Matrix, cfgKey uint64, build func() (*core.Plan, sched.Assignment, error)) (e *Entry, hit bool, err error) {
+	return c.GetOrBuildFor(a, cfgKey, "", build)
+}
+
+// GetOrBuildFor is GetOrBuild with the building tenant recorded on a miss:
+// the new entry's bytes are charged to tenant in the per-tenant accounting
+// (see Stats.TenantBytes and TenantBytes) so the serving layer can enforce
+// per-tenant cache-byte quotas. Hits and coalesced waits are never
+// re-attributed — the tenant that paid for the analysis keeps the bill.
+func (c *Cache) GetOrBuildFor(a *sparse.Matrix, cfgKey uint64, tenant string, build func() (*core.Plan, sched.Assignment, error)) (e *Entry, hit bool, err error) {
 	key := combineKey(a.PatternHash(), cfgKey)
 retry:
 	c.mu.Lock()
@@ -158,7 +178,7 @@ retry:
 
 	plan, assign, err := build()
 	if err == nil {
-		fl.e = &Entry{Key: key, ConfigKey: cfgKey, Plan: plan, Assign: assign, Bytes: PlanBytes(plan)}
+		fl.e = &Entry{Key: key, ConfigKey: cfgKey, Tenant: tenant, Plan: plan, Assign: assign, Bytes: PlanBytes(plan)}
 	} else {
 		fl.err = err
 	}
@@ -202,6 +222,7 @@ func (c *Cache) insertLocked(e *Entry) {
 	}
 	c.items[e.Key] = c.ll.PushFront(e)
 	c.bytes += e.Bytes
+	c.tbytes[e.Tenant] += e.Bytes
 	for c.ll.Len() > 1 && (c.ll.Len() > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes) {
 		back := c.ll.Back()
 		c.removeLocked(back)
@@ -214,13 +235,42 @@ func (c *Cache) removeLocked(el *list.Element) {
 	c.ll.Remove(el)
 	delete(c.items, e.Key)
 	c.bytes -= e.Bytes
+	if c.tbytes[e.Tenant] -= e.Bytes; c.tbytes[e.Tenant] <= 0 {
+		delete(c.tbytes, e.Tenant)
+	}
+}
+
+// TenantBytes reports the cached bytes currently attributed to tenant.
+func (c *Cache) TenantBytes(tenant string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tbytes[tenant]
+}
+
+// Peek returns the cached entry for a's pattern and configuration key
+// without promoting it in the LRU or touching the hit/miss counters. The
+// admission layer uses it to price a request (modeled flops, factor bytes)
+// before deciding whether to admit it at all.
+func (c *Cache) Peek(a *sparse.Matrix, cfgKey uint64) (*Entry, bool) {
+	key := combineKey(a.PatternHash(), cfgKey)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*Entry)
+	if e.ConfigKey != cfgKey || !e.Plan.A.SamePattern(a) {
+		return nil, false
+	}
+	return e, true
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
@@ -228,6 +278,13 @@ func (c *Cache) Stats() Stats {
 		Entries:   c.ll.Len(),
 		Bytes:     c.bytes,
 	}
+	if len(c.tbytes) > 0 {
+		st.TenantBytes = make(map[string]int64, len(c.tbytes))
+		for t, b := range c.tbytes {
+			st.TenantBytes[t] = b
+		}
+	}
+	return st
 }
 
 // PlanBytes estimates the retained size of a plan: the dominant slices of

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"blockfanout/internal/admission"
 )
 
 // solveOutcome is what one solve (batched single-RHS or direct multi-RHS)
@@ -39,6 +41,13 @@ type batcher struct {
 // submit enqueues b and waits for its solution (or ctx expiry; the batch
 // keeps running and discards the abandoned result).
 func (bt *batcher) submit(ctx context.Context, b []float64) solveOutcome {
+	// A request whose deadline already passed must not be coalesced into a
+	// sweep: its result would be discarded anyway, but the sweep would
+	// still spend a worker pool slot solving for it. Fail it before it
+	// touches the pending list.
+	if err := ctx.Err(); err != nil {
+		return solveOutcome{err: err}
+	}
 	req := pendingSolve{b: b, res: make(chan solveOutcome, 1)}
 	bt.mu.Lock()
 	bt.pending = append(bt.pending, req)
@@ -80,18 +89,29 @@ func (bt *batcher) flush() {
 }
 
 // run executes one coalesced batch on the worker pool and distributes the
-// results.
+// results. The batch admits as an internal interactive request: each
+// constituent solve was already charged against its tenant's bucket at
+// arrival, so the sweep itself only competes for a worker slot.
 func (bt *batcher) run(batch []pendingSolve) {
 	s := bt.s
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	rel, rej, err := s.adm.Admit(ctx, admission.Request{
+		Priority: admission.Interactive,
+		Cost:     s.solveCost(bt.fe, len(batch)),
+		Deadline: admissionDeadline(ctx),
+		Internal: true,
+	})
+	if rej != nil {
+		err = rej
+	}
+	if err != nil {
 		for _, req := range batch {
 			req.res <- solveOutcome{err: err}
 		}
 		return
 	}
-	defer s.release()
+	defer rel()
 
 	bs := make([][]float64, len(batch))
 	for i, req := range batch {

@@ -13,13 +13,18 @@
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     expvar-style counter document
 //
-// Heavy work (analysis, factorization, solves) runs on a bounded worker
-// pool; requests beyond the pool plus a configurable queue depth are
-// rejected with 429 so overload degrades predictably instead of piling up
-// goroutines. Request deadlines propagate as context cancellation into the
-// parallel factorization executor. Drain flips the service into a mode
-// where health checks fail (so load balancers stop routing) while in-flight
-// work completes.
+// Heavy work (analysis, factorization, solves) runs through the
+// multi-tenant admission controller (internal/admission): requests carry a
+// tenant identity (X-Tenant header) subject to token-bucket rates and
+// concurrency quotas, wait in a weighted priority queue (interactive
+// solves > refactors > cold factorizations) for a bounded worker pool, and
+// are shed with structured 429/503 + Retry-After when their deadline can
+// no longer cover their modeled cost or when the brownout state machine
+// (queue depth + memory watermarks) degrades the service. Request
+// deadlines propagate as context cancellation into the parallel
+// factorization executor. Drain flips the service into a mode where health
+// checks fail (so load balancers stop routing) while in-flight work
+// completes.
 package server
 
 import (
@@ -30,9 +35,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"blockfanout/internal/admission"
 	"blockfanout/internal/blocks"
 	"blockfanout/internal/core"
 	"blockfanout/internal/fanout"
@@ -40,6 +47,7 @@ import (
 	"blockfanout/internal/kernels"
 	"blockfanout/internal/plancache"
 	"blockfanout/internal/sched"
+	"blockfanout/internal/sparse"
 	"blockfanout/internal/store"
 )
 
@@ -54,6 +62,11 @@ type Config struct {
 	// QueueDepth is how many heavy operations may wait for a worker before
 	// new ones are rejected with 429 (default 64).
 	QueueDepth int
+	// ReserveInteractive holds this many worker slots for interactive
+	// solves alone: factorizations and refactorizations together occupy
+	// at most Workers−ReserveInteractive slots, so admitted heavy work
+	// cannot head-of-line block every lane (0 = no reservation).
+	ReserveInteractive int
 	// CacheEntries / CacheBytes budget the pattern-keyed plan cache
 	// (defaults: plancache defaults). MaxFactors bounds the live factor
 	// registry (default: CacheEntries).
@@ -114,6 +127,26 @@ type Config struct {
 	// at the cost of a restart restoring values up to one interval stale —
 	// the same last-written-snapshot semantics a full queue already gives.
 	SnapshotInterval time.Duration
+	// Tenants maps tenant name (the X-Tenant request header) to its
+	// admission limits; TenantDefault applies to every unlisted tenant
+	// (zero value: unlimited). See internal/admission.
+	Tenants       map[string]admission.TenantLimits
+	TenantDefault admission.TenantLimits
+	// MaxFactorBytes rejects factor requests whose estimated factor size
+	// exceeds this budget with 413 *before* any symbolic work (0 =
+	// unlimited). On a plan-cache hit the estimate is the exact nnz(L)×8;
+	// on a miss it is the 8×nnz(tril(A)) lower bound — Cholesky fill only
+	// adds nonzeros, so a matrix over budget on the lower bound can only
+	// be further over after analysis.
+	MaxFactorBytes int64
+	// MemSoftBytes / MemHardBytes are heap watermarks driving the brownout
+	// state machine to shed-low-priority / reject-new-factors (0 = queue
+	// depth alone drives brownout). ShedAt / RejectAt override the
+	// queue-occupancy brownout thresholds (0 = admission defaults).
+	MemSoftBytes uint64
+	MemHardBytes uint64
+	ShedAt       float64
+	RejectAt     float64
 }
 
 func (c *Config) fillDefaults() {
@@ -203,17 +236,17 @@ type factorEntry struct {
 type Server struct {
 	cfg   Config
 	cache *plancache.Cache
-	sem   chan struct{} // worker pool slots
+	adm   *admission.Controller // multi-tenant worker-pool gate
+	cost  admission.CostModel   // observed ns/flop for deadline feasibility
 
 	// planOpts/planKey are the fixed plan-construction options and their
 	// cache-key digest, computed once from cfg.
 	planOpts core.Options
 	planKey  uint64
 
-	mu       sync.Mutex // guards factors, lru, queued, breakers
+	mu       sync.Mutex // guards factors, lru, breakers
 	factors  map[string]*factorEntry
 	lru      *list.List // front = most recently used factorEntry
-	queued   int
 	draining bool
 	breakers map[string]*breakerState
 
@@ -238,7 +271,17 @@ func New(cfg Config) *Server {
 		planOpts: opts,
 		planKey:  opts.ConfigKey(),
 		cache:    plancache.New(plancache.Config{MaxEntries: cfg.CacheEntries, MaxBytes: cfg.CacheBytes}),
-		sem:      make(chan struct{}, cfg.Workers),
+		adm: admission.New(admission.Config{
+			Workers:            cfg.Workers,
+			QueueDepth:         cfg.QueueDepth,
+			ReserveInteractive: cfg.ReserveInteractive,
+			Default:            cfg.TenantDefault,
+			Tenants:            cfg.Tenants,
+			ShedAt:             cfg.ShedAt,
+			RejectAt:           cfg.RejectAt,
+			MemSoftBytes:       cfg.MemSoftBytes,
+			MemHardBytes:       cfg.MemHardBytes,
+		}),
 		factors:  make(map[string]*factorEntry),
 		lru:      list.New(),
 		breakers: make(map[string]*breakerState),
@@ -285,46 +328,31 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 }
 
 // Drain flips the server into shutdown mode: /healthz reports 503 so load
-// balancers stop routing, and new factor/solve requests are refused while
-// in-flight ones finish (http.Server.Shutdown provides the actual wait).
+// balancers stop routing, new factor/solve requests are refused and queued
+// waiters are shed while in-flight ones finish (http.Server.Shutdown
+// provides the actual wait).
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.adm.SetDraining(true)
 }
 
-var (
-	errBusy          = errors.New("server overloaded: worker queue full")
-	errFactorInvalid = errors.New("factor is no longer valid: its factorization or refactorization failed; re-POST the matrix to /v1/factor")
-)
+var errFactorInvalid = errors.New("factor is no longer valid: its factorization or refactorization failed; re-POST the matrix to /v1/factor")
 
-// acquire takes a worker slot, respecting the queue bound and the caller's
-// deadline.
-func (s *Server) acquire(ctx context.Context) error {
-	s.mu.Lock()
-	if s.queued >= s.cfg.Workers+s.cfg.QueueDepth {
-		s.mu.Unlock()
-		s.met.rejected.Add(1)
-		return errBusy
+// tenantOf extracts the request's tenant identity.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
 	}
-	s.queued++
-	s.mu.Unlock()
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		s.queued--
-		s.mu.Unlock()
-		return ctx.Err()
-	}
+	return admission.DefaultTenant
 }
 
-func (s *Server) release() {
-	<-s.sem
-	s.mu.Lock()
-	s.queued--
-	s.mu.Unlock()
+// admissionDeadline converts ctx's deadline for the admission request
+// (zero when the context has none).
+func admissionDeadline(ctx context.Context) time.Time {
+	d, _ := ctx.Deadline()
+	return d
 }
 
 func (s *Server) isDraining() bool {
@@ -337,13 +365,16 @@ func (s *Server) isDraining() bool {
 
 // errorBody is the JSON error envelope. Pivot breakdowns carry their
 // location so a client can see *where* its matrix lost positive
-// definiteness, not just that it did.
+// definiteness, not just that it did; admission rejections carry the
+// Retry-After hint in-body as well as in the header.
 type errorBody struct {
 	Error string   `json:"error"`
-	Code  string   `json:"code,omitempty"`  // "pivot_breakdown", "breaker_open", "panic"
+	Code  string   `json:"code,omitempty"`  // "pivot_breakdown", "breaker_open", "panic", admission codes, ...
 	Block *int     `json:"block,omitempty"` // failing panel (pivot breakdowns only)
 	Row   *int     `json:"row,omitempty"`   // failing global row
 	Pivot *float64 `json:"pivot,omitempty"` // offending pivot value
+	// RetryAfterS mirrors the Retry-After header on 429/503 rejections.
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
 }
 
 // errBody builds the error envelope, extracting pivot coordinates when the
@@ -372,10 +403,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	var rej *admission.Rejection
+	if errors.As(err, &rej) {
+		s.writeRejection(w, rej)
+		return
+	}
 	if code != http.StatusTooManyRequests {
 		s.met.errors.Add(1)
 	}
 	writeJSON(w, code, errBody(err))
+}
+
+// writeRejection renders a structured admission rejection: the Retry-After
+// header (whole seconds, as HTTP requires) plus the error envelope with
+// the stable code and the same hint in-body.
+func (s *Server) writeRejection(w http.ResponseWriter, rej *admission.Rejection) {
+	s.met.rejected.Add(1)
+	if rej.Status != http.StatusTooManyRequests {
+		s.met.errors.Add(1)
+	}
+	writeRejection(w, rej)
+}
+
+func writeRejection(w http.ResponseWriter, rej *admission.Rejection) {
+	ra := rej.RetryAfter
+	if ra <= 0 {
+		ra = time.Second
+	}
+	secs := int64((ra + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, rej.Status, errorBody{
+		Error:       rej.Message,
+		Code:        rej.Code,
+		RetryAfterS: float64(secs),
+	})
 }
 
 // withRetry runs op, retrying transient failures (injected infrastructure
@@ -458,11 +519,13 @@ func (s *Server) breakerNote(id string, err error) {
 	}
 }
 
-// errStatus maps an operational error to its HTTP status.
+// errStatus maps an operational error to its HTTP status. Admission
+// rejections carry their own status.
 func errStatus(err error) int {
+	var rej *admission.Rejection
 	switch {
-	case errors.Is(err, errBusy):
-		return http.StatusTooManyRequests
+	case errors.As(err, &rej):
+		return rej.Status
 	case errors.Is(err, errFactorInvalid):
 		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -503,6 +566,15 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	// Shed doomed requests before parsing the matrix — the largest body
+	// the server accepts. The class is not knowable until the pattern
+	// hash is, so precheck as Refactor (the lenient choice: a cold
+	// factorization slipping past here is still rejected by Admit).
+	if rej := s.adm.Precheck(tenantOf(r), admission.Refactor); rej != nil {
+		s.writeRejection(w, rej)
+		return
+	}
+
 	m, err := ReadMatrix(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), r.Header.Get("Content-Type"))
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
@@ -519,14 +591,50 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if err := s.acquire(ctx); err != nil {
+	// Price the request before admission. A live factor makes this a
+	// numeric-only refactorization (middle priority class); a cached plan
+	// gives the exact modeled flops (deadline feasibility) and factor
+	// size. Neither peek promotes LRU positions or counts as a hit.
+	tenant := tenantOf(r)
+	pri := admission.Cold
+	if s.factorLive(id) {
+		pri = admission.Refactor
+	}
+	var costEst time.Duration
+	var exactBytes int64
+	if pe, ok := s.cache.Peek(m, s.planKey); ok {
+		costEst = s.cost.Estimate(pe.Plan.Exact.Flops)
+		exactBytes = pe.Plan.Exact.NZinL * 8
+	}
+	if body, reject := s.factorBytesGate(m, exactBytes); reject {
+		s.met.rejected.Add(1)
+		s.met.errors.Add(1)
+		writeJSON(w, http.StatusRequestEntityTooLarge, body)
+		return
+	}
+	if rej := s.tenantCacheGate(tenant, m); rej != nil {
+		s.writeRejection(w, rej)
+		return
+	}
+
+	rel, rej, err := s.adm.Admit(ctx, admission.Request{
+		Tenant:   tenant,
+		Priority: pri,
+		Cost:     costEst,
+		Deadline: admissionDeadline(ctx),
+	})
+	if rej != nil {
+		s.writeRejection(w, rej)
+		return
+	}
+	if err != nil {
 		s.writeErr(w, errStatus(err), err)
 		return
 	}
-	defer s.release()
+	defer rel()
 
 	start := time.Now()
-	entry, hit, err := s.cache.GetOrBuild(m, s.planKey, func() (*core.Plan, sched.Assignment, error) {
+	entry, hit, err := s.cache.GetOrBuildFor(m, s.planKey, tenant, func() (*core.Plan, sched.Assignment, error) {
 		return s.buildPlan(m)
 	})
 	if err != nil {
@@ -572,6 +680,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 			fe.mu.Unlock()
 			s.met.factors.Add(1)
 			s.met.factorLat.Observe(time.Since(start))
+			s.cost.Observe(entry.Plan.Exact.Flops, time.Since(start))
 			break
 		}
 		// Live factor for this pattern: numeric-only refactorization. The
@@ -626,6 +735,7 @@ func (s *Server) handleFactor(w http.ResponseWriter, r *http.Request) {
 		refactored = true
 		s.met.refactors.Add(1)
 		s.met.refactorLat.Observe(time.Since(start))
+		s.cost.Observe(entry.Plan.Exact.Flops, time.Since(start))
 		break
 	}
 
@@ -734,6 +844,72 @@ func (s *Server) lookup(id string) (*factorEntry, bool) {
 	return fe, ok
 }
 
+// factorLive reports whether id already has a registered factor entry,
+// without promoting it in the LRU — used only to classify an incoming
+// factor request as a refactor vs a cold factorization for admission.
+func (s *Server) factorLive(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.factors[id]
+	return ok
+}
+
+// factorBytesGate enforces Config.MaxFactorBytes before any symbolic work.
+// exactBytes is the plan's exact nnz(L)×8 when the analysis is cached, 0
+// otherwise — then the gate falls back to 8×nnz(tril(A)), a true lower
+// bound since Cholesky fill only adds nonzeros to A's lower triangle.
+func (s *Server) factorBytesGate(m *sparse.Matrix, exactBytes int64) (errorBody, bool) {
+	if s.cfg.MaxFactorBytes <= 0 {
+		return errorBody{}, false
+	}
+	est, kind := exactBytes, "exact"
+	if est == 0 {
+		est, kind = 8*trilNNZ(m), "lower bound"
+	}
+	if est <= s.cfg.MaxFactorBytes {
+		return errorBody{}, false
+	}
+	return errorBody{
+		Error: fmt.Sprintf("estimated factor size %d bytes (%s) exceeds the %d-byte budget", est, kind, s.cfg.MaxFactorBytes),
+		Code:  "factor_too_large",
+	}, true
+}
+
+// trilNNZ counts stored entries on or below the diagonal — the part of A
+// that L must at least contain.
+func trilNNZ(m *sparse.Matrix) int64 {
+	var nnz int64
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			if m.RowInd[p] >= j {
+				nnz++
+			}
+		}
+	}
+	return nnz
+}
+
+// tenantCacheGate rejects a factor request that would build a *new* plan
+// while its tenant is already at its cached-bytes quota (requests reusing
+// a cached analysis always pass — they add no bytes).
+func (s *Server) tenantCacheGate(tenant string, m *sparse.Matrix) *admission.Rejection {
+	lim := s.adm.Limits(tenant)
+	if lim.MaxCacheBytes <= 0 {
+		return nil
+	}
+	if _, ok := s.cache.Peek(m, s.planKey); ok {
+		return nil
+	}
+	if used := s.cache.TenantBytes(tenant); used >= lim.MaxCacheBytes {
+		return &admission.Rejection{
+			Status: http.StatusTooManyRequests, Code: "tenant_quota",
+			RetryAfter: 30 * time.Second,
+			Message:    fmt.Sprintf("tenant %q holds %d cached plan bytes, at or over its %d-byte quota; evict by factoring fewer distinct patterns or raise the quota", tenant, used, lim.MaxCacheBytes),
+		}
+	}
+	return nil
+}
+
 // ---- /v1/solve ----
 
 type solveRequest struct {
@@ -765,6 +941,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
+	// Shed doomed requests on headers alone, before reading the body: a
+	// flooding tenant's overflow must be rejected for microseconds of
+	// CPU, not a full JSON parse, or the rejection path itself becomes
+	// the overload. Admit re-applies the same gates authoritatively.
+	if rej := s.adm.Precheck(tenantOf(r), admission.Interactive); rej != nil {
+		s.writeRejection(w, rej)
+		return
+	}
+
 	var req solveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -780,6 +965,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown factor id %q", req.ID))
 		return
 	}
+	tenant := tenantOf(r)
 
 	start := time.Now()
 	if req.B != nil {
@@ -789,9 +975,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		var out solveOutcome
 		if s.cfg.BatchWindow > 0 {
+			// Batched path: the tenant is charged (token bucket + brownout
+			// gate) per request here; the coalesced sweep itself takes one
+			// internal worker slot on behalf of the whole batch.
+			if rej := s.adm.Charge(tenant, admission.Interactive); rej != nil {
+				s.writeRejection(w, rej)
+				return
+			}
 			out = fe.bt.submit(ctx, req.B)
 		} else {
-			out = s.solveDirect(ctx, fe, [][]float64{req.B})
+			out = s.solveDirect(ctx, fe, tenant, [][]float64{req.B})
 		}
 		if out.err != nil {
 			s.writeErr(w, errStatus(out.err), out.err)
@@ -810,7 +1003,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out := s.solveDirect(ctx, fe, req.BS)
+	out := s.solveDirect(ctx, fe, tenant, req.BS)
 	if out.err != nil {
 		s.writeErr(w, errStatus(out.err), out.err)
 		return
@@ -822,15 +1015,27 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // solveDirect runs one SolveMany on the worker pool, bypassing the batcher
-// (multi-RHS requests are already batches).
-func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, bs [][]float64) solveOutcome {
-	if err := s.acquire(ctx); err != nil {
+// (multi-RHS requests are already batches). The solve's cost estimate is
+// ~4 flops per nonzero of L per right-hand side (forward + back
+// substitution), priced through the same observed-throughput model as
+// factorizations so deadline-infeasible solves shed instead of queueing.
+func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, tenant string, bs [][]float64) solveOutcome {
+	rel, rej, err := s.adm.Admit(ctx, admission.Request{
+		Tenant:   tenant,
+		Priority: admission.Interactive,
+		Cost:     s.solveCost(fe, len(bs)),
+		Deadline: admissionDeadline(ctx),
+	})
+	if rej != nil {
+		return solveOutcome{err: rej}
+	}
+	if err != nil {
 		return solveOutcome{err: err}
 	}
-	defer s.release()
+	defer rel()
 	start := time.Now()
 	var xs [][]float64
-	err := s.withRetry(ctx, func() error {
+	err = s.withRetry(ctx, func() error {
 		if err := faultinject.Fire("server.solve"); err != nil {
 			return err
 		}
@@ -854,15 +1059,33 @@ func (s *Server) solveDirect(ctx context.Context, fe *factorEntry, bs [][]float6
 	return solveOutcome{xs: xs}
 }
 
+// solveCost estimates a SolveMany's execution time: triangular solves do
+// roughly 4·nnz(L) flops per right-hand side, converted through the
+// observed throughput model. A deliberately rough figure — it only has to
+// be the right order of magnitude for deadline shedding to beat silently
+// burning the deadline in the queue.
+func (s *Server) solveCost(fe *factorEntry, nrhs int) time.Duration {
+	if fe.plan == nil {
+		return 0
+	}
+	return s.cost.Estimate(4 * fe.plan.Exact.NZinL * int64(nrhs))
+}
+
 // ---- /healthz and /metrics ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.healthzRequests.Add(1)
+	state := s.adm.State()
+	body := map[string]string{"status": "ok", "admission": state.String()}
 	if s.isDraining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Brownout keeps /healthz at 200 — the server is degraded, not dead,
+	// and a 503 here would make load balancers yank a node that is still
+	// serving interactive traffic. The state string is the signal.
+	writeJSON(w, http.StatusOK, body)
 }
 
 // metricsDoc is the /metrics JSON document.
@@ -891,6 +1114,7 @@ type metricsDoc struct {
 	Cache     plancache.Stats `json:"plan_cache"`
 	LiveFac   int             `json:"live_factors"`
 	Store     *storeDoc       `json:"store,omitempty"` // absent without -store-dir
+	Admission admission.Stats `json:"admission"`       // brownout state, queues, per-tenant counters
 
 	Latency struct {
 		Factor   latencyJSON `json:"factor"`
@@ -928,6 +1152,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	doc.Admission = s.adm.Snapshot()
 	doc.Latency.Factor = latencySnapshot(&s.met.factorLat)
 	doc.Latency.Refactor = latencySnapshot(&s.met.refactorLat)
 	doc.Latency.Solve = latencySnapshot(&s.met.solveLat)

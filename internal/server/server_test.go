@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"blockfanout/internal/admission"
 	"blockfanout/internal/gen"
 	"blockfanout/internal/sparse"
 )
@@ -419,7 +420,7 @@ func TestSolvePathsRejectInvalidatedFactor(t *testing.T) {
 	fe := &factorEntry{id: "dead", n: 4}
 	fe.bt = &batcher{s: s, fe: fe}
 
-	out := s.solveDirect(context.Background(), fe, [][]float64{make([]float64, 4)})
+	out := s.solveDirect(context.Background(), fe, "default", [][]float64{make([]float64, 4)})
 	if !errors.Is(out.err, errFactorInvalid) {
 		t.Fatalf("solveDirect on nil factor: err=%v; want errFactorInvalid", out.err)
 	}
@@ -552,31 +553,67 @@ func TestServiceDrain(t *testing.T) {
 	}
 }
 
-// TestServiceBackpressure: with a one-worker pool and zero queue, a request
-// arriving while the worker is held must get 429 and bump the rejected
-// counter.
+// TestServiceBackpressure: with a one-worker pool and a one-slot queue,
+// a request arriving while both are held must get a structured 429 —
+// queue_full code, Retry-After header and in-body hint — and bump the
+// rejected counter.
 func TestServiceBackpressure(t *testing.T) {
 	s, ts := testService(t, Config{Procs: 1, Workers: 1, QueueDepth: 1, BlockSize: 16, BatchWindow: -1})
 	a := gen.IrregularMesh(100, 5, 3, 5)
 	fr := factorMatrix(t, ts.URL, a)
 
-	// Occupy the only worker slot and fill the queue to its bound.
-	s.sem <- struct{}{}
-	s.mu.Lock()
-	s.queued = s.cfg.Workers + s.cfg.QueueDepth
-	s.mu.Unlock()
+	// Occupy the only worker slot and the single queue slot through the
+	// admission controller, the way real requests would.
+	relWorker, rej, err := s.adm.Admit(context.Background(), admission.Request{Priority: admission.Interactive})
+	if rej != nil || err != nil {
+		t.Fatalf("occupying worker: rej=%v err=%v", rej, err)
+	}
+	released := false
 	defer func() {
-		<-s.sem
-		s.mu.Lock()
-		s.queued = 0
-		s.mu.Unlock()
+		if !released {
+			relWorker()
+		}
 	}()
+	queuedDone := make(chan struct{})
+	go func() {
+		defer close(queuedDone)
+		rel2, rej2, err2 := s.adm.Admit(context.Background(), admission.Request{Priority: admission.Interactive})
+		if rej2 == nil && err2 == nil {
+			rel2()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s.adm.Snapshot().QueuedByPri["interactive"] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue slot never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	resp, body := postJSON(t, ts.URL+"/v1/solve", solveRequest{ID: fr.ID, B: make([]float64, a.N)})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overloaded solve: status %d (%s), want 429", resp.StatusCode, body)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != "queue_full" {
+		t.Fatalf("rejection code = %q, want queue_full (%s)", eb.Code, body)
+	}
+	if eb.RetryAfterS <= 0 {
+		t.Fatalf("rejection body retry_after_s = %v, want > 0", eb.RetryAfterS)
+	}
 	if doc := fetchMetrics(t, ts.URL); doc.Rejected == 0 {
 		t.Fatal("rejected counter did not move")
 	}
+	released = true
+	relWorker()
+	<-queuedDone
 }
