@@ -123,8 +123,13 @@ type nodeJob struct {
 
 	plan *core.Plan
 	pr   *sched.Program
-	nf   *numeric.Factor
-	pav  []float64 // permuted values of the current run
+	// mapSig identifies which tuned mapping (0 = static) j.pr was built
+	// from, so a run arriving with a different map — the gateway adopted a
+	// measured remap since this pattern's plan was cached — rebuilds the
+	// schedule instead of executing under stale ownership.
+	mapSig uint64
+	nf     *numeric.Factor
+	pav    []float64 // permuted values of the current run
 
 	myIdx    int
 	local    []bool // blocks this node executes under the current epoch
@@ -535,12 +540,18 @@ func (j *nodeJob) startLocked(n *Node, sj *wire.StartJob) error {
 		if err != nil {
 			return err
 		}
-		_, pr := buildSchedule(plan, int(sj.Procs))
 		nf, err := numeric.New(plan.BS, plan.PA)
 		if err != nil {
 			return err
 		}
-		j.plan, j.pr, j.nf = plan, pr, nf
+		j.plan, j.nf = plan, nf
+	}
+	if sig := mapSignature(sj); j.pr == nil || sig != j.mapSig {
+		pr, err := scheduleFromJob(j.plan, sj)
+		if err != nil {
+			return err
+		}
+		j.pr, j.mapSig = pr, sig
 	}
 	if len(sj.NodeOf) != j.pr.NProc {
 		return fmt.Errorf("cluster: NodeOf has %d entries for %d processors", len(sj.NodeOf), j.pr.NProc)

@@ -65,7 +65,29 @@ type Options struct {
 	// the serving tier, so plans requested under different engines must
 	// never alias in the plan cache.
 	Exec fanout.Mode
+	// MapSource records the provenance of the block→processor mapping the
+	// plan's factors are built under. The zero value (MapStatic) is the
+	// modeled-flop heuristic mapping and keeps ConfigKey identical to
+	// pre-provenance keys; MapTuned marks a mapping rebuilt from a measured
+	// cost profile (internal/tune). It is part of ConfigKey so a tuned plan
+	// and its static-mapped ancestor — same pattern, same analysis options —
+	// can never alias in the plan cache or serve each other's snapshots.
+	MapSource MapSource
+	// MapFingerprint distinguishes tuned mappings built from different cost
+	// profiles (tune.CostProfile.Fingerprint). Zero — and ignored — under
+	// MapStatic.
+	MapFingerprint uint64
 }
+
+// MapSource is the provenance of a plan's block→processor mapping.
+type MapSource uint8
+
+const (
+	// MapStatic is the default modeled-flop heuristic mapping.
+	MapStatic MapSource = iota
+	// MapTuned is a mapping rebuilt from measured span costs.
+	MapTuned
+)
 
 // ConfigKey returns a 64-bit FNV-1a digest of every option that changes the
 // analyzed plan. The plan cache mixes it into the pattern key so plans built
@@ -94,6 +116,12 @@ func (o Options) ConfigKey() uint64 {
 		mix(1)
 		mix(uint64(o.Amalgamation.MaxZeros))
 		mix(math.Float64bits(o.Amalgamation.MaxZeroFrac))
+	}
+	// Mapping provenance is mixed only when non-static so every pre-existing
+	// static key (and the snapshots filed under it) stays valid.
+	if o.MapSource != MapStatic {
+		mix(uint64(o.MapSource))
+		mix(o.MapFingerprint)
 	}
 	return h
 }
@@ -282,6 +310,29 @@ func (p *Plan) FactorTracedContext(ctx context.Context, a sched.Assignment) (*Fa
 	return &Factor{plan: p, nf: nf, pr: pr, ex: ex, a: p.A}, rec, nil
 }
 
+// FactorMeasuredValuesContext is FactorValuesContext with a drop-free span
+// recorder attached and enabled (fanout.Executor.NewMeasureRecorder): lanes
+// are sized so every BFAC/BDIV/BMOD of the run is captured with
+// Recorder.Dropped() == 0, the completeness internal/tune requires before
+// it will aggregate the spans into a cost profile. It also returns the
+// schedule the run executed under, which maps span block ids back to block
+// coordinates.
+func (p *Plan) FactorMeasuredValuesContext(ctx context.Context, a sched.Assignment, values []float64) (*Factor, *obs.Recorder, *sched.Program, error) {
+	nf, err := numeric.New(p.BS, p.PA)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pr := sched.Build(p.BS, a)
+	ex := fanout.NewExecutorMode(nf, pr, p.Opts.Exec)
+	rec := ex.NewMeasureRecorder()
+	rec.Enable()
+	f := &Factor{plan: p, nf: nf, pr: pr, ex: ex, a: p.A}
+	if err := f.RefactorContext(ctx, values); err != nil {
+		return nil, nil, nil, err
+	}
+	return f, rec, pr, nil
+}
+
 // FactorValuesContext is FactorContext for the analyze-once/factor-many
 // serving path: it factors the plan's fixed pattern carrying values (laid
 // out like A.Val, same CSC entry order) instead of the values the plan was
@@ -397,6 +448,10 @@ func (f *Factor) Numeric() *numeric.Factor { return f.nf }
 
 // Plan exposes the plan the factor was computed from.
 func (f *Factor) Plan() *Plan { return f.plan }
+
+// Program returns the block-operation schedule the factor was computed
+// under (block ids in recorded spans index into it).
+func (f *Factor) Program() *sched.Program { return f.pr }
 
 // Matrix returns the matrix the factor currently represents: the plan's
 // matrix, or a same-pattern matrix carrying the values of the most recent

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"blockfanout/internal/core"
+	"blockfanout/internal/fanout"
+	"blockfanout/internal/gen"
+	"blockfanout/internal/mapping"
+	"blockfanout/internal/obs"
+	"blockfanout/internal/order"
+	"blockfanout/internal/sched"
+	"blockfanout/internal/tune"
+)
+
+// RemapResult is one measured factorization of the remap experiment: a
+// real parallel run of one problem under one block→processor mapping.
+type RemapResult struct {
+	Problem string
+	N       int // matrix dimension
+	Procs   int
+	// Map labels the mapping: a static heuristic pair ("ID/CY"), or
+	// "remap" for the feedback-driven mapping rebuilt from the measured
+	// cost profile of the serve run.
+	Map string
+	// Remap marks the feedback-driven row.
+	Remap bool
+	// Balance is the measured execution balance of the run itself:
+	// total busy time over P×max busy time, from the recorded spans.
+	Balance float64
+	// Predicted is the ownership balance this mapping achieves over the
+	// serve run's measured block costs — the quantity the tuner optimizes
+	// and the deterministic signal the CI gate checks.
+	Predicted float64
+	Seconds   float64
+}
+
+// remapProblems picks the irregular problems the feedback loop is aimed
+// at: the suite's irregular-mesh analogues, where modeled flops diverge
+// most from measured block cost.
+func remapProblems(cfg Config) ([]gen.Problem, error) {
+	var out []gen.Problem
+	for _, name := range []string{"BCSSTK15", "BCSSTK31"} {
+		p, ok := gen.ByName(gen.Table1Suite(cfg.Scale), name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: suite problem %s missing", name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// remapPlanCache memoizes the experiment's SPMD plans (keyed by problem
+// and block size; the experiment re-runs per processor count).
+var remapPlanCache sync.Map // "name/b" → *core.Plan
+
+// remapPlan analyzes a problem under the paper-faithful SPMD engine: one
+// goroutine per virtual processor executing exactly the blocks it owns.
+// Ownership balance is the quantity the feedback loop optimizes, and only
+// owner-computes execution makes it observable as per-processor busy time
+// (the work-stealing engine deliberately decouples the two).
+func remapPlan(p gen.Problem, cfg Config) (*core.Plan, error) {
+	key := fmt.Sprintf("%s/%d", p.Name, cfg.B)
+	if v, ok := remapPlanCache.Load(key); ok {
+		return v.(*core.Plan), nil
+	}
+	opts := core.Options{
+		BlockSize: cfg.B,
+		Ordering:  order.MinDegree, // both problems are HintMinDeg analogues
+		Exec:      fanout.ModeSPMD,
+	}
+	plan, err := core.NewPlan(p.Build(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", p.Name, err)
+	}
+	remapPlanCache.Store(key, plan)
+	return plan, nil
+}
+
+// verifyFactor checks a parallel factor entry-for-entry against the
+// sequential reference to 1e-12 relative — the same acceptance tolerance
+// the refactorization path uses. Timing and balance rows only mean
+// something if the measured runs computed the right factor.
+func verifyFactor(seq, par *core.Factor) error {
+	sd, pd := seq.Numeric().Data, par.Numeric().Data
+	for j := range sd {
+		for bi := range sd[j] {
+			for k, v := range sd[j][bi] {
+				if w := pd[j][bi][k]; math.Abs(v-w) > 1e-12*(1+math.Abs(v)) {
+					return fmt.Errorf("experiments: remap factor diverges from sequential reference at column %d block %d entry %d: %g vs %g", j, bi, k, w, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// measuredBalance is the execution balance of a recorded run — per-worker
+// busy nanoseconds (compute spans only) folded through the paper's
+// total/(P·max) measure — together with the run's compute window in
+// seconds: first span start to last span end, the factorization's actual
+// parallel makespan with the identical per-run setup overheads (factor
+// allocation, recorder arming) excluded from every row alike.
+func measuredBalance(rec *obs.Recorder) (bal, window float64) {
+	busy := make([]int64, rec.Procs())
+	first, last := int64(math.MaxInt64), int64(0)
+	for _, s := range rec.Spans() {
+		switch s.Op {
+		case obs.OpBFAC, obs.OpBDIV, obs.OpBMOD:
+		default:
+			continue
+		}
+		d := s.End - s.Start
+		if d <= 0 {
+			d = 1
+		}
+		busy[s.Proc] += d
+		if s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	if last > first {
+		window = float64(last-first) / 1e9
+	}
+	return tune.Balance(busy), window
+}
+
+// remapReps is how many measured factorizations each row runs; the row
+// reports the fastest (and that run's balance and recording), damping
+// scheduler noise at CI-scale run lengths.
+const remapReps = 3
+
+// remapRun times remapReps measured factorizations under an assignment,
+// verifies each against the sequential reference, and returns the fastest
+// run's compute window, execution balance, and recording (for profile
+// building).
+func remapRun(plan *core.Plan, a sched.Assignment, seq *core.Factor) (sec, bal float64, rec *obs.Recorder, pr *sched.Program, err error) {
+	for rep := 0; rep < remapReps; rep++ {
+		f, r, p, err := plan.FactorMeasuredValuesContext(context.Background(), a, plan.A.Val)
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		if err := verifyFactor(seq, f); err != nil {
+			return 0, 0, nil, nil, err
+		}
+		b, w := measuredBalance(r)
+		if rec == nil || w < sec {
+			sec, bal, rec, pr = w, b, r, p
+		}
+	}
+	return sec, bal, rec, pr, nil
+}
+
+// RemapRows runs the full remap-after-measure comparison for each problem
+// at each processor count and returns every row. Per (problem, P):
+// every static heuristic pair h/h plus the serving tier's ID/CY default
+// is factored for real with the drop-free measurement recorder; the
+// serve run's spans become the tune.CostProfile; tune.Search rebuilds
+// the mapping from those measured costs; and the tuned mapping is
+// factored under the same conditions. Every run is verified against the
+// sequential reference to 1e-12.
+func RemapRows(cfg Config, procs []int) ([]RemapResult, error) {
+	problems, err := remapProblems(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RemapResult
+	for _, p := range problems {
+		plan, err := remapPlan(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := plan.FactorSequential()
+		if err != nil {
+			return nil, err
+		}
+		for _, np := range procs {
+			g := mapping.BestGrid(np)
+
+			// The serve run doubles as the measurement pass: the serving
+			// tier's default mapping (Increasing Depth rows × Column-
+			// intensive columns, domains enabled), exactly what a -tune
+			// server measures on the first factorization of a pattern.
+			serveA := plan.Assign(plan.Map(g, mapping.ID, mapping.CY), cfg.DomainBeta)
+			sec, bal, rec, pr, err := remapRun(plan, serveA, seq)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := tune.BuildProfile(rec, pr, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, RemapResult{
+				Problem: p.Name, N: plan.A.N, Procs: np, Map: "ID/CY",
+				Balance:   bal,
+				Predicted: tune.Balance(prof.PredictedLoads(serveA.Owner, np)),
+				Seconds:   sec,
+			})
+
+			// The remaining static heuristics, h/h as in Tables 3–5.
+			for _, h := range mapping.AllHeuristics() {
+				if h == mapping.ID {
+					continue // ID/CY above is the serving configuration
+				}
+				a := plan.Assign(plan.Map(g, h, h), cfg.DomainBeta)
+				sec, bal, _, _, err := remapRun(plan, a, seq)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, RemapResult{
+					Problem: p.Name, N: plan.A.N, Procs: np,
+					Map:       h.String() + "/" + h.String(),
+					Balance:   bal,
+					Predicted: tune.Balance(prof.PredictedLoads(a.Owner, np)),
+					Seconds:   sec,
+				})
+			}
+
+			// Feedback-driven mapping: rebuild ownership from the measured
+			// costs, no domain override — the adoption decision compares
+			// loads under exactly this ownership (see internal/tune).
+			tm, _ := tune.Search(prof, np)
+			ta := plan.Assign(tm, 0)
+			sec, bal, _, _, err = remapRun(plan, ta, seq)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, RemapResult{
+				Problem: p.Name, N: plan.A.N, Procs: np, Map: "remap", Remap: true,
+				Balance:   bal,
+				Predicted: tune.Balance(prof.PredictedLoads(ta.Owner, np)),
+				Seconds:   sec,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RemapProcs are the processor counts the remap experiment covers.
+var RemapProcs = []int{8, 16}
+
+// Remap prints the feedback-driven mapping comparison: for each irregular
+// problem and processor count, the measured balance, profile-predicted
+// ownership balance, and end-to-end time of every static heuristic
+// against remap-after-measure.
+func Remap(w io.Writer, cfg Config) error {
+	rows, err := RemapRows(cfg, RemapProcs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Feedback-driven remapping vs static heuristics (measured runs, verified to 1e-12)\n")
+	var key string
+	var bestBal, bestPred, bestSec float64
+	flush := func(r RemapResult) {
+		fmt.Fprintf(w, "  best static: balance %.3f  predicted %.3f  %8.2f ms\n",
+			bestBal, bestPred, bestSec*1e3)
+		fmt.Fprintf(w, "  remap gain:  balance %+.1f%%  predicted %+.1f%%  time %+.1f%%\n",
+			pct(r.Balance, bestBal), pct(r.Predicted, bestPred), pct(bestSec, r.Seconds))
+	}
+	for _, r := range rows {
+		if k := fmt.Sprintf("%s P=%d", r.Problem, r.Procs); k != key {
+			key = k
+			bestBal, bestPred, bestSec = 0, 0, 0
+			fmt.Fprintf(w, "\n%s (n=%d), P=%d:\n", r.Problem, r.N, r.Procs)
+			fmt.Fprintf(w, "  %-8s %8s %10s %11s\n", "map", "balance", "predicted", "ms")
+		}
+		fmt.Fprintf(w, "  %-8s %8.3f %10.3f %11.2f\n", r.Map, r.Balance, r.Predicted, r.Seconds*1e3)
+		if r.Remap {
+			flush(r)
+		} else {
+			if r.Balance > bestBal {
+				bestBal = r.Balance
+			}
+			if r.Predicted > bestPred {
+				bestPred = r.Predicted
+			}
+			if bestSec == 0 || r.Seconds < bestSec {
+				bestSec = r.Seconds
+			}
+		}
+	}
+	return nil
+}

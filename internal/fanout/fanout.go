@@ -288,6 +288,31 @@ func (ex *Executor) NewRecorder() *obs.Recorder {
 	return rec
 }
 
+// NewMeasureRecorder creates, attaches, and returns a recorder sized so a
+// complete factorization cannot overflow any lane: per-lane capacity covers
+// every block operation in the schedule (one BFAC/BDIV per block plus one
+// BMOD per modification), because under work stealing any single worker
+// may end up executing an arbitrary share of them. Recorder.Dropped() == 0
+// is therefore guaranteed for the compute spans a cost profile is built
+// from — the measurement mode internal/tune requires. The per-span cost is
+// the same two clock reads and one in-place array write as NewRecorder
+// (no allocation once sized), so it is cheap enough to leave on for a
+// whole production factorization; the price is memory, O(lanes × ops)
+// spans instead of NewRecorder's O(ops).
+func (ex *Executor) NewMeasureRecorder() *obs.Recorder {
+	n := ex.lanes()
+	per := ex.pr.NBlocks + len(ex.pr.ModDest)
+	if ex.mode != ModeSPMD {
+		// Work stealing also records one OpSteal per stolen task (at most
+		// one per block activation) and OpIdle spans for parks; pad for
+		// both so bookkeeping spans cannot evict compute spans either.
+		per += ex.pr.NBlocks + 1024
+	}
+	rec := obs.NewRecorder(n, per)
+	ex.SetRecorder(rec)
+	return rec
+}
+
 // fail records a failure and broadcasts cancellation to the remaining
 // processors. Errors are ranked, not first-come: a numerical breakdown
 // (*kernels.PivotError) beats any infrastructure or cancellation error, and

@@ -20,7 +20,9 @@ import (
 // tested under the CI fanout race step) and checks both the span
 // accounting — exactly one completing op per block, exactly one BMOD per
 // scheduled modification — and that the exported file is valid Chrome
-// trace-event JSON.
+// trace-event JSON. Exact accounting needs the drop-free measure
+// recorder: NewRecorder's lanes are fixed-capacity and may legitimately
+// shed spans when stealing piles work onto one lane.
 func TestRecorderTrace(t *testing.T) {
 	_, bs, pm := setup(t, gen.IrregularMesh(250, 5, 3, 31), ord.MinDegree, 0, 8)
 	pr := sched.Build(bs, sched.Assignment{Map: mapping.Cyclic(mapping.Grid{Pr: 2, Pc: 2}, bs.N())})
@@ -29,10 +31,13 @@ func TestRecorderTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := NewExecutor(f, pr)
-	rec := ex.NewRecorder()
+	rec := ex.NewMeasureRecorder()
 	rec.Enable()
 	if _, err := ex.Run(); err != nil {
 		t.Fatal(err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("measure recorder dropped %d spans", rec.Dropped())
 	}
 
 	var mods int32

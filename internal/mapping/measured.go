@@ -1,0 +1,126 @@
+package mapping
+
+// This file builds Cartesian-product mappings from *measured* per-block
+// costs (span nanoseconds from obs.Recorder, aggregated by internal/tune)
+// instead of the modeled flop counts the §4 heuristics use. The shape
+// follows the symmetric rectilinear partitioning idea: pick a column map
+// from measured column totals, assign rows against it with the §4.2
+// min-max rule, then alternate row/column reassignment a bounded number of
+// rounds. Every step is deterministic — stable sorts with index tie-breaks
+// and ascending scans — so two runs from the same cost matrix produce
+// identical mappings.
+
+// NewMeasured builds a mapping for an n×n block structure from measured
+// block costs: cost[i][j] is the total measured nanoseconds attributable to
+// block (i,j) (own BFAC/BDIV work plus BMOD updates it received), zero for
+// blocks outside the structure. The initial column map greedily partitions
+// measured column totals (decreasing weight, as DW does with flops); rows
+// are then placed by the §4.2 per-processor rule — minimize the maximum
+// single-processor load, then the aggregate — and the two sides are
+// alternately refined until they stop changing or the round bound hits.
+func NewMeasured(g Grid, cost [][]int64) *Mapping {
+	n := len(cost)
+	rowW := make([]int64, n)
+	colW := make([]int64, n)
+	for i := range cost {
+		for j, c := range cost[i] {
+			rowW[i] += c
+			colW[j] += c
+		}
+	}
+
+	mapJ := Greedy(order(DW, colW, nil), colW, g.Pc)
+	mapI := assignMinMax(rowCellCosts(cost, mapJ, g.Pc), rowW, g.Pr)
+	const refineRounds = 4
+	for round := 0; round < refineRounds; round++ {
+		mapJ2 := assignMinMax(colCellCosts(cost, mapI, g.Pr), colW, g.Pc)
+		mapI2 := assignMinMax(rowCellCosts(cost, mapJ2, g.Pc), rowW, g.Pr)
+		converged := equalInts(mapI2, mapI) && equalInts(mapJ2, mapJ)
+		mapI, mapJ = mapI2, mapJ2
+		if converged {
+			break
+		}
+	}
+	return &Mapping{Grid: g, MapI: mapI, MapJ: mapJ}
+}
+
+// rowCellCosts returns per-block-row cost split by mapped processor column:
+// out[i][c] = Σ cost[i][j] over block columns j with mapJ[j] == c.
+func rowCellCosts(cost [][]int64, mapJ []int, pc int) [][]int64 {
+	out := make([][]int64, len(cost))
+	for i := range cost {
+		out[i] = make([]int64, pc)
+		for j, c := range cost[i] {
+			out[i][mapJ[j]] += c
+		}
+	}
+	return out
+}
+
+// colCellCosts is the transpose: out[j][r] = Σ cost[i][j] with mapI[i] == r.
+func colCellCosts(cost [][]int64, mapI []int, pr int) [][]int64 {
+	n := len(cost)
+	out := make([][]int64, n)
+	for j := range out {
+		out[j] = make([]int64, pr)
+	}
+	for i := range cost {
+		r := mapI[i]
+		for j, c := range cost[i] {
+			out[j][r] += c
+		}
+	}
+	return out
+}
+
+// assignMinMax places each panel (block row or column) into one of bins
+// grid lines, processing panels in decreasing total-weight order (index
+// ascending on ties) and choosing the line that minimizes the maximum
+// per-cell load, then the aggregate, then the lowest line index — the
+// deterministic generalization of NewPerProcessor's inner loop.
+// cellCost[p][b] is panel p's cost landing in cell b of a candidate line.
+func assignMinMax(cellCost [][]int64, weight []int64, bins int) []int {
+	n := len(cellCost)
+	cells := 0
+	if n > 0 {
+		cells = len(cellCost[0])
+	}
+	load := make([][]int64, bins)
+	for r := range load {
+		load[r] = make([]int64, cells)
+	}
+	out := make([]int, n)
+	for _, p := range order(DW, weight, nil) {
+		bestR, bestMax, bestSum := -1, int64(0), int64(0)
+		for r := 0; r < bins; r++ {
+			var mx, sum int64
+			for c := 0; c < cells; c++ {
+				l := load[r][c] + cellCost[p][c]
+				sum += l
+				if l > mx {
+					mx = l
+				}
+			}
+			if bestR < 0 || mx < bestMax || (mx == bestMax && sum < bestSum) {
+				bestR, bestMax, bestSum = r, mx, sum
+			}
+		}
+		out[p] = bestR
+		for c := 0; c < cells; c++ {
+			load[bestR][c] += cellCost[p][c]
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,5 +1,17 @@
 package mapping
 
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedFloorFrac is the relative floor GreedyWeightedChecked clamps speeds
+// to: no bin may look more than 1/SpeedFloorFrac times faster than another.
+// A wildly small (but positive) calibration reading would otherwise make
+// every other bin appear effectively infinite-speed and starve the slow
+// bin's neighbours of any meaningful share.
+const SpeedFloorFrac = 1e-3
+
 // GreedyWeighted is the heterogeneous generalization of Greedy: bins have
 // relative speeds (flop rates), and each item — taken in the caller's
 // order, conventionally decreasing weight as in §4 — goes to the bin whose
@@ -9,15 +21,22 @@ package mapping
 // unequal measured speed, so a half-speed node ends up with roughly half
 // the flops (the Tzovas & Predari extension of the paper's heuristics).
 //
-// Non-positive speeds mark bins that must receive nothing (a dead node);
-// at least one speed must be positive.
+// Non-positive and non-finite speeds mark bins that must receive nothing
+// (a dead or uncalibrated node); at least one speed must be positive and
+// finite. Callers that would rather fail than silently skip a bad bin —
+// the cluster partitioner — should use GreedyWeightedChecked.
 func GreedyWeighted(ord []int, weight []int64, speed []float64) []int {
 	asg := make([]int, len(weight))
 	load := make([]float64, len(speed))
 	for _, it := range ord {
 		best, bestT := -1, 0.0
 		for b, sp := range speed {
-			if sp <= 0 {
+			// !(sp > 0) rather than sp <= 0: NaN compares false both ways,
+			// so the old guard let a NaN-speed bin through, its NaN
+			// completion time won the first best<0 comparison, and every
+			// item landed on that one bin. +Inf is equally degenerate (zero
+			// completion time forever).
+			if !(sp > 0) || math.IsInf(sp, 1) {
 				continue
 			}
 			t := (load[b] + float64(weight[it])) / sp
@@ -32,4 +51,38 @@ func GreedyWeighted(ord []int, weight []int64, speed []float64) []int {
 		load[best] += float64(weight[it])
 	}
 	return asg
+}
+
+// GreedyWeightedChecked validates the speed vector before partitioning and
+// returns an error — instead of a silently degenerate assignment — when it
+// is unusable: empty, containing NaN/±Inf (a malformed -speeds flag), or
+// containing a non-positive entry (a heartbeat reporting before
+// calibration). Valid speeds are clamped to a relative floor
+// (SpeedFloorFrac × max) so one tiny reading cannot make the rest of the
+// fleet look infinitely fast.
+func GreedyWeightedChecked(ord []int, weight []int64, speed []float64) ([]int, error) {
+	if len(speed) == 0 {
+		return nil, fmt.Errorf("mapping: no bins to partition over")
+	}
+	maxSp := 0.0
+	for b, sp := range speed {
+		if math.IsNaN(sp) || math.IsInf(sp, 0) {
+			return nil, fmt.Errorf("mapping: speed[%d] = %v is not finite", b, sp)
+		}
+		if sp <= 0 {
+			return nil, fmt.Errorf("mapping: speed[%d] = %v is not positive (uncalibrated bin)", b, sp)
+		}
+		if sp > maxSp {
+			maxSp = sp
+		}
+	}
+	clamped := make([]float64, len(speed))
+	floor := maxSp * SpeedFloorFrac
+	for b, sp := range speed {
+		if sp < floor {
+			sp = floor
+		}
+		clamped[b] = sp
+	}
+	return GreedyWeighted(ord, weight, clamped), nil
 }

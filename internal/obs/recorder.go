@@ -52,11 +52,16 @@ type Span struct {
 	End      int64
 }
 
-// lane is one processor's private span buffer. The padding keeps adjacent
-// lanes out of one cache line so concurrent appends do not false-share.
+// lane is one processor's private span buffer. Lanes are fixed-capacity:
+// a span arriving when the buffer is full is counted in dropped instead of
+// growing the buffer, so the recording hot path never allocates (an
+// allocation mid-measurement would perturb the very spans being measured).
+// The padding keeps adjacent lanes out of one cache line so concurrent
+// appends do not false-share.
 type lane struct {
-	spans []Span
-	_     [40]byte
+	spans   []Span
+	dropped atomic.Int64
+	_       [32]byte
 }
 
 // Recorder collects per-block-operation spans from a parallel
@@ -135,14 +140,38 @@ func (r *Recorder) Record(proc int32, op Op, block, src int32, start int64) {
 func (r *Recorder) recordSlow(proc int32, op Op, block, src int32, start int64) {
 	end := int64(time.Since(r.base)) + 1
 	ln := &r.lanes[proc]
+	if len(ln.spans) == cap(ln.spans) {
+		// Full lane: count the loss instead of growing. Silently dropping
+		// here used to bias any span-derived cost profile toward the blocks
+		// that happened to run early; the counter lets consumers (tune,
+		// /metrics) detect — and refuse — a truncated recording.
+		ln.dropped.Add(1)
+		return
+	}
 	ln.spans = append(ln.spans, Span{Proc: proc, Op: op, Block: block, Src: src, Start: start - 1, End: end - 1})
 }
 
-// Reset clears all buffered spans (capacity is kept) and rebases the
-// clock. Not safe concurrently with recording.
+// Dropped reports how many spans were discarded across all lanes because
+// their lane was full. A complete recording has Dropped() == 0; anything
+// else means the span set under-represents late operations and must not be
+// used as a cost signal.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.lanes {
+		n += r.lanes[i].dropped.Load()
+	}
+	return n
+}
+
+// Reset clears all buffered spans and drop counters (capacity is kept) and
+// rebases the clock. Not safe concurrently with recording.
 func (r *Recorder) Reset() {
 	for i := range r.lanes {
 		r.lanes[i].spans = r.lanes[i].spans[:0]
+		r.lanes[i].dropped.Store(0)
 	}
 	r.base = time.Now()
 }
@@ -171,8 +200,16 @@ func (r *Recorder) Events(processName string) []Event {
 		processName = "fanout execution"
 	}
 	spans := r.Spans()
-	events := make([]Event, 0, len(spans)+len(r.lanes)+1)
+	events := make([]Event, 0, len(spans)+len(r.lanes)+2)
 	events = append(events, meta("process_name", 1, 0, processName))
+	if d := r.Dropped(); d > 0 {
+		// Surface truncation in the trace itself: a snapshot missing spans
+		// must say so, or its timeline reads as a complete recording.
+		events = append(events, Event{
+			Name: "dropped_spans", Ph: "C", Cat: "meta", Pid: 1,
+			Args: map[string]any{"count": d},
+		})
+	}
 	for p := range r.lanes {
 		events = append(events, meta("thread_name", 1, int64(p), fmt.Sprintf("P%d", p)))
 	}

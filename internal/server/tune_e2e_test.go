@@ -1,0 +1,117 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+
+	"blockfanout/internal/gen"
+)
+
+// TestTuneMeasureAdoptServe drives the feedback loop end-to-end over real
+// HTTP: the first factorization of a pattern on a -tune server is
+// measured, the remap decision runs, and — whether adopted or declined —
+// the served factor stays numerically correct. A same-pattern re-post
+// then factors under whatever mapping won and must solve correctly too.
+func TestTuneMeasureAdoptServe(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testService(t, Config{
+		Procs: 8, BlockSize: 12, Tune: true,
+		StoreDir: dir, BatchWindow: -1,
+	})
+
+	m := gen.IrregularMesh(400, 8, 3, 7)
+	fr := factorMatrix(t, ts.URL, m)
+
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	x := solveVec(t, ts.URL, fr.ID, b)
+	if res := residualNorm(m, x, b); res > 1e-8 {
+		t.Fatalf("first (measured) factor residual %g", res)
+	}
+
+	doc := fetchMetrics(t, ts.URL)
+	if doc.Tune == nil {
+		t.Fatal("metrics omit the tune section with Tune enabled")
+	}
+	if got := doc.Tune.Adopted + doc.Tune.Declined + doc.Tune.Skipped; got != 1 {
+		t.Fatalf("tune outcomes adopted+declined+skipped = %d, want exactly 1 after one measured run", got)
+	}
+	if doc.Tune.DroppedSpans != 0 {
+		t.Fatalf("measurement dropped %d spans; NewMeasureRecorder must be drop-free", doc.Tune.DroppedSpans)
+	}
+
+	// Same pattern, new values: factors under the cached (tuned or static)
+	// plan without re-measuring, and still solves right.
+	m2 := m.Clone()
+	rng := rand.New(rand.NewSource(3))
+	for i := range m2.Val {
+		m2.Val[i] *= 1 + 0.1*rng.Float64()
+	}
+	for j := 0; j < m2.N; j++ {
+		m2.Val[m2.ColPtr[j]] *= 1.5
+	}
+	fr2 := factorMatrix(t, ts.URL, m2)
+	if fr2.ID != fr.ID {
+		t.Fatalf("same pattern produced a different id: %s vs %s", fr2.ID, fr.ID)
+	}
+	x2 := solveVec(t, ts.URL, fr2.ID, b)
+	if res := residualNorm(m2, x2, b); res > 1e-8 {
+		t.Fatalf("second factor residual %g", res)
+	}
+	after := fetchMetrics(t, ts.URL)
+	if got := after.Tune.Adopted + after.Tune.Declined + after.Tune.Skipped; got != 1 {
+		t.Fatalf("re-factor re-ran the measurement: outcomes went to %d", got)
+	}
+	s.Close()
+}
+
+// TestTuneWarmStartRestoresTunedMapping: when the first life adopted a
+// tuned mapping, a restarted -tune server must rebuild it from the
+// persisted cost profile and serve the old id from the tuned snapshot
+// without refactorizing.
+func TestTuneWarmStartRestoresTunedMapping(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := testService(t, Config{
+		Procs: 8, BlockSize: 12, Tune: true,
+		StoreDir: dir, BatchWindow: -1,
+	})
+	m := gen.IrregularMesh(400, 8, 3, 7)
+	fr := factorMatrix(t, ts1.URL, m)
+	adopted := fetchMetrics(t, ts1.URL).Tune.Adopted == 1
+	s1.Close()
+	ts1.Close()
+
+	s2, ts2 := testService(t, Config{
+		Procs: 8, BlockSize: 12, Tune: true,
+		StoreDir: dir, BatchWindow: -1,
+	})
+	t.Cleanup(s2.Close)
+	restored, err := s2.WarmStart()
+	if err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	if restored < 1 {
+		t.Fatalf("restored %d factors, want ≥1", restored)
+	}
+
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := solveVec(t, ts2.URL, fr.ID, b)
+	if res := residualNorm(m, x, b); res > 1e-8 {
+		t.Fatalf("restored factor residual %g", res)
+	}
+	if got := s2.met.factors.Load() + s2.met.refactors.Load(); got != 0 {
+		t.Fatalf("restart ran %d factorizations, want 0", got)
+	}
+	doc := fetchMetrics(t, ts2.URL)
+	if doc.Tune == nil {
+		t.Fatal("metrics omit the tune section after restart")
+	}
+	if adopted && doc.Tune.WarmRestored < 1 {
+		t.Fatalf("first life adopted a tuned mapping but warm start restored %d", doc.Tune.WarmRestored)
+	}
+}

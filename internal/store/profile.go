@@ -1,0 +1,117 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// recProfile is the record type of a measured cost-profile snapshot
+// (internal/tune.CostProfile in sparse coordinate form).
+const recProfile byte = 6
+
+// ProfileSnapshot is the durable form of a measured block-cost profile:
+// the sparse coordinate triples (I[k], J[k]) → Cost[k] nanoseconds of one
+// traced factorization, keyed like factor snapshots by (pattern hash,
+// static plan-configuration key). The tune package converts to and from
+// its dense CostProfile.
+type ProfileSnapshot struct {
+	PatternHash uint64
+	ConfigKey   uint64
+	Procs       int
+	N           int // block grid dimension
+	I           []int
+	J           []int
+	Cost        []int64
+}
+
+func profileName(pattern, cfg uint64) string {
+	return fmt.Sprintf("profile-%016x-%016x.snap", pattern, cfg)
+}
+
+// PutProfile atomically writes (or replaces) the cost profile for its key.
+func (s *Store) PutProfile(ps *ProfileSnapshot) error {
+	if len(ps.I) != len(ps.J) || len(ps.I) != len(ps.Cost) {
+		return fmt.Errorf("store: profile has %d/%d/%d coordinate arrays", len(ps.I), len(ps.J), len(ps.Cost))
+	}
+	var e enc
+	e.u64(ps.PatternHash)
+	e.u64(ps.ConfigKey)
+	e.u32(uint32(ps.Procs))
+	e.u32(uint32(ps.N))
+	e.ints(ps.I)
+	e.ints(ps.J)
+	costs := make([]int, len(ps.Cost))
+	for k, c := range ps.Cost {
+		costs[k] = int(c)
+	}
+	e.ints(costs)
+	return s.writeFile(profileName(ps.PatternHash, ps.ConfigKey), []record{
+		{recProfile, e.take()},
+	})
+}
+
+// GetProfile loads the cost profile for the key. A missing profile returns
+// ErrNotFound; a corrupt one is quarantined and returns ErrCorrupt.
+func (s *Store) GetProfile(pattern, cfg uint64) (*ProfileSnapshot, error) {
+	name := profileName(pattern, cfg)
+	recs, err := s.readFile(name)
+	if err != nil {
+		return nil, err
+	}
+	ps := &ProfileSnapshot{}
+	derr := func() error {
+		if len(recs) != 1 || recs[0].typ != recProfile {
+			return fmt.Errorf("store: profile snapshot has wrong record sequence")
+		}
+		d := dec{b: recs[0].payload}
+		ps.PatternHash = d.u64()
+		ps.ConfigKey = d.u64()
+		ps.Procs = int(d.u32())
+		ps.N = int(d.u32())
+		ps.I = d.ints()
+		ps.J = d.ints()
+		costs := d.ints()
+		if err := d.done(); err != nil {
+			return err
+		}
+		if ps.PatternHash != pattern || ps.ConfigKey != cfg {
+			return fmt.Errorf("store: profile keyed %016x/%016x holds %016x/%016x", pattern, cfg, ps.PatternHash, ps.ConfigKey)
+		}
+		ps.Cost = make([]int64, len(costs))
+		for k, c := range costs {
+			ps.Cost[k] = int64(c)
+		}
+		return nil
+	}()
+	if derr != nil {
+		return nil, s.quarantine(name, derr)
+	}
+	s.mu.Lock()
+	s.loads++
+	s.mu.Unlock()
+	return ps, nil
+}
+
+// ScanProfiles lists the keys of every cost profile on disk. Unparseable
+// names are skipped; payload validation happens at GetProfile time.
+func (s *Store) ScanProfiles() ([]FactorKey, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var keys []FactorKey
+	for _, e := range entries {
+		var k FactorKey
+		if n, err := fmt.Sscanf(e.Name(), "profile-%016x-%016x.snap", &k.PatternHash, &k.ConfigKey); n == 2 && err == nil &&
+			e.Name() == profileName(k.PatternHash, k.ConfigKey) {
+			keys = append(keys, k)
+		}
+	}
+	return keys, nil
+}
+
+// DeleteProfile removes a cost profile (a no-op if absent).
+func (s *Store) DeleteProfile(pattern, cfg uint64) {
+	os.Remove(filepath.Join(s.dir, profileName(pattern, cfg)))
+}
